@@ -1,0 +1,290 @@
+// Package cloudviews is a from-scratch reproduction of CloudViews, the
+// automatic computation-reuse infrastructure for the SCOPE query engine on
+// Microsoft's Cosmos platform ("Production Experiences from Computation Reuse
+// at Microsoft", EDBT 2021).
+//
+// The package exposes a complete, embeddable system: a SCOPE-like declarative
+// engine (parser, binder, memo-style optimizer, executing operators), the
+// CloudViews feedback loop (signatures → workload repository → view selection
+// → insights service → online materialization → reuse), and a discrete-event
+// cluster simulator that reports the paper's production metrics (latency,
+// processing time, bonus time, containers, IO, queue lengths).
+//
+// Quick start:
+//
+//	sys, err := cloudviews.NewSystem(cloudviews.Config{ClusterName: "demo"})
+//	...
+//	sys.DefineDataset("Sales", schema)
+//	sys.PublishDataset("Sales", table)
+//	sys.OnboardVC("vc1")
+//	res, err := sys.SubmitScript(cloudviews.Job{
+//		ID: "job-1", VC: "vc1",
+//		Script: `r = SELECT Region, COUNT(*) AS n FROM Sales GROUP BY Region;
+//		         OUTPUT r TO "out/r";`,
+//	})
+//
+// Repeated submissions of overlapping scripts are detected by the analysis
+// pass (System.Analyze) and transparently materialized and reused.
+package cloudviews
+
+import (
+	"fmt"
+	"time"
+
+	"cloudviews/internal/analysis"
+	"cloudviews/internal/catalog"
+	"cloudviews/internal/cluster"
+	"cloudviews/internal/core"
+	"cloudviews/internal/data"
+	"cloudviews/internal/fixtures"
+	"cloudviews/internal/workload"
+)
+
+// Re-exported leaf types so callers can build schemas and rows without
+// touching internal packages.
+type (
+	// Schema describes a dataset's columns.
+	Schema = data.Schema
+	// Column is one schema field.
+	Column = data.Column
+	// Row is one record.
+	Row = data.Row
+	// Table is an in-memory relation.
+	Table = data.Table
+	// Value is one scalar cell.
+	Value = data.Value
+	// SelectionConfig tunes the view-selection half of the feedback loop.
+	SelectionConfig = analysis.SelectionConfig
+	// VCConfig sizes one virtual cluster's guaranteed containers.
+	VCConfig = cluster.VCConfig
+	// DayMetrics aggregates one simulated day of cluster activity.
+	DayMetrics = core.DayMetrics
+)
+
+// Column kinds, re-exported for schema construction.
+const (
+	KindInt    = data.KindInt
+	KindFloat  = data.KindFloat
+	KindString = data.KindString
+	KindBool   = data.KindBool
+	KindTime   = data.KindTime
+)
+
+// Value constructors, re-exported.
+var (
+	Int    = data.Int
+	Float  = data.Float
+	String = data.String_
+	Bool   = data.Bool
+	Time   = data.Time
+	Null   = data.Null
+)
+
+// Epoch is the simulation start time (Feb 1, 2020 — day one of the paper's
+// production window).
+var Epoch = fixtures.Epoch
+
+// Config assembles a System.
+type Config struct {
+	// ClusterName identifies the cluster (used in controls and signatures).
+	ClusterName string
+	// Capacity is the total cluster container count (default 1000).
+	Capacity int
+	// VCs configures guaranteed tokens per virtual cluster; unknown VCs get
+	// a default allocation.
+	VCs []VCConfig
+	// Selection tunes view selection; the zero value is sensible
+	// (greedy knapsack, schedule-unaware, no storage budget).
+	Selection SelectionConfig
+	// ViewTTL overrides the 7-day view expiry.
+	ViewTTL time.Duration
+	// MaxViewsPerJob caps materializations per job (default 4).
+	MaxViewsPerJob int
+}
+
+// Job is one SCOPE-like script submission.
+type Job struct {
+	ID       string
+	VC       string
+	Pipeline string
+	User     string
+	// Runtime is the engine version tag; different runtimes never share
+	// views (default "scope-r1").
+	Runtime string
+	Script  string
+	Params  map[string]Value
+	// Submit is the simulated submission time (default: the system clock).
+	Submit time.Time
+	// OptOut disables CloudViews for this single job.
+	OptOut bool
+}
+
+// JobResult reports one executed job.
+type JobResult struct {
+	ID string
+	// Output is the job's result table.
+	Output *Table
+	// ViewsBuilt / ViewsReused count CloudViews activity in this job.
+	ViewsBuilt  int
+	ViewsReused int
+	// Work is the total compute in container-seconds.
+	Work float64
+	// InputBytes / DataRead are logical IO totals.
+	InputBytes int64
+	DataRead   int64
+	// PlanText is the final (post-reuse) plan rendering.
+	PlanText string
+}
+
+// System is a single-cluster CloudViews deployment.
+type System struct {
+	engine *core.Engine
+	cfg    Config
+	clock  time.Time
+	seq    int
+}
+
+// NewSystem creates an empty system with its own catalog.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.ClusterName == "" {
+		return nil, fmt.Errorf("cloudviews: ClusterName is required")
+	}
+	eng := core.NewEngine(core.Config{
+		ClusterName:    cfg.ClusterName,
+		Catalog:        catalog.New(),
+		ClusterCfg:     cluster.Config{Capacity: cfg.Capacity, VCs: cfg.VCs},
+		ViewTTL:        cfg.ViewTTL,
+		MaxViewsPerJob: cfg.MaxViewsPerJob,
+		Selection:      cfg.Selection,
+	})
+	return &System{engine: eng, cfg: cfg, clock: fixtures.Epoch}, nil
+}
+
+// Engine exposes the underlying engine for advanced use (experiments,
+// extensions). Most callers should not need it.
+func (s *System) Engine() *core.Engine { return s.engine }
+
+// DefineDataset registers a dataset schema.
+func (s *System) DefineDataset(name string, schema Schema) error {
+	_, err := s.engine.Catalog.Define(name, schema)
+	return err
+}
+
+// PublishDataset bulk-publishes a new immutable version of a dataset.
+func (s *System) PublishDataset(name string, t *Table) error {
+	_, err := s.engine.Catalog.BulkUpdate(name, s.clock, t)
+	return err
+}
+
+// SetScaleFactor sets a dataset's logical size multiplier (tables stay small
+// in memory; work and IO account at multiplied scale).
+func (s *System) SetScaleFactor(name string, f float64) {
+	s.engine.Catalog.SetScaleFactor(name, f)
+}
+
+// OnboardVC enables CloudViews for a virtual cluster.
+func (s *System) OnboardVC(vc string) { s.engine.OnboardVC(vc) }
+
+// OffboardVC disables a virtual cluster and purges its views.
+func (s *System) OffboardVC(vc string) { s.engine.OffboardVC(vc) }
+
+// AdvanceClock moves the simulated time forward.
+func (s *System) AdvanceClock(d time.Duration) { s.clock = s.clock.Add(d) }
+
+// Clock returns the simulated time.
+func (s *System) Clock() time.Time { return s.clock }
+
+// SubmitScript compiles and executes one job immediately (data plane only;
+// use RunDay for cluster-scheduled batches).
+func (s *System) SubmitScript(job Job) (*JobResult, error) {
+	in, err := s.toInput(job)
+	if err != nil {
+		return nil, err
+	}
+	run, err := s.engine.CompileAndExecute(in)
+	if err != nil {
+		return nil, err
+	}
+	if run.Input.Submit.After(s.clock) {
+		s.clock = run.Input.Submit
+	}
+	return &JobResult{
+		ID:          in.ID,
+		Output:      run.Output,
+		ViewsBuilt:  len(run.Compile.Proposed),
+		ViewsReused: len(run.Compile.Matched),
+		Work:        run.Exec.TotalWork,
+		InputBytes:  run.Exec.InputBytes,
+		DataRead:    run.Exec.TotalRead,
+		PlanText:    planText(run),
+	}, nil
+}
+
+func planText(run *core.JobRun) string {
+	return core.FormatPlan(run.Compile.Plan)
+}
+
+// RunDay executes a batch of jobs through the full pipeline including the
+// cluster schedule, producing the day's metrics.
+func (s *System) RunDay(day int, jobs []Job) (DayMetrics, error) {
+	ins := make([]workload.JobInput, 0, len(jobs))
+	for _, j := range jobs {
+		in, err := s.toInput(j)
+		if err != nil {
+			return DayMetrics{}, err
+		}
+		ins = append(ins, in)
+	}
+	return s.engine.RunDay(day, ins)
+}
+
+// Analyze runs the offline feedback loop over the trailing window ending now:
+// view selection over the workload repository and annotation publishing.
+// Returns the number of job templates that received annotations.
+func (s *System) Analyze(window time.Duration) int {
+	to := s.clock.Add(24 * time.Hour)
+	from := to.Add(-window - 24*time.Hour)
+	tags, _ := s.engine.RunAnalysis(from, to)
+	return tags
+}
+
+// ViewCount returns the number of live materialized views.
+func (s *System) ViewCount() int { return s.engine.Store.Count() }
+
+// ViewStorageBytes returns the logical bytes of views held by a VC.
+func (s *System) ViewStorageBytes(vc string) int64 { return s.engine.Store.UsedBytes(vc) }
+
+func (s *System) toInput(job Job) (workload.JobInput, error) {
+	if job.Script == "" {
+		return workload.JobInput{}, fmt.Errorf("cloudviews: job %q has no script", job.ID)
+	}
+	s.seq++
+	in := workload.JobInput{
+		ID:       job.ID,
+		Cluster:  s.cfg.ClusterName,
+		VC:       job.VC,
+		Pipeline: job.Pipeline,
+		User:     job.User,
+		Runtime:  job.Runtime,
+		Script:   job.Script,
+		Params:   job.Params,
+		Submit:   job.Submit,
+		OptIn:    !job.OptOut,
+	}
+	if in.ID == "" {
+		in.ID = fmt.Sprintf("job-%06d", s.seq)
+	}
+	if in.VC == "" {
+		in.VC = "default-vc"
+	}
+	if in.Pipeline == "" {
+		in.Pipeline = "adhoc"
+	}
+	if in.Runtime == "" {
+		in.Runtime = "scope-r1"
+	}
+	if in.Submit.IsZero() {
+		in.Submit = s.clock
+	}
+	return in, nil
+}

@@ -1,0 +1,211 @@
+package cloudviews_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudviews"
+)
+
+func demoSystem(t *testing.T) *cloudviews.System {
+	t.Helper()
+	sys, err := cloudviews.NewSystem(cloudviews.Config{ClusterName: "api-test", Capacity: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := cloudviews.Schema{
+		{Name: "Id", Kind: cloudviews.KindInt},
+		{Name: "Region", Kind: cloudviews.KindString},
+		{Name: "Value", Kind: cloudviews.KindFloat},
+	}
+	if err := sys.DefineDataset("Events", schema); err != nil {
+		t.Fatal(err)
+	}
+	tb := &cloudviews.Table{Schema: schema}
+	regions := []string{"us", "eu", "asia"}
+	for i := 0; i < 300; i++ {
+		tb.Append(cloudviews.Row{
+			cloudviews.Int(int64(i)),
+			cloudviews.String(regions[i%3]),
+			cloudviews.Float(float64(i % 97)),
+		})
+	}
+	if err := sys.PublishDataset("Events", tb); err != nil {
+		t.Fatal(err)
+	}
+	sys.SetScaleFactor("Events", 10_000)
+	return sys
+}
+
+func TestNewSystemRequiresName(t *testing.T) {
+	if _, err := cloudviews.NewSystem(cloudviews.Config{}); err == nil {
+		t.Error("expected error without ClusterName")
+	}
+}
+
+func TestSubmitScriptBasics(t *testing.T) {
+	sys := demoSystem(t)
+	res, err := sys.SubmitScript(cloudviews.Job{
+		VC:     "vc1",
+		Script: `r = SELECT Region, COUNT(*) AS n FROM Events GROUP BY Region; OUTPUT r TO "out/r";`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.NumRows() != 3 {
+		t.Errorf("rows = %d, want 3 regions", res.Output.NumRows())
+	}
+	if res.Work <= 0 || res.InputBytes <= 0 {
+		t.Errorf("accounting missing: %+v", res)
+	}
+	if !strings.Contains(res.PlanText, "Aggregate") {
+		t.Errorf("plan text missing aggregate:\n%s", res.PlanText)
+	}
+	if res.ID == "" {
+		t.Error("auto-assigned job ID missing")
+	}
+}
+
+func TestSubmitScriptErrors(t *testing.T) {
+	sys := demoSystem(t)
+	if _, err := sys.SubmitScript(cloudviews.Job{VC: "v"}); err == nil {
+		t.Error("empty script must fail")
+	}
+	if _, err := sys.SubmitScript(cloudviews.Job{VC: "v", Script: "garbage"}); err == nil {
+		t.Error("unparsable script must fail")
+	}
+	if _, err := sys.SubmitScript(cloudviews.Job{VC: "v",
+		Script: `r = SELECT Nope FROM Events; OUTPUT r TO "x";`}); err == nil {
+		t.Error("bind error must surface")
+	}
+}
+
+func TestEndToEndReuseThroughFacade(t *testing.T) {
+	sys := demoSystem(t)
+	sys.OnboardVC("vc1")
+	script := func(agg string) string {
+		return fmt.Sprintf(`p = SELECT * FROM Events WHERE Value > 40;
+			r = SELECT Region, %s FROM p GROUP BY Region;
+			OUTPUT r TO "out/%s";`, agg, agg[:3])
+	}
+	queries := []string{script("COUNT(*) AS n"), script("MAX(Value) AS m"), script("SUM(Value) AS s")}
+
+	// Round 1: cold.
+	for i, q := range queries {
+		if _, err := sys.SubmitScript(cloudviews.Job{ID: fmt.Sprintf("r1-%d", i), VC: "vc1", Pipeline: "p", Script: q}); err != nil {
+			t.Fatal(err)
+		}
+		sys.AdvanceClock(time.Minute)
+	}
+	if tags := sys.Analyze(time.Hour); tags == 0 {
+		t.Fatal("analysis selected nothing")
+	}
+	// Round 2: build then reuse.
+	var reused int
+	for i, q := range queries {
+		res, err := sys.SubmitScript(cloudviews.Job{ID: fmt.Sprintf("r2-%d", i), VC: "vc1", Pipeline: "p", Script: q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused += res.ViewsReused
+		sys.AdvanceClock(time.Minute)
+	}
+	if reused == 0 {
+		t.Error("no reuse through the public API")
+	}
+	if sys.ViewCount() == 0 || sys.ViewStorageBytes("vc1") == 0 {
+		t.Error("view accounting empty")
+	}
+}
+
+func TestOptOutJobNeverReuses(t *testing.T) {
+	sys := demoSystem(t)
+	sys.OnboardVC("vc1")
+	q := `p = SELECT * FROM Events WHERE Value > 40;
+		r = SELECT Region, COUNT(*) AS n FROM p GROUP BY Region;
+		OUTPUT r TO "out/x";`
+	for i := 0; i < 2; i++ {
+		if _, err := sys.SubmitScript(cloudviews.Job{ID: fmt.Sprintf("a%d", i), VC: "vc1", Pipeline: "p", Script: q}); err != nil {
+			t.Fatal(err)
+		}
+		sys.AdvanceClock(time.Minute)
+	}
+	sys.Analyze(time.Hour)
+	// Builder run.
+	if _, err := sys.SubmitScript(cloudviews.Job{ID: "builder", VC: "vc1", Pipeline: "p", Script: q}); err != nil {
+		t.Fatal(err)
+	}
+	sys.AdvanceClock(time.Minute)
+	res, err := sys.SubmitScript(cloudviews.Job{ID: "optout", VC: "vc1", Pipeline: "p", Script: q, OptOut: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ViewsReused != 0 || res.ViewsBuilt != 0 {
+		t.Errorf("opted-out job participated in reuse: %+v", res)
+	}
+}
+
+func TestRunDayThroughFacade(t *testing.T) {
+	sys := demoSystem(t)
+	var jobs []cloudviews.Job
+	for i := 0; i < 5; i++ {
+		jobs = append(jobs, cloudviews.Job{
+			ID: fmt.Sprintf("d0-%d", i), VC: "vc1", Pipeline: "p",
+			Script: `r = SELECT Region, COUNT(*) AS n FROM Events GROUP BY Region; OUTPUT r TO "out/r";`,
+			Submit: cloudviews.Epoch.Add(time.Duration(i) * time.Hour),
+		})
+	}
+	m, err := sys.RunDay(0, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs != 5 || m.LatencySec <= 0 {
+		t.Errorf("day metrics: %+v", m)
+	}
+}
+
+func TestOffboardThroughFacade(t *testing.T) {
+	sys := demoSystem(t)
+	sys.OnboardVC("vc1")
+	q := `p = SELECT * FROM Events WHERE Value > 40;
+		r = SELECT Region, COUNT(*) AS n FROM p GROUP BY Region;
+		OUTPUT r TO "out/x";`
+	for i := 0; i < 3; i++ {
+		if _, err := sys.SubmitScript(cloudviews.Job{ID: fmt.Sprintf("x%d", i), VC: "vc1", Pipeline: "p", Script: q}); err != nil {
+			t.Fatal(err)
+		}
+		sys.AdvanceClock(time.Minute)
+	}
+	sys.Analyze(time.Hour)
+	if _, err := sys.SubmitScript(cloudviews.Job{ID: "y", VC: "vc1", Pipeline: "p", Script: q}); err != nil {
+		t.Fatal(err)
+	}
+	sys.OffboardVC("vc1")
+	if sys.ViewStorageBytes("vc1") != 0 {
+		t.Error("offboarding must purge views")
+	}
+}
+
+func TestParamsThroughFacade(t *testing.T) {
+	sys := demoSystem(t)
+	res, err := sys.SubmitScript(cloudviews.Job{
+		VC:     "vc1",
+		Script: `r = SELECT Region, COUNT(*) AS n FROM Events WHERE Value > @min GROUP BY Region; OUTPUT r TO "o";`,
+		Params: map[string]cloudviews.Value{"min": cloudviews.Float(50)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.NumRows() == 0 {
+		t.Error("parameterized query returned nothing")
+	}
+	// Missing param surfaces as a bind error.
+	if _, err := sys.SubmitScript(cloudviews.Job{
+		VC:     "vc1",
+		Script: `r = SELECT Region FROM Events WHERE Value > @missing; OUTPUT r TO "o";`,
+	}); err == nil {
+		t.Error("unbound parameter must fail")
+	}
+}

@@ -1,0 +1,90 @@
+// Command cvanalyze runs the workload analyses of the paper: Figure 2 (shared
+// dataset consumers), Figure 3 (subexpression overlap over time), Figure 8
+// (generalized-reuse opportunity), and Figure 9 (concurrent joins).
+//
+// Usage:
+//
+//	cvanalyze -fig 2|3|8|9|all [-scale 0.5] [-days N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cloudviews/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 8, 9, concurrent (§5.4 estimate), or all")
+	scale := flag.Float64("scale", 0.5, "workload scale factor (1.0 = paper-sized clusters)")
+	days := flag.Int("days", 0, "override window length in days (0 = per-figure default)")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "cvanalyze %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s done in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+
+	if want("2") {
+		run("figure 2", func() error {
+			res, err := experiments.RunFigure2(*days, *scale)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderFigure2(res))
+			return nil
+		})
+	}
+	if want("3") {
+		run("figure 3", func() error {
+			d := *days
+			if d == 0 {
+				d = 84 // 12 weeks by default; -days 304 for the full series
+			}
+			res, err := experiments.RunFigure3(d, *scale)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderFigure3(res))
+			return nil
+		})
+	}
+	if want("8") {
+		run("figure 8", func() error {
+			res, err := experiments.RunFigure8(*days, *scale)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderFigure8(res, 25))
+			return nil
+		})
+	}
+	if want("9") {
+		run("figure 9", func() error {
+			res, err := experiments.RunFigure9(*scale)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderFigure9(res))
+			return nil
+		})
+	}
+	if want("concurrent") {
+		run("concurrent opportunity", func() error {
+			res, err := experiments.RunConcurrentOpportunity(*scale)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderConcurrentOpportunity(res, 15))
+			return nil
+		})
+	}
+}

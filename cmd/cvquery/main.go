@@ -1,0 +1,174 @@
+// Command cvquery runs a single SCOPE-like script end to end against the
+// retail demo catalog (the paper's Figure 4 datasets), printing the compiled
+// plan, subexpression signatures, reuse decisions, and the result. Submitting
+// the same (or an overlapping) script again in one session demonstrates
+// materialization and reuse.
+//
+// Usage:
+//
+//	cvquery [-script file.scope] [-n 2] [-show-rows 10] [-annotate]
+//
+// Without -script, the three Figure 4 analyst queries are run in sequence,
+// after a workload-analysis pass primes the insights service.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cloudviews/internal/analysis"
+	"cloudviews/internal/core"
+	"cloudviews/internal/exec"
+	"cloudviews/internal/fixtures"
+	"cloudviews/internal/insights"
+	"cloudviews/internal/optimizer"
+	"cloudviews/internal/plan"
+	"cloudviews/internal/signature"
+	"cloudviews/internal/stats"
+	"cloudviews/internal/storage"
+	"cloudviews/internal/workload"
+
+	cluster "cloudviews/internal/cluster"
+)
+
+func main() {
+	scriptPath := flag.String("script", "", "path to a SCOPE-like script (default: Figure 4 demo)")
+	repeats := flag.Int("n", 2, "times to run the script(s); 2+ demonstrates reuse")
+	showRows := flag.Int("show-rows", 8, "result rows to print")
+	annotate := flag.Bool("annotate", false, "export the query annotations file for the first job's tag")
+	flag.Parse()
+
+	cat, err := fixtures.Retail(fixtures.DefaultRetail())
+	if err != nil {
+		fatal(err)
+	}
+	cat.SetScaleFactor("Sales", 100_000) // pretend Sales is production-sized
+
+	eng := core.NewEngine(core.Config{
+		ClusterName: "demo",
+		Catalog:     cat,
+		ClusterCfg:  cluster.Config{Capacity: 500},
+		Selection:   analysis.SelectionConfig{MinFrequency: 2, UseBigSubs: true},
+	})
+	eng.OnboardVC("demo-vc")
+
+	var scripts []string
+	if *scriptPath != "" {
+		blob, err := os.ReadFile(*scriptPath)
+		if err != nil {
+			fatal(err)
+		}
+		scripts = []string{string(blob)}
+	} else {
+		scripts = fixtures.Figure4Queries()
+		fmt.Println("Running the paper's Figure 4 scenario: three analysts over shared Sales/Customer/Parts data.")
+	}
+
+	clock := fixtures.Epoch
+	seq := 0
+	for round := 0; round < *repeats; round++ {
+		fmt.Printf("\n=== round %d ===\n", round+1)
+		for i, src := range scripts {
+			seq++
+			in := workload.JobInput{
+				ID:       fmt.Sprintf("cvquery-%03d", seq),
+				Cluster:  "demo",
+				VC:       "demo-vc",
+				Pipeline: fmt.Sprintf("analyst-%d", i+1),
+				User:     fmt.Sprintf("analyst-%d", i+1),
+				Runtime:  "scope-r1",
+				Script:   src,
+				Submit:   clock,
+				OptIn:    true,
+			}
+			clock = clock.Add(time.Minute)
+			run, err := eng.CompileAndExecute(in)
+			if err != nil {
+				fatal(err)
+			}
+			printRun(run, *showRows)
+			if *annotate && round == 0 && i == 0 {
+				exportAnnotations(eng.Insights, run.Compile.Tag)
+			}
+		}
+		// Between rounds, the feedback loop analyzes what it saw.
+		tags, rejected := eng.RunAnalysis(fixtures.Epoch.Add(-time.Hour), clock.Add(time.Hour))
+		fmt.Printf("\n[analysis] published annotations for %d job tag(s); %d candidate(s) rejected as schedule-concurrent\n",
+			tags, rejected)
+	}
+
+	u := eng.Insights.UsageSnapshot()
+	fmt.Printf("\nsession totals: views created=%d, views reused=%d, live views=%d\n",
+		u.ViewsCreated, u.ViewsReused, eng.Store.Count())
+}
+
+func printRun(run *core.JobRun, showRows int) {
+	cr := run.Compile
+	fmt.Printf("\n--- %s (tag %s) ---\n", run.Input.ID, cr.Tag)
+	fmt.Print(plan.Format(cr.Plan))
+	if len(cr.Matched) > 0 {
+		for _, m := range cr.Matched {
+			fmt.Printf("REUSED view %s (replaced %s, %d logical rows)\n", m.Strict.Short(), m.ReplacedOp, m.Rows)
+		}
+	}
+	if len(cr.Proposed) > 0 {
+		for _, p := range cr.Proposed {
+			fmt.Printf("MATERIALIZING view %s -> %s\n", p.Strict.Short(), p.Path)
+		}
+	}
+	printSignatures(cr)
+	res := run.Exec
+	fmt.Printf("work=%.2f container-sec, input=%s, read=%s, spool=%.2f cs\n",
+		res.TotalWork, mb(res.InputBytes), mb(res.TotalRead), res.SpoolWork)
+	t := res.Table
+	n := t.NumRows()
+	fmt.Printf("result: %d rows (%s)\n", n, t.Schema)
+	for i := 0; i < n && i < showRows; i++ {
+		fmt.Println("  " + t.Rows[i].String())
+	}
+	if n > showRows {
+		fmt.Printf("  ... %d more\n", n-showRows)
+	}
+}
+
+func printSignatures(cr *optimizer.CompileResult) {
+	type row struct {
+		op     string
+		strict signature.Sig
+		recur  signature.Sig
+	}
+	var rows []row
+	plan.Walk(cr.Plan, func(n plan.Node) {
+		if s, ok := cr.SigMap[n]; ok {
+			rows = append(rows, row{n.OpName(), s, cr.RecurringMap[n]})
+		}
+	})
+	fmt.Println("subexpression signatures (strict / recurring):")
+	for _, r := range rows {
+		fmt.Printf("  %-9s %s / %s\n", r.op, r.strict.Short(), r.recur.Short())
+	}
+}
+
+func exportAnnotations(svc *insights.Service, tag signature.Tag) {
+	blob, err := svc.ExportAnnotationsFile(tag)
+	if err != nil {
+		fmt.Printf("[annotations] none for %s yet (%v)\n", tag, err)
+		return
+	}
+	fmt.Printf("[annotations file for %s]\n%s\n", tag, blob)
+}
+
+func mb(b int64) string { return fmt.Sprintf("%.1f MB", float64(b)/1e6) }
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "cvquery: %v\n", err)
+	os.Exit(1)
+}
+
+// Interface assertions document the moving parts this tool exercises.
+var (
+	_ exec.ViewStore = (*storage.Store)(nil)
+	_                = stats.NewEstimator
+)

@@ -1,0 +1,59 @@
+// Command cvsim runs the production-window experiment: the same generated
+// Cosmos-like workload executed twice — baseline and CloudViews-enabled —
+// over a simulated two-month window, reproducing Table 1 and Figures 6a–d and
+// 7a–d of the paper.
+//
+// Usage:
+//
+//	cvsim [-scale 0.25] [-days N] [-series] [-seed N]
+//
+// -scale 1.0 runs the full 619-pipeline, 21-VC deployment (minutes of CPU);
+// the default 0.25 keeps it under a minute while preserving the shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cloudviews/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.25, "workload scale factor (1.0 = paper-sized deployment)")
+	days := flag.Int("days", 0, "override window length in days (0 = scaled default)")
+	series := flag.Bool("series", false, "print the full Figure 6/7 daily series")
+	seed := flag.Uint64("seed", 0, "override workload seed")
+	flag.Parse()
+
+	cfg := experiments.DefaultProduction()
+	if *scale < 1.0 {
+		cfg = cfg.Scale(*scale)
+	}
+	if *days > 0 {
+		cfg.Days = *days
+	}
+	if *seed != 0 {
+		cfg.Profile.Seed = *seed
+	}
+
+	fmt.Printf("cvsim: %d pipelines, %d VCs, %d days (scale %.2f)\n",
+		cfg.Profile.Pipelines, cfg.Profile.VCs, cfg.Days, *scale)
+	start := time.Now()
+	res, err := experiments.RunProduction(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cvsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("completed in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Println(experiments.RenderTable1(res.Table1))
+	if *series {
+		fmt.Println(experiments.RenderFigure6(res))
+		fmt.Println(experiments.RenderFigure7(res))
+	} else {
+		// Print first/last rows so the shape is visible without -series.
+		fmt.Println("(run with -series for the full Figure 6/7 daily series)")
+	}
+}

@@ -1,0 +1,109 @@
+// Approxquery: the §5.6 sampling and bit-vector-filter applications of the
+// CloudViews mechanism.
+//
+// A shared subexpression is materialized once (the normal reuse flow). Then:
+//  1. a SAMPLED view answers approximate aggregates at a fraction of the
+//     read cost, with confidence intervals;
+//  2. a Bloom filter built over the view's join key semi-join-reduces a
+//     later query's probe side before the join runs.
+//
+// Run with: go run ./examples/approxquery
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cloudviews/internal/bitvector"
+	"cloudviews/internal/data"
+	"cloudviews/internal/exec"
+	"cloudviews/internal/fixtures"
+	"cloudviews/internal/plan"
+	"cloudviews/internal/sampling"
+	"cloudviews/internal/signature"
+	"cloudviews/internal/sqlparser"
+	"cloudviews/internal/storage"
+)
+
+func main() {
+	cfg := fixtures.DefaultRetail()
+	cfg.Sales = 20000
+	cat, err := fixtures.Retail(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cat.SetScaleFactor("Sales", 50_000)
+
+	signer := &signature.Signer{EngineVersion: "approx-demo"}
+	store := storage.NewStore(func() time.Time { return fixtures.Epoch })
+
+	// 1. Materialize the shared subexpression: Asia sales.
+	bind := func(src string) plan.Node {
+		q, err := sqlparser.ParseQuery(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := &plan.Binder{Catalog: cat}
+		n, err := b.BindQuery(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return n
+	}
+	asia := bind(`SELECT Sales.CustomerId AS CustomerId, Price, Quantity, Discount
+		FROM Sales JOIN Customer ON Sales.CustomerId = Customer.Id
+		WHERE MktSegment = 'Asia'`)
+	subs := signer.Subexpressions(asia)
+	viewSig := subs[len(subs)-1].Strict
+	spooled := &plan.Spool{Child: asia, StrictSig: string(viewSig), Path: "views/asia"}
+	res, err := (&exec.Executor{Catalog: cat, Views: store}).Run(spooled)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store.Seal(viewSig)
+	fmt.Printf("materialized Asia view: %d physical rows (%.1f GB logical), %.0f container-sec\n",
+		res.Table.NumRows(), float64(res.TotalRead)/1e9, res.TotalWork)
+
+	// 2. Sampled view: approximate aggregates with error bars.
+	samples := sampling.NewStore()
+	sv, err := samples.SampleView(store, viewSig, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exactBig := 0
+	for _, r := range res.Table.Rows {
+		if r[1].F*float64(r[2].I) > 300 {
+			exactBig++
+		}
+	}
+	approx := sv.ApproxCount(func(r data.Row) bool { return r[1].F*float64(r[2].I) > 300 })
+	fmt.Printf("\n10%% sampled view: %d rows\n", sv.Table.NumRows())
+	fmt.Printf("big-ticket Asia sales (revenue > 300):\n")
+	fmt.Printf("  exact   : %d logical rows\n", int64(float64(exactBig)*50_000))
+	fmt.Printf("  approx  : %.0f ± %.0f (95%%), from a sample %.0fx cheaper to scan\n",
+		approx.Value, approx.HalfWidth, float64(res.Table.NumRows())/float64(sv.Table.NumRows()))
+	sum, _ := sv.ApproxSum("Discount")
+	fmt.Printf("  total discount ≈ %.0f ± %.0f\n", sum.Value, sum.HalfWidth)
+
+	// 3. Bit-vector filter: semi-join reduce a probe against Asia customers.
+	blooms := bitvector.NewStore()
+	bloom, err := blooms.BuildFromTable(subs[len(subs)-1].Recurring, res.Table, "CustomerId", 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nBloom filter over Asia CustomerIds: %d keys in %d bytes (est. FPR %.3f)\n",
+		bloom.Count(), bloom.SizeBytes(), bloom.EstimatedFPR())
+
+	// A later query probes ALL sales against the Asia side; the filter drops
+	// non-Asia rows before the join.
+	allSales, err := cat.Latest("Sales")
+	if err != nil {
+		log.Fatal(err)
+	}
+	key := &plan.ColRef{Index: 1, Name: "CustomerId", Typ: data.KindInt}
+	reduced, pruned := bitvector.SemiJoinReduce(allSales.Table, key, bloom)
+	fmt.Printf("semi-join reduction: %d of %d probe rows pruned before the join (%.1f%%)\n",
+		pruned, allSales.Table.NumRows(), 100*float64(pruned)/float64(allSales.Table.NumRows()))
+	fmt.Printf("surviving probe side: %d rows\n", reduced.NumRows())
+}

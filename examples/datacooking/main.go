@@ -1,0 +1,144 @@
+// Datacooking: the §2 enterprise pattern, end to end.
+//
+// Raw telemetry is ingested daily; cooking jobs extract, transform, and
+// correlate it into cooked shared datasets (published through the engine's
+// dataset: output scheme); downstream consumers from different teams analyze
+// the cooked data. CloudViews then AUGMENTS the cooking: the shared
+// downstream subexpressions nobody hand-curated get materialized and reused
+// automatically — "computation reuse can fill the gaps in data cooking".
+//
+// Run with: go run ./examples/datacooking
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cloudviews"
+)
+
+var rawSchema = cloudviews.Schema{
+	{Name: "Ts", Kind: cloudviews.KindTime},
+	{Name: "UserId", Kind: cloudviews.KindInt},
+	{Name: "Region", Kind: cloudviews.KindString},
+	{Name: "EventType", Kind: cloudviews.KindString},
+	{Name: "Value", Kind: cloudviews.KindFloat},
+}
+
+func main() {
+	sys, err := cloudviews.NewSystem(cloudviews.Config{ClusterName: "cooking-demo", Capacity: 300})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.OnboardVC("bing")
+	sys.OnboardVC("office")
+
+	// 1. Ingestion: two raw telemetry streams land in the store.
+	for _, name := range []string{"BingClicks", "OfficeEvents"} {
+		if err := sys.DefineDataset(name, rawSchema); err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.PublishDataset(name, syntheticTelemetry(name)); err != nil {
+			log.Fatal(err)
+		}
+		sys.SetScaleFactor(name, 500_000) // petabyte-ish logical scale
+	}
+	// The cooked dataset the cooking pipeline will produce.
+	if err := sys.DefineDataset("CookedEvents", rawSchema); err != nil {
+		log.Fatal(err)
+	}
+	sys.SetScaleFactor("CookedEvents", 200_000)
+
+	// 2. Cooking: extract + union + normalize, published as a shared dataset.
+	cook := `c = SELECT * FROM BingClicks WHERE EventType != 'error'
+	             UNION ALL
+	             SELECT * FROM OfficeEvents WHERE EventType != 'error';
+	         cooked = PROCESS c USING "NormalizeStrings";
+	         OUTPUT cooked TO "dataset:CookedEvents";`
+	res, err := sys.SubmitScript(cloudviews.Job{
+		ID: "cook-day0", VC: "bing", Pipeline: "cooking", Script: cook,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cooking published CookedEvents: %d rows, %.0f container-sec\n",
+		res.Output.NumRows(), res.Work)
+	sys.AdvanceClock(30 * time.Minute)
+
+	// 3. Downstream: different teams, same cooked dataset, overlapping
+	// subplans nobody coordinated.
+	consumers := []struct{ id, vc, script string }{
+		{"bing-funnel", "bing",
+			`p = SELECT * FROM CookedEvents WHERE EventType = 'click' AND Value > 20;
+			 res = SELECT Region, COUNT(*) AS n FROM p GROUP BY Region;
+			 OUTPUT res TO "out/bing/funnel";`},
+		{"office-usage", "office",
+			`p = SELECT * FROM CookedEvents WHERE EventType = 'click' AND Value > 20;
+			 res = SELECT UserId, SUM(Value) AS total FROM p GROUP BY UserId;
+			 OUTPUT res TO "out/office/usage";`},
+		{"office-peaks", "office",
+			`p = SELECT * FROM CookedEvents WHERE EventType = 'click' AND Value > 20;
+			 res = SELECT Region, MAX(Value) AS peak FROM p GROUP BY Region;
+			 OUTPUT res TO "out/office/peaks";`},
+	}
+
+	runAll := func(round int) {
+		for _, c := range consumers {
+			r, err := sys.SubmitScript(cloudviews.Job{
+				ID: fmt.Sprintf("%s-r%d", c.id, round), VC: c.vc, Pipeline: c.id, Script: c.script,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			sys.AdvanceClock(10 * time.Minute)
+			note := ""
+			if r.ViewsBuilt > 0 {
+				note = "(materialized the shared slice)"
+			}
+			if r.ViewsReused > 0 {
+				note = "(reused the shared slice)"
+			}
+			fmt.Printf("  %-14s work %8.1f cs %s\n", c.id, r.Work, note)
+		}
+	}
+
+	fmt.Println("\nday 0, before analysis (every team recomputes the shared slice):")
+	runAll(0)
+
+	tags := sys.Analyze(24 * time.Hour)
+	fmt.Printf("\nnightly analysis: selected views for %d template(s)\n", tags)
+
+	fmt.Println("\nday 0, after analysis (cooking is augmented automatically):")
+	runAll(1)
+
+	fmt.Printf("\nview storage: bing=%.2f GB office=%.2f GB (charged to the dominant consumer's VC)\n",
+		float64(sys.ViewStorageBytes("bing"))/1e9, float64(sys.ViewStorageBytes("office"))/1e9)
+}
+
+// syntheticTelemetry builds a small deterministic raw table.
+func syntheticTelemetry(seedName string) *cloudviews.Table {
+	t := &cloudviews.Table{Schema: rawSchema}
+	var seed uint64
+	for _, c := range []byte(seedName) {
+		seed = seed*131 + uint64(c)
+	}
+	events := []string{"click", "view", "error", "purchase"}
+	regions := []string{"us", "eu", "asia"}
+	base := cloudviews.Epoch
+	state := seed
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	for i := 0; i < 800; i++ {
+		t.Append(cloudviews.Row{
+			cloudviews.Time(base.Add(time.Duration(next(86400)) * time.Second)),
+			cloudviews.Int(int64(next(5000))),
+			cloudviews.String(regions[next(3)]),
+			cloudviews.String(events[next(4)]),
+			cloudviews.Float(float64(next(10000)) / 50),
+		})
+	}
+	return t
+}

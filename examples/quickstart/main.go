@@ -1,0 +1,101 @@
+// Quickstart: the paper's Figure 4 scenario through the public API.
+//
+// Three analysts study the Asia market over shared Sales, Customer, and
+// Parts datasets. Their queries look different, but their compiled plans
+// share large subexpressions (Sales ⋈ Customer filtered to Asia, and its
+// join with Parts). CloudViews discovers the overlap from telemetry,
+// materializes the common computation the next time it appears, and rewrites
+// subsequent plans to reuse it — no user action required.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cloudviews"
+	"cloudviews/internal/fixtures"
+)
+
+func main() {
+	sys, err := cloudviews.NewSystem(cloudviews.Config{
+		ClusterName: "quickstart",
+		Capacity:    200,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the Figure 4 datasets (Sales / Customer / Parts) and register
+	// them. The fixture returns a pre-filled catalog, so here we copy its
+	// tables through the public API to show the intended usage.
+	cat, err := fixtures.Retail(fixtures.DefaultRetail())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range []string{"Sales", "Customer", "Parts"} {
+		ds, _ := cat.Dataset(name)
+		ver, _ := cat.Latest(name)
+		if err := sys.DefineDataset(name, ds.Schema); err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.PublishDataset(name, ver.Table); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Sales is the production-sized fact stream.
+	sys.SetScaleFactor("Sales", 100_000)
+	sys.OnboardVC("analytics")
+
+	queries := fixtures.Figure4Queries()
+	names := []string{
+		"average sales per customer in Asia",
+		"average discount per part brand in Asia",
+		"total quantity sold per part type in Asia",
+	}
+
+	run := func(round int) {
+		fmt.Printf("\n── round %d ──\n", round)
+		for i, q := range queries {
+			res, err := sys.SubmitScript(cloudviews.Job{
+				ID:     fmt.Sprintf("r%d-analyst%d", round, i+1),
+				VC:     "analytics",
+				User:   fmt.Sprintf("analyst-%d", i+1),
+				Script: q,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			sys.AdvanceClock(2 * time.Minute)
+			status := ""
+			if res.ViewsReused > 0 {
+				status = fmt.Sprintf("  ← reused %d view(s)", res.ViewsReused)
+			}
+			if res.ViewsBuilt > 0 {
+				status += fmt.Sprintf("  ← materialized %d view(s)", res.ViewsBuilt)
+			}
+			fmt.Printf("%-45s work %8.1f cs, read %6.1f GB%s\n",
+				names[i], res.Work, float64(res.DataRead)/1e9, status)
+		}
+	}
+
+	// Round 1: cold. Nothing is known about the workload yet.
+	run(1)
+
+	// The nightly feedback loop analyzes the telemetry and selects the
+	// common subexpressions worth materializing.
+	tags := sys.Analyze(24 * time.Hour)
+	fmt.Printf("\nworkload analysis selected views for %d job template(s)\n", tags)
+
+	// Round 2: the first query to hit the common computation materializes it
+	// (online, as part of its own execution); the rest reuse it.
+	run(2)
+
+	// Round 3: everything reuses.
+	run(3)
+
+	fmt.Printf("\nlive views: %d, view storage for 'analytics': %.1f GB\n",
+		sys.ViewCount(), float64(sys.ViewStorageBytes("analytics"))/1e9)
+}

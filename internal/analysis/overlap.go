@@ -1,0 +1,226 @@
+// Package analysis implements the offline workload-analysis half of
+// CloudViews: the overlap statistics behind Figures 2, 3, 8, and 9, and the
+// view-selection algorithms (a greedy knapsack and a BigSubs-style
+// interaction-aware selector) that decide which recurring subexpressions to
+// materialize under per-VC storage budgets.
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"cloudviews/internal/repository"
+	"cloudviews/internal/signature"
+)
+
+// ConsumerPoint is one point of the Figure 2 CDF: after sorting datasets by
+// consumer count, Fraction of input streams have at most Consumers distinct
+// consumers.
+type ConsumerPoint struct {
+	Fraction  float64
+	Consumers int
+}
+
+// ConsumerCDF computes the shared-dataset CDF for one cluster over a window
+// (Figure 2). Datasets with zero observed consumers are excluded, matching
+// the paper's "input data streams" framing.
+func ConsumerCDF(repo *repository.Repo, from, to time.Time, cluster string) []ConsumerPoint {
+	consumers := repo.DatasetConsumers(from, to, cluster)
+	counts := make([]int, 0, len(consumers))
+	for _, set := range consumers {
+		if len(set) > 0 {
+			counts = append(counts, len(set))
+		}
+	}
+	sort.Ints(counts)
+	out := make([]ConsumerPoint, len(counts))
+	for i, c := range counts {
+		out[i] = ConsumerPoint{Fraction: float64(i+1) / float64(len(counts)), Consumers: c}
+	}
+	return out
+}
+
+// PercentileConsumers returns the consumer count at the given top quantile,
+// e.g. q=0.9 answers "10% of the inputs get reused by more than N downstream
+// consumers".
+func PercentileConsumers(cdf []ConsumerPoint, q float64) int {
+	if len(cdf) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(cdf)))
+	if idx >= len(cdf) {
+		idx = len(cdf) - 1
+	}
+	return cdf[idx].Consumers
+}
+
+// OverlapPoint is one bucket of the Figure 3 series.
+type OverlapPoint struct {
+	Start time.Time
+	// RepeatedPct is the percentage of subexpression instances whose
+	// recurring signature occurs more than once in the bucket.
+	RepeatedPct float64
+	// AvgRepeatFrequency is instances / distinct recurring signatures.
+	AvgRepeatFrequency float64
+	// Instances and Distinct are the raw counts.
+	Instances int
+	Distinct  int
+}
+
+// OverlapSeries computes the repeated-subexpression percentage and average
+// repeat frequency per bucket over [from, to) (Figure 3: 10 months, weekly
+// buckets in the paper).
+func OverlapSeries(repo *repository.Repo, from, to time.Time, bucket time.Duration) []OverlapPoint {
+	var out []OverlapPoint
+	for start := from; start.Before(to); start = start.Add(bucket) {
+		end := start.Add(bucket)
+		if end.After(to) {
+			end = to
+		}
+		groups := repo.GroupByRecurring(start, end)
+		instances, repeated := 0, 0
+		for _, g := range groups {
+			instances += g.Count
+			if g.Count > 1 {
+				repeated += g.Count
+			}
+		}
+		p := OverlapPoint{Start: start, Instances: instances, Distinct: len(groups)}
+		if instances > 0 {
+			p.RepeatedPct = 100 * float64(repeated) / float64(instances)
+			p.AvgRepeatFrequency = float64(instances) / float64(len(groups))
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// JoinSetGroup is one Figure 8 group: subexpressions that join the same set
+// of inputs (and could be merged into a generalized view), with the total
+// occurrence frequency.
+type JoinSetGroup struct {
+	Datasets []string
+	// DistinctSubexprs is how many different recurring subexpressions join
+	// this input set.
+	DistinctSubexprs int
+	// Frequency is the total occurrence count across those subexpressions.
+	Frequency int
+}
+
+// GeneralizedReuse groups join subexpressions by their joined input sets
+// (Figure 8). Only multi-input subexpressions participate; groups are
+// returned sorted by descending frequency.
+func GeneralizedReuse(repo *repository.Repo, from, to time.Time) []JoinSetGroup {
+	groups := repo.GroupByRecurring(from, to)
+	bySet := make(map[string]*JoinSetGroup)
+	for _, g := range groups {
+		if g.Op != "Join" || len(g.InputDatasets) < 2 {
+			continue
+		}
+		key := ""
+		for _, d := range g.InputDatasets {
+			key += d + "|"
+		}
+		jg, ok := bySet[key]
+		if !ok {
+			jg = &JoinSetGroup{Datasets: g.InputDatasets}
+			bySet[key] = jg
+		}
+		jg.DistinctSubexprs++
+		jg.Frequency += g.Count
+	}
+	out := make([]JoinSetGroup, 0, len(bySet))
+	for _, jg := range bySet {
+		out = append(out, *jg)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Frequency != out[j].Frequency {
+			return out[i].Frequency > out[j].Frequency
+		}
+		return joinKey(out[i].Datasets) < joinKey(out[j].Datasets)
+	})
+	return out
+}
+
+func joinKey(ds []string) string {
+	k := ""
+	for _, d := range ds {
+		k += d + "|"
+	}
+	return k
+}
+
+// ConcurrentJoinStat is one Figure 9 histogram entry: a join subexpression
+// that executed with the given peak concurrency under the given algorithm.
+type ConcurrentJoinStat struct {
+	Recurring   signature.Sig
+	Algo        string
+	Concurrency int
+}
+
+// ConcurrentJoins finds joins that execute concurrently (overlapping
+// execution windows of the same recurring join) within [from, to) on one
+// cluster — the reuse opportunity CloudViews cannot capture without pipelined
+// sharing (§5.4). Returns per-signature peak concurrency, descending.
+func ConcurrentJoins(repo *repository.Repo, from, to time.Time, cluster string) []ConcurrentJoinStat {
+	execs := repo.JoinExecutions(from, to, cluster)
+	type key struct {
+		sig  signature.Sig
+		algo string
+	}
+	byKey := make(map[key][]repository.JoinExecution)
+	for _, e := range execs {
+		k := key{e.Recurring, e.Algo}
+		byKey[k] = append(byKey[k], e)
+	}
+	var out []ConcurrentJoinStat
+	for k, es := range byKey {
+		// Sweep line: +1 at start, -1 at end; peak overlap is the maximum.
+		type ev struct {
+			at    time.Time
+			delta int
+		}
+		var evs []ev
+		for _, e := range es {
+			evs = append(evs, ev{e.Start, +1}, ev{e.End, -1})
+		}
+		sort.Slice(evs, func(i, j int) bool {
+			if !evs[i].at.Equal(evs[j].at) {
+				return evs[i].at.Before(evs[j].at)
+			}
+			return evs[i].delta < evs[j].delta // ends before starts at same instant
+		})
+		cur, peak := 0, 0
+		for _, e := range evs {
+			cur += e.delta
+			if cur > peak {
+				peak = cur
+			}
+		}
+		if peak >= 2 {
+			out = append(out, ConcurrentJoinStat{Recurring: k.sig, Algo: k.algo, Concurrency: peak})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Concurrency != out[j].Concurrency {
+			return out[i].Concurrency > out[j].Concurrency
+		}
+		return out[i].Recurring < out[j].Recurring
+	})
+	return out
+}
+
+// ConcurrencyHistogram buckets the Figure 9 stats: per algorithm, a map from
+// concurrency level to the number of join signatures at that level.
+func ConcurrencyHistogram(stats []ConcurrentJoinStat) map[string]map[int]int {
+	out := make(map[string]map[int]int)
+	for _, s := range stats {
+		m, ok := out[s.Algo]
+		if !ok {
+			m = make(map[int]int)
+			out[s.Algo] = m
+		}
+		m[s.Concurrency]++
+	}
+	return out
+}

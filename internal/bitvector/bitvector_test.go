@@ -1,0 +1,159 @@
+package bitvector_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"cloudviews/internal/bitvector"
+	"cloudviews/internal/data"
+	"cloudviews/internal/plan"
+)
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b := bitvector.NewBloom(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		b.Add(data.Int(int64(i)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !b.MaybeContains(data.Int(int64(i))) {
+			t.Fatalf("false negative for %d", i)
+		}
+	}
+	if b.Count() != 1000 {
+		t.Errorf("count = %d", b.Count())
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	b := bitvector.NewBloom(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		b.Add(data.Int(int64(i)))
+	}
+	fp := 0
+	probes := 20000
+	for i := 0; i < probes; i++ {
+		if b.MaybeContains(data.Int(int64(1_000_000 + i))) {
+			fp++
+		}
+	}
+	rate := float64(fp) / float64(probes)
+	if rate > 0.05 {
+		t.Errorf("observed FPR %.4f far above the 0.01 target", rate)
+	}
+	if est := b.EstimatedFPR(); est <= 0 || est > 0.05 {
+		t.Errorf("estimated FPR %.4f implausible", est)
+	}
+}
+
+func TestBloomDistinguishesKinds(t *testing.T) {
+	b := bitvector.NewBloom(16, 0.001)
+	b.Add(data.Int(3))
+	if b.MaybeContains(data.String_("3")) {
+		// Allowed as a false positive but should essentially never happen at
+		// this FPR with one element.
+		t.Log("kind collision (acceptable as FP, but suspicious)")
+	}
+	if !b.MaybeContains(data.Int(3)) {
+		t.Fatal("false negative")
+	}
+}
+
+// Property: no false negatives for arbitrary values.
+func TestBloomNeverForgets(t *testing.T) {
+	f := func(xs []int64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		b := bitvector.NewBloom(len(xs), 0.01)
+		for _, x := range xs {
+			b.Add(data.Int(x))
+		}
+		for _, x := range xs {
+			if !b.MaybeContains(data.Int(x)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBloomSizing(t *testing.T) {
+	small := bitvector.NewBloom(100, 0.01)
+	big := bitvector.NewBloom(100_000, 0.01)
+	if big.SizeBytes() <= small.SizeBytes() {
+		t.Error("larger expected counts must produce larger filters")
+	}
+	// "Low storage overhead": 100k elements at 1% should stay under 256 KB.
+	if big.SizeBytes() > 256*1024 {
+		t.Errorf("filter too large: %d bytes", big.SizeBytes())
+	}
+}
+
+func TestStoreBuildAndSemiJoinReduce(t *testing.T) {
+	// Build side: customers 0..99. Probe side: sales with customer ids
+	// 0..199 — half should be pruned.
+	buildSchema := data.Schema{{Name: "Id", Kind: data.KindInt}}
+	build := data.NewTable(buildSchema)
+	for i := 0; i < 100; i++ {
+		build.Append(data.Row{data.Int(int64(i))})
+	}
+	store := bitvector.NewStore()
+	bloom, err := store.BuildFromTable("rec-sig", build, "Id", 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 1 {
+		t.Errorf("store len = %d", store.Len())
+	}
+	if _, ok := store.Lookup("rec-sig", "Id"); !ok {
+		t.Fatal("filter not stored")
+	}
+
+	probeSchema := data.Schema{
+		{Name: "SaleId", Kind: data.KindInt},
+		{Name: "CustomerId", Kind: data.KindInt},
+	}
+	probe := data.NewTable(probeSchema)
+	for i := 0; i < 400; i++ {
+		probe.Append(data.Row{data.Int(int64(i)), data.Int(int64(i % 200))})
+	}
+	keyExpr := &plan.ColRef{Index: 1, Name: "CustomerId", Typ: data.KindInt}
+	reduced, pruned := bitvector.SemiJoinReduce(probe, keyExpr, bloom)
+	if pruned < 180 || pruned > 200 {
+		t.Errorf("pruned = %d, want ~200 (minus false positives)", pruned)
+	}
+	if reduced.NumRows()+pruned != probe.NumRows() {
+		t.Error("rows lost or duplicated")
+	}
+	// Everything surviving must genuinely match or be a rare FP.
+	for _, row := range reduced.Rows {
+		if row[1].I >= 100 {
+			// false positive — allowed, count them
+			continue
+		}
+	}
+}
+
+func TestBuildFromTableUnknownColumn(t *testing.T) {
+	store := bitvector.NewStore()
+	tb := data.NewTable(data.Schema{{Name: "a", Kind: data.KindInt}})
+	if _, err := store.BuildFromTable("x", tb, "missing", 0.01); err == nil {
+		t.Error("expected error for unknown column")
+	}
+}
+
+func TestBloomStrings(t *testing.T) {
+	b := bitvector.NewBloom(100, 0.01)
+	for i := 0; i < 100; i++ {
+		b.Add(data.String_(fmt.Sprintf("key-%d", i)))
+	}
+	for i := 0; i < 100; i++ {
+		if !b.MaybeContains(data.String_(fmt.Sprintf("key-%d", i))) {
+			t.Fatal("false negative on string keys")
+		}
+	}
+}

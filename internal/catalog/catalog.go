@@ -1,0 +1,240 @@
+// Package catalog implements the dataset catalog of the simulated Cosmos
+// store. Datasets ("streams") are written once and read many times: each bulk
+// update produces a fresh immutable version identified by a GUID, matching
+// the paper's observation that shared datasets are regenerated periodically
+// without fine-grained updates. GDPR forget requests are modeled as GUID
+// rotations that invalidate everything derived from the affected version
+// (paper §4, "Handling GDPR requirements").
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cloudviews/internal/data"
+)
+
+// GUID identifies one immutable version of a dataset.
+type GUID string
+
+// Version is one immutable snapshot of a dataset.
+type Version struct {
+	GUID      GUID
+	Dataset   string
+	CreatedAt time.Time
+	Table     *data.Table
+	// Forgotten marks versions rotated by a GDPR forget request; readers must
+	// not consume them and dependent derived data is invalid.
+	Forgotten bool
+}
+
+// Dataset is a named stream with a history of versions.
+type Dataset struct {
+	Name     string
+	Schema   data.Schema
+	versions []*Version // oldest first
+	// Producer optionally records the pipeline that cooks this dataset, for
+	// lineage analyses.
+	Producer string
+	// ScaleFactor is the logical size multiplier used by the execution
+	// simulator: tables are materialized small, but work and IO accounting
+	// are multiplied by this factor to emulate production-scale inputs
+	// without production-scale memory. 0 means 1.
+	ScaleFactor float64
+}
+
+// EffectiveScale returns the scale factor, defaulting to 1.
+func (d *Dataset) EffectiveScale() float64 {
+	if d.ScaleFactor <= 0 {
+		return 1
+	}
+	return d.ScaleFactor
+}
+
+// Catalog is the thread-safe dataset registry.
+type Catalog struct {
+	mu       sync.RWMutex
+	datasets map[string]*Dataset
+	guidSeq  uint64
+}
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{datasets: make(map[string]*Dataset)}
+}
+
+// Define registers a dataset with a schema. Defining an existing name with an
+// identical schema is a no-op; a conflicting schema is an error.
+func (c *Catalog) Define(name string, schema data.Schema) (*Dataset, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ds, ok := c.datasets[name]; ok {
+		if !ds.Schema.Equal(schema) {
+			return nil, fmt.Errorf("catalog: dataset %q already defined with different schema", name)
+		}
+		return ds, nil
+	}
+	ds := &Dataset{Name: name, Schema: schema.Clone()}
+	c.datasets[name] = ds
+	return ds, nil
+}
+
+// SetScaleFactor sets the logical size multiplier for a dataset.
+func (c *Catalog) SetScaleFactor(name string, f float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ds, ok := c.datasets[name]; ok {
+		ds.ScaleFactor = f
+	}
+}
+
+// SetProducer records the pipeline that produces the dataset.
+func (c *Catalog) SetProducer(name, producer string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ds, ok := c.datasets[name]; ok {
+		ds.Producer = producer
+	}
+}
+
+// Dataset looks up a dataset by name.
+func (c *Catalog) Dataset(name string) (*Dataset, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ds, ok := c.datasets[name]
+	return ds, ok
+}
+
+// Names returns all dataset names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.datasets))
+	for n := range c.datasets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BulkUpdate publishes a new immutable version of the dataset and returns its
+// GUID. The table's schema must match the dataset schema.
+func (c *Catalog) BulkUpdate(name string, at time.Time, table *data.Table) (GUID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds, ok := c.datasets[name]
+	if !ok {
+		return "", fmt.Errorf("catalog: unknown dataset %q", name)
+	}
+	if !ds.Schema.Equal(table.Schema) {
+		return "", fmt.Errorf("catalog: bulk update schema mismatch for %q: have (%s), want (%s)",
+			name, table.Schema, ds.Schema)
+	}
+	c.guidSeq++
+	g := GUID(fmt.Sprintf("guid-%s-%08x", name, c.guidSeq))
+	ds.versions = append(ds.versions, &Version{
+		GUID:      g,
+		Dataset:   name,
+		CreatedAt: at,
+		Table:     table,
+	})
+	return g, nil
+}
+
+// Latest returns the newest non-forgotten version of the dataset.
+func (c *Catalog) Latest(name string) (*Version, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ds, ok := c.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown dataset %q", name)
+	}
+	for i := len(ds.versions) - 1; i >= 0; i-- {
+		if !ds.versions[i].Forgotten {
+			return ds.versions[i], nil
+		}
+	}
+	return nil, fmt.Errorf("catalog: dataset %q has no readable versions", name)
+}
+
+// VersionByGUID resolves a specific version.
+func (c *Catalog) VersionByGUID(g GUID) (*Version, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, ds := range c.datasets {
+		for _, v := range ds.versions {
+			if v.GUID == g {
+				return v, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("catalog: unknown version %q", g)
+}
+
+// Window returns up to n most recent non-forgotten versions (newest first),
+// modeling sliding-window inputs such as "last seven days".
+func (c *Catalog) Window(name string, n int) ([]*Version, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ds, ok := c.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown dataset %q", name)
+	}
+	out := make([]*Version, 0, n)
+	for i := len(ds.versions) - 1; i >= 0 && len(out) < n; i-- {
+		if !ds.versions[i].Forgotten {
+			out = append(out, ds.versions[i])
+		}
+	}
+	return out, nil
+}
+
+// Forget executes a GDPR forget request against a specific version: the
+// version is rotated to a new GUID with the filtered table, and the old GUID
+// becomes unreadable. Returns the replacement GUID. keep decides which rows
+// survive.
+func (c *Catalog) Forget(g GUID, at time.Time, keep func(data.Row) bool) (GUID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ds := range c.datasets {
+		for _, v := range ds.versions {
+			if v.GUID != g {
+				continue
+			}
+			if v.Forgotten {
+				return "", fmt.Errorf("catalog: version %q already forgotten", g)
+			}
+			v.Forgotten = true
+			filtered := data.NewTable(v.Table.Schema)
+			for _, r := range v.Table.Rows {
+				if keep(r) {
+					filtered.Append(r)
+				}
+			}
+			c.guidSeq++
+			ng := GUID(fmt.Sprintf("guid-%s-%08x", ds.Name, c.guidSeq))
+			ds.versions = append(ds.versions, &Version{
+				GUID:      ng,
+				Dataset:   ds.Name,
+				CreatedAt: at,
+				Table:     filtered,
+			})
+			return ng, nil
+		}
+	}
+	return "", fmt.Errorf("catalog: unknown version %q", g)
+}
+
+// VersionCount returns the number of versions (including forgotten) of a
+// dataset; zero if unknown.
+func (c *Catalog) VersionCount(name string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ds, ok := c.datasets[name]
+	if !ok {
+		return 0
+	}
+	return len(ds.versions)
+}

@@ -1,0 +1,172 @@
+package catalog_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cloudviews/internal/catalog"
+	"cloudviews/internal/data"
+)
+
+var schema = data.Schema{
+	{Name: "Id", Kind: data.KindInt},
+	{Name: "Name", Kind: data.KindString},
+}
+
+func table(ids ...int64) *data.Table {
+	t := data.NewTable(schema)
+	for _, id := range ids {
+		t.Append(data.Row{data.Int(id), data.String_("n")})
+	}
+	return t
+}
+
+var t0 = time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC)
+
+func TestDefineIdempotentAndConflicts(t *testing.T) {
+	c := catalog.New()
+	if _, err := c.Define("X", schema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Define("X", schema); err != nil {
+		t.Errorf("re-define with same schema must be a no-op: %v", err)
+	}
+	other := data.Schema{{Name: "Z", Kind: data.KindFloat}}
+	if _, err := c.Define("X", other); err == nil {
+		t.Error("conflicting schema must fail")
+	}
+	names := c.Names()
+	if len(names) != 1 || names[0] != "X" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestBulkUpdateVersioning(t *testing.T) {
+	c := catalog.New()
+	_, _ = c.Define("X", schema)
+	g1, err := c.BulkUpdate("X", t0, table(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := c.BulkUpdate("X", t0.AddDate(0, 0, 1), table(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 == g2 {
+		t.Error("versions must get distinct GUIDs")
+	}
+	latest, err := c.Latest("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.GUID != g2 || latest.Table.NumRows() != 2 {
+		t.Errorf("latest = %+v", latest)
+	}
+	v1, err := c.VersionByGUID(g1)
+	if err != nil || v1.Table.NumRows() != 1 {
+		t.Errorf("old version must stay readable: %v", err)
+	}
+	if c.VersionCount("X") != 2 {
+		t.Errorf("version count = %d", c.VersionCount("X"))
+	}
+}
+
+func TestBulkUpdateSchemaMismatch(t *testing.T) {
+	c := catalog.New()
+	_, _ = c.Define("X", schema)
+	bad := data.NewTable(data.Schema{{Name: "Other", Kind: data.KindInt}})
+	if _, err := c.BulkUpdate("X", t0, bad); err == nil || !strings.Contains(err.Error(), "schema mismatch") {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := c.BulkUpdate("Unknown", t0, table(1)); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	c := catalog.New()
+	_, _ = c.Define("X", schema)
+	var guids []catalog.GUID
+	for i := 0; i < 5; i++ {
+		g, _ := c.BulkUpdate("X", t0.AddDate(0, 0, i), table(int64(i)))
+		guids = append(guids, g)
+	}
+	win, err := c.Window("X", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(win) != 3 {
+		t.Fatalf("window = %d", len(win))
+	}
+	if win[0].GUID != guids[4] || win[2].GUID != guids[2] {
+		t.Error("window must be newest-first")
+	}
+}
+
+func TestGDPRForget(t *testing.T) {
+	c := catalog.New()
+	_, _ = c.Define("X", schema)
+	g1, _ := c.BulkUpdate("X", t0, table(1, 2, 3))
+	ng, err := c.Forget(g1, t0.Add(time.Hour), func(r data.Row) bool { return r[0].I != 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng == g1 {
+		t.Error("forget must rotate the GUID")
+	}
+	latest, _ := c.Latest("X")
+	if latest.GUID != ng || latest.Table.NumRows() != 2 {
+		t.Errorf("latest after forget: %+v", latest)
+	}
+	// The old version still resolves (for auditing) but is marked forgotten.
+	old, err := c.VersionByGUID(g1)
+	if err != nil || !old.Forgotten {
+		t.Errorf("old version: %+v err=%v", old, err)
+	}
+	// Double-forget fails.
+	if _, err := c.Forget(g1, t0, func(data.Row) bool { return true }); err == nil {
+		t.Error("double forget must fail")
+	}
+	if _, err := c.Forget("nope", t0, func(data.Row) bool { return true }); err == nil {
+		t.Error("unknown GUID must fail")
+	}
+}
+
+func TestLatestSkipsForgotten(t *testing.T) {
+	c := catalog.New()
+	_, _ = c.Define("X", schema)
+	g1, _ := c.BulkUpdate("X", t0, table(1))
+	// Forget rotates to a fresh replacement; Latest must be the replacement.
+	ng, _ := c.Forget(g1, t0, func(data.Row) bool { return false })
+	latest, err := c.Latest("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.GUID != ng || latest.Table.NumRows() != 0 {
+		t.Errorf("latest = %+v", latest)
+	}
+}
+
+func TestScaleFactor(t *testing.T) {
+	c := catalog.New()
+	ds, _ := c.Define("X", schema)
+	if ds.EffectiveScale() != 1 {
+		t.Errorf("default scale = %g", ds.EffectiveScale())
+	}
+	c.SetScaleFactor("X", 1000)
+	ds2, _ := c.Dataset("X")
+	if ds2.EffectiveScale() != 1000 {
+		t.Errorf("scale = %g", ds2.EffectiveScale())
+	}
+}
+
+func TestProducerLineage(t *testing.T) {
+	c := catalog.New()
+	_, _ = c.Define("X", schema)
+	c.SetProducer("X", "cook-7")
+	ds, _ := c.Dataset("X")
+	if ds.Producer != "cook-7" {
+		t.Errorf("producer = %q", ds.Producer)
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cloudviews/internal/analysis"
+	"cloudviews/internal/cluster"
+	"cloudviews/internal/exec"
+	"cloudviews/internal/fixtures"
+	"cloudviews/internal/insights"
+	"cloudviews/internal/optimizer"
+	"cloudviews/internal/plan"
+	"cloudviews/internal/signature"
+	"cloudviews/internal/sqlparser"
+	"cloudviews/internal/stats"
+	"cloudviews/internal/workload"
+)
+
+// DayMetrics aggregates one simulated day — the unit the paper's Figure 6/7
+// series plot cumulatively.
+type DayMetrics struct {
+	Day  int
+	Date time.Time
+	Jobs int
+
+	LatencySec    float64
+	ProcessingSec float64
+	BonusSec      float64
+	Containers    int64
+	InputBytes    int64
+	DataReadBytes int64
+	QueueLen      int64
+	ViewsBuilt    int
+	ViewsReused   int
+
+	// MedianLatencyImprovementInput: per-job latencies for median statistics.
+	JobLatencies []float64
+}
+
+// RunDay executes one day's jobs end to end: data plane in submission order,
+// then the cluster schedule, then repository/metric recording. The executor
+// result cache is reset daily (inputs regenerate daily, so strict signatures
+// rarely survive a day boundary).
+func (e *Engine) RunDay(day int, jobs []workload.JobInput) (DayMetrics, error) {
+	e.cache = exec.NewCache()
+	dayStart := fixtures.Epoch.AddDate(0, 0, day)
+
+	runs := make([]*JobRun, 0, len(jobs))
+	specs := make([]cluster.JobSpec, 0, len(jobs))
+	for _, in := range jobs {
+		run, err := e.CompileAndExecute(in)
+		if err != nil {
+			return DayMetrics{}, err
+		}
+		runs = append(runs, run)
+		specs = append(specs, cluster.JobSpec{
+			ID:      in.ID,
+			VC:      in.VC,
+			Submit:  in.Submit,
+			Stages:  run.Stages,
+			Compile: run.Compile.CompileLatency,
+		})
+	}
+
+	outcomes, err := e.Sim.Run(specs)
+	if err != nil {
+		return DayMetrics{}, err
+	}
+	byID := make(map[string]cluster.Outcome, len(outcomes))
+	for _, o := range outcomes {
+		byID[o.ID] = o
+	}
+
+	m := DayMetrics{Day: day, Date: dayStart, Jobs: len(runs)}
+	for _, run := range runs {
+		o, ok := byID[run.Input.ID]
+		if !ok {
+			return DayMetrics{}, fmt.Errorf("core: job %s missing from schedule", run.Input.ID)
+		}
+		rec := run.Record
+		rec.Start = o.Start
+		rec.End = o.End
+		rec.LatencySec = o.Latency.Seconds()
+		rec.ProcessingSec = o.Processing
+		rec.BonusSec = o.Bonus
+		rec.Containers = o.Containers
+		rec.InputBytes = run.Exec.InputBytes
+		rec.DataReadBytes = run.Exec.TotalRead
+		rec.QueueLen = o.QueueLenAtStart
+
+		e.History.RecordJob(rec.Template, stats.Observation{
+			Rows:    0,
+			Bytes:   rec.InputBytes,
+			Work:    rec.ProcessingSec,
+			Latency: rec.LatencySec,
+		})
+
+		m.LatencySec += rec.LatencySec
+		m.ProcessingSec += rec.ProcessingSec
+		m.BonusSec += rec.BonusSec
+		m.Containers += int64(rec.Containers)
+		m.InputBytes += rec.InputBytes
+		m.DataReadBytes += rec.DataReadBytes
+		m.QueueLen += int64(rec.QueueLen)
+		m.ViewsBuilt += rec.ViewsBuilt
+		m.ViewsReused += rec.ViewsReused
+		m.JobLatencies = append(m.JobLatencies, rec.LatencySec)
+	}
+
+	// End of day: advance the clock past the last completion and expire old
+	// views.
+	e.clock = dayStart.AddDate(0, 0, 1)
+	e.Store.GC()
+	return m, nil
+}
+
+// RunAnalysis executes the offline half of the feedback loop over the
+// trailing window [from, to): view selection over the workload repository and
+// annotation publishing to the insights service. It returns the number of
+// tags published and the candidates rejected by schedule-aware filtering.
+func (e *Engine) RunAnalysis(from, to time.Time) (tags int, scheduleRejected int) {
+	byVC, rejected := analysis.SelectViews(e.Repo, from, to, e.Selection)
+	perTag := make(map[signature.Tag][]insights.Annotation)
+	for vc, cands := range byVC {
+		for _, c := range cands {
+			ann := insights.Annotation{
+				Recurring:     c.Recurring,
+				VC:            vc,
+				ExpectedRows:  c.ExpectedRows,
+				ExpectedBytes: c.ExpectedBytes,
+				ExpectedWork:  c.ExpectedWork,
+				Utility:       c.Utility,
+			}
+			for _, tmpl := range c.JobTemplates {
+				tag := signature.TagForTemplate(tmpl)
+				perTag[tag] = append(perTag[tag], ann)
+			}
+		}
+	}
+	// Replace the whole annotation state: candidates that fell out of the
+	// window stop being selected, so their views stop being materialized —
+	// the just-in-time property of §2.4.
+	e.Insights.ReplaceAllAnnotations(perTag)
+	return len(perTag), rejected
+}
+
+// RecordWorkloadDay compiles (but does not execute or schedule) a day's jobs
+// and records their subexpressions in the workload repository — the
+// telemetry-only mode the long-window workload analyses use (Figures 2, 3,
+// 8), where only compile-time overlap structure matters.
+func (e *Engine) RecordWorkloadDay(day int, jobs []workload.JobInput) error {
+	_ = day
+	for _, in := range jobs {
+		e.clock = in.Submit
+		signer := e.signerFor(in.Runtime)
+		script, err := sqlparser.Parse(in.Script)
+		if err != nil {
+			return fmt.Errorf("job %s: parse: %w", in.ID, err)
+		}
+		binder := &plan.Binder{Catalog: e.Catalog, Params: in.Params}
+		outs, err := binder.BindScript(script)
+		if err != nil {
+			return fmt.Errorf("job %s: bind: %w", in.ID, err)
+		}
+		if len(outs) != 1 {
+			return fmt.Errorf("job %s: expected exactly one OUTPUT, got %d", in.ID, len(outs))
+		}
+		opt := &optimizer.Optimizer{Signer: signer, Est: e.Est, History: e.History}
+		cr := opt.Compile(outs[0], optimizer.CompileOptions{
+			JobID: in.ID, Cluster: in.Cluster, VC: in.VC, OptIn: false,
+		})
+		rec := e.buildRecord(in, signer, cr, &exec.RunResult{})
+		rec.Start = in.Submit
+		rec.End = in.Submit
+		e.Repo.Add(rec)
+	}
+	return nil
+}

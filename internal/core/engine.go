@@ -1,0 +1,382 @@
+// Package core wires the substrates into the CloudViews system: the engine
+// that compiles, executes, and schedules jobs with reuse applied; the daily
+// feedback loop (telemetry → workload analysis → view selection → annotation
+// publishing → future compilations); and the metric collection behind the
+// production-impact evaluation.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cloudviews/internal/analysis"
+	"cloudviews/internal/catalog"
+	"cloudviews/internal/cluster"
+	"cloudviews/internal/data"
+	"cloudviews/internal/exec"
+	"cloudviews/internal/fixtures"
+	"cloudviews/internal/insights"
+	"cloudviews/internal/optimizer"
+	"cloudviews/internal/plan"
+	"cloudviews/internal/repository"
+	"cloudviews/internal/signature"
+	"cloudviews/internal/sqlparser"
+	"cloudviews/internal/stats"
+	"cloudviews/internal/storage"
+	"cloudviews/internal/workload"
+)
+
+// Config assembles an Engine.
+type Config struct {
+	ClusterName string
+	Catalog     *catalog.Catalog
+	ClusterCfg  cluster.Config
+	// ViewTTL overrides the 7-day default when non-zero.
+	ViewTTL time.Duration
+	// MaxViewsPerJob is the per-job spool cap (0 = optimizer default).
+	MaxViewsPerJob int
+	// Selection tunes the feedback loop's view selection.
+	Selection analysis.SelectionConfig
+}
+
+// Engine is one cluster's query-processing system with CloudViews installed.
+type Engine struct {
+	ClusterName string
+	Catalog     *catalog.Catalog
+	Repo        *repository.Repo
+	History     *stats.History
+	Store       *storage.Store
+	Insights    *insights.Service
+	Est         *stats.Estimator
+	Sim         *cluster.Simulator
+	Selection   analysis.SelectionConfig
+
+	maxViewsPerJob int
+	signers        map[string]*signature.Signer
+	clock          time.Time
+	cache          *exec.Cache
+	rng            *data.Rand
+}
+
+// NewEngine builds an engine over the given catalog.
+func NewEngine(cfg Config) *Engine {
+	e := &Engine{
+		ClusterName:    cfg.ClusterName,
+		Catalog:        cfg.Catalog,
+		Repo:           repository.New(),
+		History:        stats.NewHistory(),
+		Insights:       insights.NewService(),
+		Est:            stats.NewEstimator(),
+		Sim:            cluster.New(cfg.ClusterCfg),
+		Selection:      cfg.Selection,
+		maxViewsPerJob: cfg.MaxViewsPerJob,
+		signers:        make(map[string]*signature.Signer),
+		clock:          fixtures.Epoch,
+		cache:          exec.NewCache(),
+		rng:            data.NewRand(99),
+	}
+	e.Store = storage.NewStore(func() time.Time { return e.clock })
+	if cfg.ViewTTL > 0 {
+		e.Store.SetTTL(cfg.ViewTTL)
+	}
+	e.Insights.SetClusterEnabled(cfg.ClusterName, true)
+	return e
+}
+
+// Clock returns the engine's simulated time.
+func (e *Engine) Clock() time.Time { return e.clock }
+
+// SetClock advances the simulated time.
+func (e *Engine) SetClock(t time.Time) { e.clock = t }
+
+// OnboardVC enables CloudViews for a virtual cluster (the opt-in/opt-out
+// unit).
+func (e *Engine) OnboardVC(vc string) { e.Insights.SetVCEnabled(vc, true) }
+
+// OffboardVC disables a VC and purges its views.
+func (e *Engine) OffboardVC(vc string) {
+	e.Insights.SetVCEnabled(vc, false)
+	e.Store.PurgeVC(vc)
+}
+
+// signerFor returns the signer for a SCOPE runtime version. Different runtime
+// versions produce incompatible signatures (§4, "Impact of changed
+// signatures").
+func (e *Engine) signerFor(runtime string) *signature.Signer {
+	s, ok := e.signers[runtime]
+	if !ok {
+		s = &signature.Signer{EngineVersion: e.ClusterName + "/" + runtime}
+		e.signers[runtime] = s
+	}
+	return s
+}
+
+// JobRun is the result of the data-plane half of a job: compiled plan,
+// executed tables, and the stage specs awaiting cluster scheduling.
+type JobRun struct {
+	Input    workload.JobInput
+	Compile  *optimizer.CompileResult
+	Exec     *exec.RunResult
+	Stages   []cluster.StageSpec
+	Record   *repository.JobRecord
+	Output   *data.Table
+	Proposed []optimizer.ProposedView
+}
+
+// CompileAndExecute runs the data plane for one job: parse → bind → optimize
+// (with reuse) → execute → publish cooked outputs → stage views for sealing.
+func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
+	e.clock = in.Submit
+	signer := e.signerFor(in.Runtime)
+
+	script, err := sqlparser.Parse(in.Script)
+	if err != nil {
+		return nil, fmt.Errorf("job %s: parse: %w", in.ID, err)
+	}
+	binder := &plan.Binder{Catalog: e.Catalog, Params: in.Params}
+	outs, err := binder.BindScript(script)
+	if err != nil {
+		return nil, fmt.Errorf("job %s: bind: %w", in.ID, err)
+	}
+	if len(outs) != 1 {
+		return nil, fmt.Errorf("job %s: expected exactly one OUTPUT, got %d", in.ID, len(outs))
+	}
+	root := outs[0]
+
+	opt := &optimizer.Optimizer{
+		Signer:         signer,
+		Est:            e.Est,
+		History:        e.History,
+		Store:          e.Store,
+		Insights:       e.Insights,
+		MaxViewsPerJob: e.maxViewsPerJob,
+	}
+	cr := opt.Compile(root, optimizer.CompileOptions{
+		JobID:   in.ID,
+		Cluster: in.Cluster,
+		VC:      in.VC,
+		OptIn:   in.OptIn,
+	})
+
+	ex := &exec.Executor{
+		Catalog: e.Catalog,
+		Views:   e.Store,
+		Cache:   e.cache,
+		// The result cache is keyed by PHYSICAL signatures: a plan that
+		// reuses a view must not replay the accounting of the plan that
+		// computed the subexpression.
+		SigMap: signer.Physical(cr.Plan),
+		Ctx: &plan.EvalContext{
+			NowNanos: e.clock.UnixNano(),
+			Rand:     e.rng.Fork(hashString(in.ID)),
+		},
+	}
+	res, err := ex.Run(cr.Plan)
+	if err != nil {
+		return nil, fmt.Errorf("job %s: exec: %w", in.ID, err)
+	}
+
+	// Data cooking: OUTPUT to "dataset:<name>" publishes a new version of a
+	// shared dataset — derived data created as part of query processing.
+	if out, ok := cr.Plan.(*plan.Output); ok && strings.HasPrefix(out.Target, "dataset:") {
+		name := strings.TrimPrefix(out.Target, "dataset:")
+		if _, err := e.Catalog.BulkUpdate(name, e.clock, res.Table.Clone()); err != nil {
+			return nil, fmt.Errorf("job %s: publishing cooked dataset: %w", in.ID, err)
+		}
+	}
+
+	run := &JobRun{Input: in, Compile: cr, Exec: res, Proposed: cr.Proposed}
+	run.Output = res.Table
+	run.Stages = e.buildStageSpecs(cr, res)
+	run.Record = e.buildRecord(in, signer, cr, res)
+	// The record lands in the repository immediately so workload analysis
+	// sees it; RunDay fills in the scheduling outcome afterwards (the record
+	// is shared by pointer).
+	run.Record.Start = in.Submit
+	run.Record.End = in.Submit
+	e.Repo.Add(run.Record)
+
+	// Early sealing: the view becomes readable when the producing stage
+	// finishes, which we approximate as a fraction of the job's estimated
+	// runtime after submission.
+	if len(cr.Proposed) > 0 {
+		sealAt := in.Submit.Add(e.estimateSealDelay(run))
+		for _, p := range cr.Proposed {
+			e.Store.SealAt(p.Strict, sealAt)
+			e.Insights.ReleaseViewLock(p.Strict, in.ID)
+			e.Insights.NoteViewCreated()
+		}
+	}
+	for range cr.Matched {
+		e.Insights.NoteViewReused()
+	}
+
+	return run, nil
+}
+
+// estimateSealDelay approximates when the spooled subexpression's stage
+// completes: total work divided by the job's token allocation, scaled down
+// because the spool point is typically in the lower half of the DAG.
+func (e *Engine) estimateSealDelay(run *JobRun) time.Duration {
+	tokens := 1
+	for _, st := range run.Stages {
+		if st.Width > tokens {
+			tokens = st.Width
+		}
+	}
+	if tokens > 50 {
+		tokens = 50
+	}
+	sec := run.Exec.TotalWork / float64(tokens) * 0.6
+	return run.Compile.CompileLatency + time.Duration(sec*float64(time.Second))
+}
+
+// buildStageSpecs lowers the physical plan into cluster stage specs. Total
+// executed work is distributed across stages proportionally to their
+// estimated work so that replayed (cached) executions still yield a faithful
+// schedule.
+func (e *Engine) buildStageSpecs(cr *optimizer.CompileResult, res *exec.RunResult) []cluster.StageSpec {
+	pp := optimizer.BuildStages(cr.Plan, cr.Estimates)
+	specs := make([]cluster.StageSpec, len(pp.Stages))
+	weights := make([]float64, len(pp.Stages))
+	var totalWeight float64
+	for i, st := range pp.Stages {
+		if st.IsSpool {
+			continue
+		}
+		w := estimatedOpWork(st.Op, cr.Estimates[st.Node])
+		weights[i] = w
+		totalWeight += w
+	}
+	nonSpoolWork := res.TotalWork - res.SpoolWork
+	spoolStages := 0
+	for _, st := range pp.Stages {
+		if st.IsSpool {
+			spoolStages++
+		}
+	}
+	for i, st := range pp.Stages {
+		spec := cluster.StageSpec{Width: st.Width, IsSpool: st.IsSpool}
+		for _, d := range st.Deps {
+			spec.Deps = append(spec.Deps, d.ID)
+		}
+		if st.IsSpool {
+			spec.Work = res.SpoolWork / float64(spoolStages)
+		} else if totalWeight > 0 {
+			spec.Work = nonSpoolWork * weights[i] / totalWeight
+		} else {
+			spec.Work = nonSpoolWork / float64(len(pp.Stages))
+		}
+		specs[i] = spec
+	}
+	return specs
+}
+
+// estimatedOpWork mirrors the executor's cost model over estimates, used only
+// for proportional work splitting.
+func estimatedOpWork(op string, est stats.Estimate) float64 {
+	perRow := map[string]float64{
+		"Scan": 2.0e-6, "ViewScan": 2.0e-6, "Filter": 1.0e-6, "Project": 1.5e-6,
+		"Join": 4.0e-6, "Aggregate": 3.0e-6, "Union": 0.2e-6, "UDO": 8.0e-6,
+		"Sample": 0.8e-6, "Sort": 2.0e-6, "Output": 0.5e-6,
+	}[op]
+	if perRow == 0 {
+		perRow = 1.0e-6
+	}
+	return est.Rows*perRow + est.Bytes*2.0e-9 + 1e-9
+}
+
+// buildRecord assembles the repository row for a job (cluster outcome fields
+// are filled in later by RunDay) and feeds the runtime history. The Work
+// recorded per subexpression is its SUBTREE cost — what reusing it would
+// save — and subtrees that were themselves served from a view are excluded
+// from history so reuse never poisons the recompute-cost estimates.
+func (e *Engine) buildRecord(in workload.JobInput, signer *signature.Signer, cr *optimizer.CompileResult, res *exec.RunResult) *repository.JobRecord {
+	subs := signer.Subexpressions(cr.Plan)
+	statByNode := make(map[plan.Node]exec.NodeStat, len(res.Stats))
+	for _, st := range res.Stats {
+		statByNode[st.Node] = st
+	}
+	// Fold per-operator work into per-subtree work (post-order, so children
+	// precede parents) and mark subtrees containing a ViewScan.
+	subtreeWork := make([]float64, len(subs))
+	hasView := make([]bool, len(subs))
+	for i, s := range subs {
+		if st, ok := statByNode[s.Node]; ok {
+			subtreeWork[i] += st.Work
+		}
+		if s.Op == "ViewScan" {
+			hasView[i] = true
+		}
+		if p := s.Parent; p >= 0 {
+			subtreeWork[p] += subtreeWork[i]
+			if hasView[i] {
+				hasView[p] = true
+			}
+		}
+	}
+	reused := make(map[signature.Sig]bool, len(cr.Matched))
+	for _, m := range cr.Matched {
+		reused[m.Strict] = true
+	}
+	rec := &repository.JobRecord{
+		JobID:       in.ID,
+		Cluster:     in.Cluster,
+		VC:          in.VC,
+		Pipeline:    in.Pipeline,
+		User:        in.User,
+		Runtime:     in.Runtime,
+		Submit:      in.Submit,
+		Template:    subs[len(subs)-1].Recurring,
+		Tag:         cr.Tag,
+		ViewsBuilt:  len(cr.Proposed),
+		ViewsReused: len(cr.Matched),
+	}
+	for i, s := range subs {
+		sr := repository.SubexprRecord{
+			JobID:         in.ID,
+			Strict:        s.Strict,
+			Recurring:     s.Recurring,
+			Op:            s.Op,
+			Height:        s.Height,
+			NodeCount:     s.NodeCount,
+			Eligible:      s.Eligibility,
+			InputDatasets: s.InputDatasets,
+			Parent:        s.Parent,
+			Reused:        reused[s.Strict],
+			Work:          subtreeWork[i],
+		}
+		if st, ok := statByNode[s.Node]; ok {
+			sr.Rows, sr.Bytes = st.RowsOut, st.BytesOut
+			if s.Op == "Join" {
+				sr.JoinAlgo = st.Algo.String()
+			}
+		} else if j, isJoin := s.Node.(*plan.Join); isJoin {
+			// Cache-replayed joins still report their chosen algorithm.
+			sr.JoinAlgo = j.Algo.String()
+		}
+		rec.Subexprs = append(rec.Subexprs, sr)
+
+		// Runtime history: only genuine recomputations count.
+		if !hasView[i] && subtreeWork[i] > 0 && s.Op != "Output" && s.Op != "Spool" {
+			e.History.Record(s.Recurring, stats.Observation{
+				Rows:  sr.Rows,
+				Bytes: sr.Bytes,
+				Work:  subtreeWork[i],
+			})
+		}
+	}
+	return rec
+}
+
+func hashString(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, c := range []byte(s) {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}
+
+// FormatPlan renders a compiled plan tree for display.
+func FormatPlan(n plan.Node) string { return plan.Format(n) }

@@ -1,0 +1,745 @@
+// Package exec executes logical plans over in-memory tables and accounts the
+// compute and IO each operator consumed. The accounting model is the bridge
+// to the cluster simulator: "work" is measured in container-seconds, and each
+// dataset carries a logical scale factor so that small in-memory tables stand
+// in for production-scale inputs (rows execute small, work and bytes account
+// big). Spool and ViewScan implement the CloudViews online-materialization
+// and reuse operators.
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"cloudviews/internal/catalog"
+	"cloudviews/internal/data"
+	"cloudviews/internal/plan"
+	"cloudviews/internal/signature"
+)
+
+// Cost-model constants, in container-seconds per row (or per byte). The
+// absolute values are calibrated so that a job over a few-GB logical input
+// runs for minutes of simulated time, like a small SCOPE job.
+const (
+	costScanRow    = 2.0e-6
+	costFilterRow  = 1.0e-6
+	costProjectRow = 1.5e-6
+	costHashRow    = 4.0e-6 // per build+probe row
+	costMergeRow   = 2.0e-6 // per input row once sorted
+	costSortRow    = 1.0e-6 // per row per log2(n) when merge join must sort
+	costLoopOuter  = 1.0e-6 // per outer row, plus a small-side penalty
+	costAggRow     = 3.0e-6
+	costUDORow     = 8.0e-6 // user code is slow
+	costUnionRow   = 0.2e-6
+	costSampleRow  = 0.8e-6
+	costOrderRow   = 1.2e-6 // per row per log2(n)
+	// IO costs per LOGICAL byte.
+	costReadByte  = 6.0e-9 // ~160 MB/s effective
+	costWriteByte = 9.0e-9
+)
+
+// ViewStore is the interface the executor needs from the materialized-view
+// storage layer. internal/storage implements it.
+type ViewStore interface {
+	// Fetch returns the view's table and logical scale multiplier. ok=false
+	// when the view does not exist, is unsealed, or has expired.
+	Fetch(strict signature.Sig) (t *data.Table, mult float64, ok bool)
+	// Materialize stores a freshly computed view. mult is the logical scale
+	// multiplier of the producing subexpression.
+	Materialize(strict signature.Sig, path string, t *data.Table, mult float64) error
+}
+
+// ViewReadWork estimates the container-seconds needed to scan a materialized
+// view of the given logical size; the optimizer compares it against the
+// historical cost of recomputing the subexpression.
+func ViewReadWork(rows, bytes int64) float64 {
+	return float64(rows)*costScanRow + float64(bytes)*costReadByte
+}
+
+// SpoolWriteWork estimates the container-seconds to write a view of the given
+// logical size — the materialization overhead charged to the first job.
+func SpoolWriteWork(bytes int64) float64 {
+	return float64(bytes) * costWriteByte
+}
+
+// NodeStat records what one operator did during a run. Rows/Bytes/Work are
+// logical (scale-multiplied) quantities.
+type NodeStat struct {
+	Node     plan.Node
+	Op       string
+	Algo     plan.JoinAlgo // joins only
+	RowsOut  int64
+	BytesOut int64
+	Work     float64
+	IORead   int64 // logical bytes read from stable storage (scans + views)
+}
+
+// RunResult is the outcome of executing one plan.
+type RunResult struct {
+	Table *data.Table
+	Stats []NodeStat
+	// TotalWork is the job's total compute in container-seconds, including
+	// materialization overhead.
+	TotalWork float64
+	// InputBytes counts logical bytes read from base datasets only.
+	InputBytes int64
+	// ViewBytes counts logical bytes read from materialized views.
+	ViewBytes int64
+	// TotalRead includes inputs, views, and intermediate exchange reads.
+	TotalRead int64
+	// SpoolWork is the portion of TotalWork spent writing views; the cluster
+	// simulator runs it as a parallel stage off the critical path.
+	SpoolWork float64
+	// CacheHits counts subexpressions served from the executor result cache.
+	CacheHits int
+}
+
+// CacheEntry memoizes the result of a subexpression for replay across
+// identical executions (used by the production-window simulator so that
+// repeated identical jobs don't recompute — the accounting is still charged
+// in full).
+type CacheEntry struct {
+	Table      *data.Table
+	Mult       float64
+	Stats      []NodeStat
+	InputBytes int64
+	ViewBytes  int64
+	TotalRead  int64
+}
+
+// Cache is a strict-signature-keyed result cache.
+type Cache struct {
+	m map[signature.Sig]*CacheEntry
+}
+
+// NewCache creates an empty cache.
+func NewCache() *Cache { return &Cache{m: make(map[signature.Sig]*CacheEntry)} }
+
+// Len returns the number of cached subexpressions.
+func (c *Cache) Len() int { return len(c.m) }
+
+// Executor runs plans. It is not safe for concurrent use; create one per job.
+type Executor struct {
+	Catalog *catalog.Catalog
+	Views   ViewStore                   // nil disables Spool/ViewScan handling
+	Cache   *Cache                      // nil disables memoization
+	SigMap  map[plan.Node]signature.Sig // strict signatures per node (for cache keys)
+	Ctx     *plan.EvalContext
+	// PipelineSharing switches cache hits from replay accounting (the job is
+	// charged as if it recomputed the subtree — correct for simulating
+	// independent jobs) to SHARED accounting: the subtree was computed once
+	// by a concurrently running job and its output is pipelined here, so
+	// this job is charged only the transfer (paper §5.4, reuse in
+	// concurrent queries without pre-materialization).
+	PipelineSharing bool
+
+	res RunResult
+}
+
+type nodeResult struct {
+	table *data.Table
+	mult  float64
+}
+
+// Run executes the plan and returns the result table plus accounting.
+func (ex *Executor) Run(root plan.Node) (*RunResult, error) {
+	if ex.Ctx == nil {
+		ex.Ctx = &plan.EvalContext{Rand: data.NewRand(1)}
+	}
+	if ex.Ctx.Rand == nil {
+		ex.Ctx.Rand = data.NewRand(1)
+	}
+	ex.res = RunResult{}
+	r, err := ex.eval(root)
+	if err != nil {
+		return nil, err
+	}
+	ex.res.Table = r.table
+	for _, s := range ex.res.Stats {
+		ex.res.TotalWork += s.Work
+	}
+	return &ex.res, nil
+}
+
+func (ex *Executor) record(st NodeStat) {
+	ex.res.Stats = append(ex.res.Stats, st)
+}
+
+func logicalBytes(t *data.Table, mult float64) int64 {
+	return int64(float64(t.ByteSize()) * mult)
+}
+
+func logicalRows(t *data.Table, mult float64) int64 {
+	return int64(float64(t.NumRows()) * mult)
+}
+
+func (ex *Executor) eval(n plan.Node) (nodeResult, error) {
+	// Result-cache lookup (strict signature identity ⇒ identical result).
+	if ex.Cache != nil && ex.SigMap != nil {
+		if sig, ok := ex.SigMap[n]; ok {
+			if entry, hit := ex.Cache.m[sig]; hit {
+				ex.res.CacheHits++
+				if ex.PipelineSharing {
+					// Shared accounting: the producer already paid for the
+					// subtree; this consumer pays only the pipe transfer.
+					rows := int64(float64(entry.Table.NumRows()) * entry.Mult)
+					bytes := int64(float64(entry.Table.ByteSize()) * entry.Mult)
+					work := ViewReadWork(rows, bytes)
+					ex.res.Stats = append(ex.res.Stats, NodeStat{
+						Node: n, Op: "SharedScan", RowsOut: rows, BytesOut: bytes, Work: work,
+					})
+					ex.res.TotalRead += bytes
+					return nodeResult{table: entry.Table, mult: entry.Mult}, nil
+				}
+				// Replay the accounting of the cached subtree, remapping each
+				// stat onto the corresponding node of THIS plan (the cached
+				// subtree is physically identical, so post-order aligns).
+				nodes := postOrderNodes(n)
+				for i, st := range entry.Stats {
+					if len(nodes) == len(entry.Stats) {
+						st.Node = nodes[i]
+					}
+					ex.res.Stats = append(ex.res.Stats, st)
+				}
+				ex.res.InputBytes += entry.InputBytes
+				ex.res.ViewBytes += entry.ViewBytes
+				ex.res.TotalRead += entry.TotalRead
+				return nodeResult{table: entry.Table, mult: entry.Mult}, nil
+			}
+		}
+	}
+
+	statsStart := len(ex.res.Stats)
+	inputStart, viewStart, readStart := ex.res.InputBytes, ex.res.ViewBytes, ex.res.TotalRead
+
+	r, err := ex.evalNode(n)
+	if err != nil {
+		return nodeResult{}, err
+	}
+
+	// Populate the cache with the subtree slice.
+	if ex.Cache != nil && ex.SigMap != nil {
+		if sig, ok := ex.SigMap[n]; ok {
+			if _, exists := ex.Cache.m[sig]; !exists {
+				sub := make([]NodeStat, len(ex.res.Stats)-statsStart)
+				copy(sub, ex.res.Stats[statsStart:])
+				ex.Cache.m[sig] = &CacheEntry{
+					Table:      r.table,
+					Mult:       r.mult,
+					Stats:      sub,
+					InputBytes: ex.res.InputBytes - inputStart,
+					ViewBytes:  ex.res.ViewBytes - viewStart,
+					TotalRead:  ex.res.TotalRead - readStart,
+				}
+			}
+		}
+	}
+	return r, nil
+}
+
+// postOrderNodes lists the subtree's nodes in execution-recording order
+// (children left to right, then the node itself) — the order NodeStats are
+// appended during a real run.
+func postOrderNodes(n plan.Node) []plan.Node {
+	var out []plan.Node
+	var rec func(m plan.Node)
+	rec = func(m plan.Node) {
+		for _, c := range m.Children() {
+			rec(c)
+		}
+		out = append(out, m)
+	}
+	rec(n)
+	return out
+}
+
+func (ex *Executor) evalNode(n plan.Node) (nodeResult, error) {
+	switch x := n.(type) {
+	case *plan.Scan:
+		return ex.evalScan(x)
+	case *plan.ViewScan:
+		return ex.evalViewScan(x)
+	case *plan.Filter:
+		return ex.evalFilter(x)
+	case *plan.Project:
+		return ex.evalProject(x)
+	case *plan.Join:
+		return ex.evalJoin(x)
+	case *plan.Aggregate:
+		return ex.evalAggregate(x)
+	case *plan.Union:
+		return ex.evalUnion(x)
+	case *plan.UDO:
+		return ex.evalUDO(x)
+	case *plan.Sample:
+		return ex.evalSample(x)
+	case *plan.Sort:
+		return ex.evalSort(x)
+	case *plan.Spool:
+		return ex.evalSpool(x)
+	case *plan.Output:
+		return ex.evalOutput(x)
+	default:
+		return nodeResult{}, fmt.Errorf("exec: unsupported operator %T", n)
+	}
+}
+
+func (ex *Executor) evalScan(x *plan.Scan) (nodeResult, error) {
+	ver, err := ex.Catalog.VersionByGUID(x.GUID)
+	if err != nil {
+		return nodeResult{}, err
+	}
+	if ver.Forgotten {
+		return nodeResult{}, fmt.Errorf("exec: version %s was forgotten (GDPR)", x.GUID)
+	}
+	ds, _ := ex.Catalog.Dataset(x.Dataset)
+	mult := ds.EffectiveScale()
+	t := ver.Table
+	lb := logicalBytes(t, mult)
+	work := float64(logicalRows(t, mult))*costScanRow + float64(lb)*costReadByte
+	ex.record(NodeStat{Node: x, Op: "Scan", RowsOut: logicalRows(t, mult), BytesOut: lb, Work: work, IORead: lb})
+	ex.res.InputBytes += lb
+	ex.res.TotalRead += lb
+	return nodeResult{table: t, mult: mult}, nil
+}
+
+func (ex *Executor) evalViewScan(x *plan.ViewScan) (nodeResult, error) {
+	if ex.Views == nil {
+		return nodeResult{}, fmt.Errorf("exec: ViewScan without a view store")
+	}
+	t, mult, ok := ex.Views.Fetch(signature.Sig(x.StrictSig))
+	if !ok {
+		return nodeResult{}, fmt.Errorf("exec: view %s unavailable", signature.Sig(x.StrictSig).Short())
+	}
+	lb := logicalBytes(t, mult)
+	work := float64(logicalRows(t, mult))*costScanRow + float64(lb)*costReadByte
+	ex.record(NodeStat{Node: x, Op: "ViewScan", RowsOut: logicalRows(t, mult), BytesOut: lb, Work: work, IORead: lb})
+	ex.res.ViewBytes += lb
+	ex.res.TotalRead += lb
+	return nodeResult{table: t, mult: mult}, nil
+}
+
+func (ex *Executor) evalFilter(x *plan.Filter) (nodeResult, error) {
+	in, err := ex.eval(x.Child)
+	if err != nil {
+		return nodeResult{}, err
+	}
+	out := data.NewTable(in.table.Schema)
+	for _, row := range in.table.Rows {
+		if v := x.Pred.Eval(row, ex.Ctx); v.Kind == data.KindBool && v.B {
+			out.Append(row)
+		}
+	}
+	work := float64(logicalRows(in.table, in.mult)) * costFilterRow
+	ex.record(NodeStat{Node: x, Op: "Filter", RowsOut: logicalRows(out, in.mult), BytesOut: logicalBytes(out, in.mult), Work: work})
+	return nodeResult{table: out, mult: in.mult}, nil
+}
+
+func (ex *Executor) evalProject(x *plan.Project) (nodeResult, error) {
+	in, err := ex.eval(x.Child)
+	if err != nil {
+		return nodeResult{}, err
+	}
+	out := data.NewTable(x.Schema())
+	for _, row := range in.table.Rows {
+		nr := make(data.Row, len(x.Exprs))
+		for i, e := range x.Exprs {
+			nr[i] = e.Eval(row, ex.Ctx)
+		}
+		out.Append(nr)
+	}
+	work := float64(logicalRows(in.table, in.mult)) * costProjectRow * float64(max(1, len(x.Exprs)))
+	ex.record(NodeStat{Node: x, Op: "Project", RowsOut: logicalRows(out, in.mult), BytesOut: logicalBytes(out, in.mult), Work: work})
+	return nodeResult{table: out, mult: in.mult}, nil
+}
+
+// joinKey builds the hash key for a row under the given key expressions.
+func (ex *Executor) joinKey(row data.Row, keys []plan.Expr) string {
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		v := k.Eval(row, ex.Ctx)
+		parts[i] = fmt.Sprintf("%d:%s", v.Kind, v.String())
+	}
+	return strings.Join(parts, "\x00")
+}
+
+func (ex *Executor) evalJoin(x *plan.Join) (nodeResult, error) {
+	l, err := ex.eval(x.L)
+	if err != nil {
+		return nodeResult{}, err
+	}
+	r, err := ex.eval(x.R)
+	if err != nil {
+		return nodeResult{}, err
+	}
+	// Exchange: both inputs are shuffled/read by the join stage.
+	ex.res.TotalRead += logicalBytes(l.table, l.mult) + logicalBytes(r.table, r.mult)
+
+	algo := x.Algo
+	if algo == plan.JoinAuto {
+		switch {
+		case len(x.LeftKeys) == 0:
+			algo = plan.JoinLoop
+		case min(l.table.NumRows(), r.table.NumRows()) <= 64:
+			algo = plan.JoinLoop
+		default:
+			algo = plan.JoinHash
+		}
+	}
+	mult := math.Max(l.mult, r.mult)
+	out := data.NewTable(x.Schema())
+	lRows, rRows := float64(logicalRows(l.table, l.mult)), float64(logicalRows(r.table, r.mult))
+	var work float64
+
+	emit := func(lr, rr data.Row) {
+		combined := make(data.Row, 0, len(lr)+len(rr))
+		combined = append(combined, lr...)
+		combined = append(combined, rr...)
+		if x.Residual != nil {
+			if v := x.Residual.Eval(combined, ex.Ctx); v.Kind != data.KindBool || !v.B {
+				return
+			}
+		}
+		out.Append(combined)
+	}
+
+	switch algo {
+	case plan.JoinHash:
+		build := make(map[string][]data.Row, r.table.NumRows())
+		for _, rr := range r.table.Rows {
+			k := ex.joinKey(rr, x.RightKeys)
+			build[k] = append(build[k], rr)
+		}
+		for _, lr := range l.table.Rows {
+			k := ex.joinKey(lr, x.LeftKeys)
+			for _, rr := range build[k] {
+				emit(lr, rr)
+			}
+		}
+		work = (lRows + rRows) * costHashRow
+
+	case plan.JoinMerge:
+		ls := sortedByKeys(l.table, x.LeftKeys, ex.Ctx)
+		rs := sortedByKeys(r.table, x.RightKeys, ex.Ctx)
+		mergeJoin(ls, rs, x, ex, emit)
+		sortWork := lRows*costSortRow*log2(lRows) + rRows*costSortRow*log2(rRows)
+		work = (lRows+rRows)*costMergeRow + sortWork
+
+	case plan.JoinLoop:
+		if len(x.LeftKeys) == 0 {
+			for _, lr := range l.table.Rows {
+				for _, rr := range r.table.Rows {
+					emit(lr, rr)
+				}
+			}
+		} else {
+			for _, lr := range l.table.Rows {
+				lk := ex.joinKey(lr, x.LeftKeys)
+				for _, rr := range r.table.Rows {
+					if lk == ex.joinKey(rr, x.RightKeys) {
+						emit(lr, rr)
+					}
+				}
+			}
+		}
+		// Broadcast nested-loop: the logical outer streams past a small
+		// physical inner copied to every container.
+		outer := math.Max(lRows, rRows)
+		inner := float64(min(l.table.NumRows(), r.table.NumRows()))
+		work = outer * costLoopOuter * (1 + 0.05*inner)
+	}
+
+	ex.record(NodeStat{Node: x, Op: "Join", Algo: algo, RowsOut: logicalRows(out, mult), BytesOut: logicalBytes(out, mult), Work: work})
+	return nodeResult{table: out, mult: mult}, nil
+}
+
+type keyedRows struct {
+	rows []data.Row
+	keys []string
+}
+
+func sortedByKeys(t *data.Table, keys []plan.Expr, ctx *plan.EvalContext) keyedRows {
+	kr := keyedRows{rows: append([]data.Row(nil), t.Rows...)}
+	kr.keys = make([]string, len(kr.rows))
+	ex := &Executor{Ctx: ctx}
+	idx := make([]int, len(kr.rows))
+	for i := range idx {
+		idx[i] = i
+		kr.keys[i] = ex.joinKey(kr.rows[i], keys)
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return kr.keys[idx[a]] < kr.keys[idx[b]] })
+	rows := make([]data.Row, len(idx))
+	ks := make([]string, len(idx))
+	for i, j := range idx {
+		rows[i], ks[i] = kr.rows[j], kr.keys[j]
+	}
+	return keyedRows{rows: rows, keys: ks}
+}
+
+func mergeJoin(l, r keyedRows, x *plan.Join, ex *Executor, emit func(lr, rr data.Row)) {
+	i, j := 0, 0
+	for i < len(l.rows) && j < len(r.rows) {
+		switch {
+		case l.keys[i] < r.keys[j]:
+			i++
+		case l.keys[i] > r.keys[j]:
+			j++
+		default:
+			// Gather the equal run on both sides.
+			i2 := i
+			for i2 < len(l.rows) && l.keys[i2] == l.keys[i] {
+				i2++
+			}
+			j2 := j
+			for j2 < len(r.rows) && r.keys[j2] == r.keys[j] {
+				j2++
+			}
+			for a := i; a < i2; a++ {
+				for b := j; b < j2; b++ {
+					emit(l.rows[a], r.rows[b])
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+}
+
+func (ex *Executor) evalAggregate(x *plan.Aggregate) (nodeResult, error) {
+	in, err := ex.eval(x.Child)
+	if err != nil {
+		return nodeResult{}, err
+	}
+	// Exchange: aggregation shuffles its input.
+	ex.res.TotalRead += logicalBytes(in.table, in.mult)
+
+	type aggState struct {
+		groupVals data.Row
+		sums      []float64
+		counts    []int64
+		mins      []data.Value
+		maxs      []data.Value
+	}
+	states := make(map[string]*aggState)
+	var order []string
+
+	for _, row := range in.table.Rows {
+		keyParts := make([]string, len(x.GroupBy))
+		groupVals := make(data.Row, len(x.GroupBy))
+		for i, g := range x.GroupBy {
+			v := g.Eval(row, ex.Ctx)
+			groupVals[i] = v
+			keyParts[i] = fmt.Sprintf("%d:%s", v.Kind, v.String())
+		}
+		key := strings.Join(keyParts, "\x00")
+		st, ok := states[key]
+		if !ok {
+			st = &aggState{
+				groupVals: groupVals,
+				sums:      make([]float64, len(x.Aggs)),
+				counts:    make([]int64, len(x.Aggs)),
+				mins:      make([]data.Value, len(x.Aggs)),
+				maxs:      make([]data.Value, len(x.Aggs)),
+			}
+			for i := range st.mins {
+				st.mins[i] = data.Null()
+				st.maxs[i] = data.Null()
+			}
+			states[key] = st
+			order = append(order, key)
+		}
+		for i, spec := range x.Aggs {
+			var v data.Value
+			if spec.Arg != nil {
+				v = spec.Arg.Eval(row, ex.Ctx)
+				if v.IsNull() && spec.Kind != plan.AggCount {
+					continue
+				}
+			}
+			switch spec.Kind {
+			case plan.AggCount:
+				st.counts[i]++
+			case plan.AggSum, plan.AggAvg:
+				st.sums[i] += v.AsFloat()
+				st.counts[i]++
+			case plan.AggMin:
+				if st.mins[i].IsNull() || v.Compare(st.mins[i]) < 0 {
+					st.mins[i] = v
+				}
+			case plan.AggMax:
+				if st.maxs[i].IsNull() || v.Compare(st.maxs[i]) > 0 {
+					st.maxs[i] = v
+				}
+			}
+		}
+	}
+
+	schema := x.Schema()
+	out := data.NewTable(schema)
+	for _, key := range order {
+		st := states[key]
+		row := make(data.Row, 0, len(schema))
+		row = append(row, st.groupVals...)
+		for i, spec := range x.Aggs {
+			switch spec.Kind {
+			case plan.AggCount:
+				row = append(row, data.Int(st.counts[i]))
+			case plan.AggSum:
+				if spec.Arg != nil && spec.Arg.Kind() == data.KindInt {
+					row = append(row, data.Int(int64(st.sums[i])))
+				} else {
+					row = append(row, data.Float(st.sums[i]))
+				}
+			case plan.AggAvg:
+				if st.counts[i] == 0 {
+					row = append(row, data.Null())
+				} else {
+					row = append(row, data.Float(st.sums[i]/float64(st.counts[i])))
+				}
+			case plan.AggMin:
+				row = append(row, st.mins[i])
+			case plan.AggMax:
+				row = append(row, st.maxs[i])
+			}
+		}
+		out.Append(row)
+	}
+
+	work := float64(logicalRows(in.table, in.mult)) * costAggRow
+	// Output multiplicity: grouped outputs don't scale linearly with the
+	// logical multiplier — distinct group counts grow sub-linearly. We keep
+	// the conservative model of scaling by sqrt(mult).
+	outMult := math.Sqrt(in.mult)
+	if len(x.GroupBy) == 0 {
+		outMult = 1
+	}
+	ex.record(NodeStat{Node: x, Op: "Aggregate", RowsOut: logicalRows(out, outMult), BytesOut: logicalBytes(out, outMult), Work: work})
+	return nodeResult{table: out, mult: outMult}, nil
+}
+
+func (ex *Executor) evalUnion(x *plan.Union) (nodeResult, error) {
+	l, err := ex.eval(x.L)
+	if err != nil {
+		return nodeResult{}, err
+	}
+	r, err := ex.eval(x.R)
+	if err != nil {
+		return nodeResult{}, err
+	}
+	out := data.NewTable(l.table.Schema)
+	out.Rows = append(out.Rows, l.table.Rows...)
+	out.Rows = append(out.Rows, r.table.Rows...)
+	mult := math.Max(l.mult, r.mult)
+	work := float64(logicalRows(out, mult)) * costUnionRow
+	ex.record(NodeStat{Node: x, Op: "Union", RowsOut: logicalRows(out, mult), BytesOut: logicalBytes(out, mult), Work: work})
+	return nodeResult{table: out, mult: mult}, nil
+}
+
+func (ex *Executor) evalUDO(x *plan.UDO) (nodeResult, error) {
+	in, err := ex.eval(x.Child)
+	if err != nil {
+		return nodeResult{}, err
+	}
+	impl, ok := plan.LookupUDO(x.Name)
+	if !ok {
+		return nodeResult{}, fmt.Errorf("exec: unknown UDO %q", x.Name)
+	}
+	out := data.NewTable(impl.OutSchema(in.table.Schema))
+	for _, row := range in.table.Rows {
+		impl.Apply(row, func(r data.Row) { out.Append(r) }, ex.Ctx)
+	}
+	work := float64(logicalRows(in.table, in.mult)) * costUDORow
+	ex.record(NodeStat{Node: x, Op: "UDO", RowsOut: logicalRows(out, in.mult), BytesOut: logicalBytes(out, in.mult), Work: work})
+	return nodeResult{table: out, mult: in.mult}, nil
+}
+
+func (ex *Executor) evalSample(x *plan.Sample) (nodeResult, error) {
+	in, err := ex.eval(x.Child)
+	if err != nil {
+		return nodeResult{}, err
+	}
+	out := data.NewTable(in.table.Schema)
+	threshold := uint64(x.Percent / 100 * float64(1<<32))
+	for _, row := range in.table.Rows {
+		var h uint64 = 1469598103934665603
+		for _, v := range row {
+			for _, c := range []byte(v.String()) {
+				h = (h ^ uint64(c)) * 1099511628211
+			}
+		}
+		// Finalize: FNV avalanches poorly on short inputs, so mix before
+		// thresholding to keep the sample unbiased.
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+		if (h>>32)%(1<<32) < threshold {
+			out.Append(row)
+		}
+	}
+	work := float64(logicalRows(in.table, in.mult)) * costSampleRow
+	ex.record(NodeStat{Node: x, Op: "Sample", RowsOut: logicalRows(out, in.mult), BytesOut: logicalBytes(out, in.mult), Work: work})
+	return nodeResult{table: out, mult: in.mult}, nil
+}
+
+func (ex *Executor) evalSort(x *plan.Sort) (nodeResult, error) {
+	in, err := ex.eval(x.Child)
+	if err != nil {
+		return nodeResult{}, err
+	}
+	out := data.NewTable(in.table.Schema)
+	out.Rows = append(out.Rows, in.table.Rows...)
+	sort.SliceStable(out.Rows, func(a, b int) bool {
+		for i, k := range x.Keys {
+			va := k.Eval(out.Rows[a], ex.Ctx)
+			vb := k.Eval(out.Rows[b], ex.Ctx)
+			cmp := va.Compare(vb)
+			if x.Desc[i] {
+				cmp = -cmp
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	rows := float64(logicalRows(out, in.mult))
+	work := rows * costOrderRow * log2(rows)
+	ex.record(NodeStat{Node: x, Op: "Sort", RowsOut: logicalRows(out, in.mult), BytesOut: logicalBytes(out, in.mult), Work: work})
+	return nodeResult{table: out, mult: in.mult}, nil
+}
+
+func (ex *Executor) evalSpool(x *plan.Spool) (nodeResult, error) {
+	in, err := ex.eval(x.Child)
+	if err != nil {
+		return nodeResult{}, err
+	}
+	lb := logicalBytes(in.table, in.mult)
+	writeWork := float64(lb) * costWriteByte
+	if ex.Views != nil && x.StrictSig != "" {
+		if err := ex.Views.Materialize(signature.Sig(x.StrictSig), x.Path, in.table.Clone(), in.mult); err != nil {
+			return nodeResult{}, fmt.Errorf("exec: materializing view: %w", err)
+		}
+	}
+	ex.record(NodeStat{Node: x, Op: "Spool", RowsOut: logicalRows(in.table, in.mult), BytesOut: lb, Work: writeWork})
+	ex.res.SpoolWork += writeWork
+	return in, nil
+}
+
+func (ex *Executor) evalOutput(x *plan.Output) (nodeResult, error) {
+	in, err := ex.eval(x.Child)
+	if err != nil {
+		return nodeResult{}, err
+	}
+	lb := logicalBytes(in.table, in.mult)
+	work := float64(lb) * costWriteByte
+	ex.record(NodeStat{Node: x, Op: "Output", RowsOut: logicalRows(in.table, in.mult), BytesOut: lb, Work: work})
+	return in, nil
+}
+
+func log2(x float64) float64 {
+	if x < 2 {
+		return 1
+	}
+	return math.Log2(x)
+}

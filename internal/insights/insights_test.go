@@ -1,0 +1,178 @@
+package insights_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cloudviews/internal/insights"
+	"cloudviews/internal/signature"
+)
+
+func TestMultiLevelControls(t *testing.T) {
+	s := insights.NewService()
+	if s.Enabled("c1", "vc1", true) {
+		t.Error("cluster/vc must default to disabled")
+	}
+	s.SetClusterEnabled("c1", true)
+	if s.Enabled("c1", "vc1", true) {
+		t.Error("vc still disabled")
+	}
+	s.SetVCEnabled("vc1", true)
+	if !s.Enabled("c1", "vc1", true) {
+		t.Error("all levels on should enable")
+	}
+	if s.Enabled("c1", "vc1", false) {
+		t.Error("job-level opt-out must win")
+	}
+	s.SetServiceEnabled(false)
+	if s.Enabled("c1", "vc1", true) {
+		t.Error("service-level kill switch must win")
+	}
+}
+
+func TestAnnotationServingAndCache(t *testing.T) {
+	s := insights.NewService()
+	tag := signature.Tag("tag-x")
+	s.PublishAnnotations(tag, []insights.Annotation{
+		{Recurring: "r1", Utility: 10},
+		{Recurring: "r2", Utility: 99},
+	})
+	anns, lat := s.FetchAnnotations(tag)
+	if len(anns) != 2 {
+		t.Fatalf("anns = %d", len(anns))
+	}
+	if anns[0].Recurring != "r2" {
+		t.Error("annotations must be utility-ranked")
+	}
+	if lat != insights.RoundTripLatency {
+		t.Errorf("cold fetch latency = %v", lat)
+	}
+	_, lat2 := s.FetchAnnotations(tag)
+	if lat2 >= lat {
+		t.Errorf("warm fetch should be faster: %v vs %v", lat2, lat)
+	}
+	// Republish invalidates the cache.
+	s.PublishAnnotations(tag, nil)
+	_, lat3 := s.FetchAnnotations(tag)
+	if lat3 != insights.RoundTripLatency {
+		t.Error("republish must invalidate the serving cache")
+	}
+	u := s.UsageSnapshot()
+	if u.Fetches != 3 || u.CacheHits != 1 {
+		t.Errorf("usage = %+v", u)
+	}
+}
+
+func TestFetchUnknownTag(t *testing.T) {
+	s := insights.NewService()
+	anns, lat := s.FetchAnnotations("tag-none")
+	if len(anns) != 0 || lat <= 0 {
+		t.Errorf("anns=%d lat=%v", len(anns), lat)
+	}
+}
+
+func TestViewLocks(t *testing.T) {
+	s := insights.NewService()
+	if !s.AcquireViewLock("sig1", "jobA") {
+		t.Fatal("first acquire must succeed")
+	}
+	if !s.AcquireViewLock("sig1", "jobA") {
+		t.Error("reacquire by holder must succeed")
+	}
+	if s.AcquireViewLock("sig1", "jobB") {
+		t.Error("second job must not acquire")
+	}
+	if s.ReleaseViewLock("sig1", "jobB") {
+		t.Error("non-holder release must fail")
+	}
+	if !s.ReleaseViewLock("sig1", "jobA") {
+		t.Error("holder release must succeed")
+	}
+	if !s.AcquireViewLock("sig1", "jobB") {
+		t.Error("after release, lock must be free")
+	}
+	if h, ok := s.LockHolder("sig1"); !ok || h != "jobB" {
+		t.Errorf("holder = %q %v", h, ok)
+	}
+}
+
+func TestAnnotationsFileRoundTrip(t *testing.T) {
+	s := insights.NewService()
+	tag := signature.Tag("tag-debug")
+	s.PublishAnnotations(tag, []insights.Annotation{
+		{Recurring: "r1", VC: "vc9", ExpectedRows: 100, ExpectedBytes: 4096, ExpectedWork: 1.5, Utility: 7},
+	})
+	blob, err := s.ExportAnnotationsFile(tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(blob, "tag-debug") || !strings.Contains(blob, "vc9") {
+		t.Errorf("blob missing fields:\n%s", blob)
+	}
+
+	s2 := insights.NewService()
+	gotTag, err := s2.ImportAnnotationsFile(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTag != tag {
+		t.Errorf("tag = %s", gotTag)
+	}
+	anns, _ := s2.FetchAnnotations(tag)
+	if len(anns) != 1 || anns[0].ExpectedBytes != 4096 {
+		t.Errorf("roundtrip anns = %+v", anns)
+	}
+	if _, err := s.ExportAnnotationsFile("tag-missing"); err == nil {
+		t.Error("export of unknown tag must fail")
+	}
+	if _, err := s2.ImportAnnotationsFile("{bad json"); err == nil {
+		t.Error("import of bad file must fail")
+	}
+}
+
+func TestClearAnnotations(t *testing.T) {
+	s := insights.NewService()
+	s.PublishAnnotations("t1", []insights.Annotation{{Recurring: "r"}})
+	s.ClearAnnotations()
+	if s.TagCount() != 0 {
+		t.Error("clear must drop all tags")
+	}
+}
+
+func TestUsageCounters(t *testing.T) {
+	s := insights.NewService()
+	s.NoteViewCreated()
+	s.NoteViewReused()
+	s.NoteViewReused()
+	u := s.UsageSnapshot()
+	if u.ViewsCreated != 1 || u.ViewsReused != 2 {
+		t.Errorf("usage = %+v", u)
+	}
+}
+
+func TestRoundTripLatencyConstant(t *testing.T) {
+	if insights.RoundTripLatency != 15*time.Millisecond {
+		t.Errorf("paper reports ~15ms round trips; constant = %v", insights.RoundTripLatency)
+	}
+}
+
+func TestReplaceAllAnnotationsDropsStaleTags(t *testing.T) {
+	s := insights.NewService()
+	s.PublishAnnotations("tag-old", []insights.Annotation{{Recurring: "r1", Utility: 5}})
+	s.PublishAnnotations("tag-kept", []insights.Annotation{{Recurring: "r2", Utility: 1}})
+	s.ReplaceAllAnnotations(map[signature.Tag][]insights.Annotation{
+		"tag-kept": {{Recurring: "r2b", Utility: 3}, {Recurring: "r2a", Utility: 9}},
+		"tag-new":  {{Recurring: "r3", Utility: 2}},
+	})
+	if s.TagCount() != 2 {
+		t.Errorf("tags = %d, want 2", s.TagCount())
+	}
+	if anns, _ := s.FetchAnnotations("tag-old"); len(anns) != 0 {
+		t.Error("stale tag must be dropped (just-in-time property)")
+	}
+	anns, _ := s.FetchAnnotations("tag-kept")
+	if len(anns) != 2 || anns[0].Recurring != "r2a" {
+		t.Errorf("replaced annotations not utility-ranked: %+v", anns)
+	}
+}

@@ -1,0 +1,262 @@
+package optimizer
+
+import (
+	"time"
+
+	"cloudviews/internal/exec"
+	"cloudviews/internal/insights"
+	"cloudviews/internal/plan"
+	"cloudviews/internal/signature"
+	"cloudviews/internal/stats"
+	"cloudviews/internal/storage"
+)
+
+// Optimizer compiles bound logical plans into executable plans with
+// CloudViews reuse applied.
+type Optimizer struct {
+	Signer   *signature.Signer
+	Est      *stats.Estimator
+	History  *stats.History
+	Store    *storage.Store
+	Insights *insights.Service
+	// MaxViewsPerJob is the user control bounding spools per job (0 = 4).
+	MaxViewsPerJob int
+}
+
+// ProposedView describes a spool the optimizer inserted.
+type ProposedView struct {
+	Strict    signature.Sig
+	Recurring signature.Sig
+	Path      string
+}
+
+// MatchedView describes a subexpression replaced by a ViewScan.
+type MatchedView struct {
+	Strict     signature.Sig
+	Recurring  signature.Sig
+	ReplacedOp string
+	Rows       int64
+	Bytes      int64
+}
+
+// CompileResult is the output of Compile.
+type CompileResult struct {
+	Plan plan.Node
+	// SigMap and RecurringMap key the FINAL plan's nodes.
+	SigMap       map[plan.Node]signature.Sig
+	RecurringMap map[plan.Node]signature.Sig
+	EligibleMap  map[plan.Node]signature.Eligibility
+	Estimates    map[plan.Node]stats.Estimate
+	Tag          signature.Tag
+	Matched      []MatchedView
+	Proposed     []ProposedView
+	// CompileLatency accumulates the simulated insights round trips.
+	CompileLatency time.Duration
+	// ReuseEnabled records whether CloudViews participated at all.
+	ReuseEnabled bool
+}
+
+// CompileOptions carries the job context the controls need.
+type CompileOptions struct {
+	JobID   string
+	Cluster string
+	VC      string
+	// OptIn is the job-level toggle (default true in callers that don't
+	// expose it).
+	OptIn bool
+}
+
+func (o *Optimizer) maxViews() int {
+	if o.MaxViewsPerJob <= 0 {
+		return 4
+	}
+	return o.MaxViewsPerJob
+}
+
+// Compile runs the full pipeline: rewrites → annotation fetch → top-down view
+// matching → bottom-up view-build proposal → statistics refresh → physical
+// planning. The input plan is not mutated.
+func (o *Optimizer) Compile(root plan.Node, opts CompileOptions) *CompileResult {
+	res := &CompileResult{}
+	p := Rewrite(plan.CloneNode(root))
+	res.Tag = o.Signer.JobTag(p)
+
+	enabled := o.Insights != nil && o.Insights.Enabled(opts.Cluster, opts.VC, opts.OptIn)
+	res.ReuseEnabled = enabled
+
+	var annSet map[signature.Sig]insights.Annotation
+	if enabled {
+		anns, lat := o.Insights.FetchAnnotations(res.Tag)
+		res.CompileLatency += lat
+		annSet = make(map[signature.Sig]insights.Annotation, len(anns))
+		for _, a := range anns {
+			annSet[a.Recurring] = a
+		}
+	}
+
+	if enabled {
+		// Core search: top-down enumeration for matching views (larger
+		// subexpressions first).
+		p = o.matchViews(p, res)
+		// Follow-up optimization: bottom-up enumeration for building views.
+		p = o.buildViews(p, opts, annSet, res)
+	}
+
+	// Final signature maps over the rewritten plan.
+	res.SigMap = make(map[plan.Node]signature.Sig)
+	res.RecurringMap = make(map[plan.Node]signature.Sig)
+	res.EligibleMap = make(map[plan.Node]signature.Eligibility)
+	for _, s := range o.Signer.Subexpressions(p) {
+		res.SigMap[s.Node] = s.Strict
+		res.RecurringMap[s.Node] = s.Recurring
+		res.EligibleMap[s.Node] = s.Eligibility
+	}
+
+	// Statistics refresh + physical planning.
+	res.Estimates = o.estimateWithHistory(p, res.RecurringMap)
+	chooseJoinAlgorithms(p, res.Estimates)
+
+	res.Plan = p
+	return res
+}
+
+// matchViews replaces available materialized subexpressions with ViewScans,
+// top-down so the largest match wins. The plan with the view is adopted only
+// if its cost is lower (with runtime history this reduces to comparing the
+// view read cost against the observed recompute cost).
+func (o *Optimizer) matchViews(root plan.Node, res *CompileResult) plan.Node {
+	subs := o.Signer.Subexpressions(root)
+	info := make(map[plan.Node]signature.Subexpr, len(subs))
+	for _, s := range subs {
+		info[s.Node] = s
+	}
+	var rec func(n plan.Node) plan.Node
+	rec = func(n plan.Node) plan.Node {
+		s, ok := info[n]
+		if ok && s.Eligibility == signature.EligibleOK && o.Store != nil {
+			if view, exists := o.Store.Lookup(s.Strict); exists && o.Store.Available(s.Strict) {
+				if o.viewWins(s, view) {
+					res.Matched = append(res.Matched, MatchedView{
+						Strict:     s.Strict,
+						Recurring:  s.Recurring,
+						ReplacedOp: n.OpName(),
+						Rows:       view.Rows,
+						Bytes:      view.Bytes,
+					})
+					return &plan.ViewScan{
+						StrictSig:    string(s.Strict),
+						RecurringSig: string(s.Recurring),
+						Path:         view.Path,
+						Out:          n.Schema(),
+						Rows:         view.Rows,
+						Bytes:        view.Bytes,
+						ReplacedOp:   n.OpName(),
+					}
+				}
+			}
+		}
+		children := n.Children()
+		if len(children) == 0 {
+			return n
+		}
+		newChildren := make([]plan.Node, len(children))
+		changed := false
+		for i, c := range children {
+			newChildren[i] = rec(c)
+			if newChildren[i] != c {
+				changed = true
+			}
+		}
+		if changed {
+			return n.WithChildren(newChildren)
+		}
+		return n
+	}
+	return rec(root)
+}
+
+// viewWins decides whether scanning the materialized view beats recomputing
+// the subexpression.
+func (o *Optimizer) viewWins(s signature.Subexpr, view *storage.View) bool {
+	readCost := exec.ViewReadWork(view.Rows, view.Bytes)
+	if o.History != nil {
+		if sum, ok := o.History.Lookup(s.Recurring); ok && sum.AvgWork > 0 {
+			return readCost < sum.AvgWork
+		}
+	}
+	// No history: fall back to the compile-time estimate of the subtree.
+	est, _ := o.Est.EstimatePlan(s.Node)
+	var total float64
+	for _, e := range est {
+		total += e.Rows * 4.0e-6 // generic per-row cost
+	}
+	return readCost < total
+}
+
+// buildViews inserts Spool operators (bottom-up) on selected subexpressions
+// that are not yet materialized, acquiring the insights view lock so exactly
+// one concurrent job builds each artifact.
+func (o *Optimizer) buildViews(root plan.Node, opts CompileOptions, annSet map[signature.Sig]insights.Annotation, res *CompileResult) plan.Node {
+	if len(annSet) == 0 || o.Store == nil {
+		return root
+	}
+	built := 0
+	return plan.Rewrite(root, func(n plan.Node) plan.Node {
+		if built >= o.maxViews() {
+			return n
+		}
+		switch n.(type) {
+		case *plan.Spool, *plan.ViewScan, *plan.Output:
+			return n
+		}
+		// Recompute this node's signatures on the (possibly rewritten)
+		// subtree; ViewScan transparency keeps them equal to the original.
+		subs := o.Signer.Subexpressions(n)
+		s := subs[len(subs)-1]
+		if s.Eligibility != signature.EligibleOK {
+			return n
+		}
+		if _, selected := annSet[s.Recurring]; !selected {
+			return n
+		}
+		if o.Store.Available(s.Strict) || o.Store.InFlight(s.Strict) {
+			return n
+		}
+		if !o.Insights.AcquireViewLock(s.Strict, opts.JobID) {
+			return n
+		}
+		path := storage.PathFor(opts.VC, s.Strict)
+		o.Store.Stage(s.Strict, s.Recurring, path, opts.VC)
+		built++
+		res.Proposed = append(res.Proposed, ProposedView{Strict: s.Strict, Recurring: s.Recurring, Path: path})
+		return &plan.Spool{Child: n, StrictSig: string(s.Strict), Path: path}
+	})
+}
+
+// estimateWithHistory folds compile-time estimates bottom-up but overrides
+// any node whose recurring signature has runtime history — the paper's
+// statistics feedback ("feed more accurate statistics from the previously
+// materialized subexpressions to the rest of the query plan").
+func (o *Optimizer) estimateWithHistory(root plan.Node, recurring map[plan.Node]signature.Sig) map[plan.Node]stats.Estimate {
+	memo := make(map[plan.Node]stats.Estimate)
+	var rec func(n plan.Node) stats.Estimate
+	rec = func(n plan.Node) stats.Estimate {
+		children := n.Children()
+		ce := make([]stats.Estimate, len(children))
+		for i, c := range children {
+			ce[i] = rec(c)
+		}
+		est := o.Est.EstimateNode(n, ce)
+		if o.History != nil {
+			if sig, ok := recurring[n]; ok {
+				if sum, found := o.History.Lookup(sig); found && sum.Count > 0 {
+					est = stats.Estimate{Rows: sum.AvgRows, Bytes: sum.AvgBytes}
+				}
+			}
+		}
+		memo[n] = est
+		return est
+	}
+	rec(root)
+	return memo
+}

@@ -1,0 +1,130 @@
+package optimizer
+
+import (
+	"math"
+
+	"cloudviews/internal/plan"
+	"cloudviews/internal/stats"
+)
+
+// Physical planning thresholds.
+const (
+	// loopJoinRows: below this (estimated) input size, broadcast loop join
+	// beats building a hash table.
+	loopJoinRows = 2000
+	// mergeJoinRows: above this on both sides, SCOPE prefers sort-merge to
+	// bound memory.
+	mergeJoinRows = 2_000_000
+	// RowsPerPartition controls stage width: width = ceil(inputRows /
+	// RowsPerPartition). Cardinality overestimates therefore directly
+	// over-partition stages — the §3.5 effect.
+	RowsPerPartition = 1_000_000
+	// MaxStageWidth caps any single stage.
+	MaxStageWidth = 256
+)
+
+// chooseJoinAlgorithms assigns a physical algorithm to every auto join based
+// on the (history-refreshed) estimates.
+func chooseJoinAlgorithms(root plan.Node, est map[plan.Node]stats.Estimate) {
+	plan.Walk(root, func(n plan.Node) {
+		j, ok := n.(*plan.Join)
+		if !ok || j.Algo != plan.JoinAuto {
+			return
+		}
+		l, r := est[j.L], est[j.R]
+		switch {
+		case len(j.LeftKeys) == 0:
+			j.Algo = plan.JoinLoop
+		case math.Min(l.Rows, r.Rows) <= loopJoinRows:
+			j.Algo = plan.JoinLoop
+		case l.Rows >= mergeJoinRows && r.Rows >= mergeJoinRows:
+			j.Algo = plan.JoinMerge
+		default:
+			j.Algo = plan.JoinHash
+		}
+	})
+}
+
+// Stage is one schedulable unit of a physical plan: a single operator with a
+// planned container width. (SCOPE fuses pipelined operators into stages; one
+// operator per stage keeps the simulator simple while preserving the DAG
+// shape and width dynamics.)
+type Stage struct {
+	ID    int
+	Node  plan.Node
+	Op    string
+	Width int
+	Deps  []*Stage
+	// IsSpool marks the view-write stage that runs in parallel with the rest
+	// of the query (its latency is off the critical path; its work is not).
+	IsSpool bool
+}
+
+// PhysicalPlan is the staged form of a compiled plan.
+type PhysicalPlan struct {
+	Root   plan.Node
+	Stages []*Stage
+	ByNode map[plan.Node]*Stage
+	// TotalWidth is the sum of stage widths — the planned container request,
+	// the paper's "containers per job" driver.
+	TotalWidth int
+}
+
+// BuildStages lowers a compiled plan into the stage DAG used by the cluster
+// simulator. Width derives from the estimated input rows of each operator;
+// with accurate (history or view) statistics the widths shrink, reproducing
+// the paper's container savings.
+func BuildStages(root plan.Node, est map[plan.Node]stats.Estimate) *PhysicalPlan {
+	pp := &PhysicalPlan{Root: root, ByNode: make(map[plan.Node]*Stage)}
+	var rec func(n plan.Node) *Stage
+	rec = func(n plan.Node) *Stage {
+		children := n.Children()
+		deps := make([]*Stage, 0, len(children))
+		for _, c := range children {
+			deps = append(deps, rec(c))
+		}
+
+		// The spool write hangs off its child but the PARENT of the spool
+		// depends on the child directly: materialization is a side branch.
+		if sp, ok := n.(*plan.Spool); ok {
+			childStage := deps[0]
+			w := stageWidth(est[sp.Child])
+			st := &Stage{ID: len(pp.Stages), Node: n, Op: "Spool", Width: w, Deps: []*Stage{childStage}, IsSpool: true}
+			pp.Stages = append(pp.Stages, st)
+			pp.ByNode[n] = st
+			pp.TotalWidth += w
+			// Return the CHILD stage so the parent bypasses the spool write.
+			return childStage
+		}
+
+		// Width follows the estimated rows flowing INTO the operator (its
+		// children's output), except sources which use their own estimate.
+		var inputRows float64
+		if len(children) == 0 {
+			inputRows = est[n].Rows
+		} else {
+			for _, c := range children {
+				inputRows += est[c].Rows
+			}
+		}
+		w := stageWidth(stats.Estimate{Rows: inputRows})
+		st := &Stage{ID: len(pp.Stages), Node: n, Op: n.OpName(), Width: w, Deps: deps}
+		pp.Stages = append(pp.Stages, st)
+		pp.ByNode[n] = st
+		pp.TotalWidth += w
+		return st
+	}
+	rec(root)
+	return pp
+}
+
+func stageWidth(e stats.Estimate) int {
+	w := int(math.Ceil(e.Rows / RowsPerPartition))
+	if w < 1 {
+		w = 1
+	}
+	if w > MaxStageWidth {
+		w = MaxStageWidth
+	}
+	return w
+}

@@ -1,0 +1,129 @@
+package pipelined_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cloudviews/internal/exec"
+	"cloudviews/internal/fixtures"
+	"cloudviews/internal/pipelined"
+	"cloudviews/internal/plan"
+	"cloudviews/internal/repository"
+	"cloudviews/internal/signature"
+	"cloudviews/internal/sqlparser"
+)
+
+var signer = &signature.Signer{EngineVersion: "pipe-test"}
+
+func TestRunBatchSharesCommonSubtrees(t *testing.T) {
+	cat, err := fixtures.Retail(fixtures.DefaultRetail())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat.SetScaleFactor("Sales", 100_000)
+	queries := fixtures.Figure4Queries()
+
+	var jobs []pipelined.BatchJob
+	var independent []*exec.RunResult
+	for i, src := range queries {
+		script, err := sqlparser.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := &plan.Binder{Catalog: cat}
+		outs, err := b.BindScript(script)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := plan.Node(outs[0])
+		sigMap := signer.Physical(root)
+		jobs = append(jobs, pipelined.BatchJob{ID: fmt.Sprintf("j%d", i), Plan: root, SigMap: sigMap})
+
+		res, err := (&exec.Executor{Catalog: cat}).Run(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		independent = append(independent, res)
+	}
+
+	results, err := pipelined.RunBatch(cat, nil, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sharedWork, indepWork float64
+	sharedCount := 0
+	for i, r := range results {
+		sharedWork += r.Work
+		indepWork += independent[i].TotalWork
+		sharedCount += r.SharedSubtrees
+		if r.Table.Fingerprint() != independent[i].Table.Fingerprint() {
+			t.Errorf("job %s: shared execution changed results", r.ID)
+		}
+	}
+	if sharedCount == 0 {
+		t.Fatal("no subtrees shared across the Figure 4 batch")
+	}
+	if sharedWork >= indepWork {
+		t.Errorf("shared batch work %.0f should beat independent %.0f", sharedWork, indepWork)
+	}
+	// The first job pays full price.
+	if results[0].SharedSubtrees != 0 {
+		t.Error("first job cannot share from anyone")
+	}
+}
+
+var t0 = fixtures.Epoch
+
+func occJob(id string, start, end time.Time, strict string, work float64) *repository.JobRecord {
+	return &repository.JobRecord{
+		JobID: id, Cluster: "c1", VC: "vc", Pipeline: "p-" + id,
+		Template: "t", Submit: start, Start: start, End: end,
+		ProcessingSec: work * 1.5,
+		Subexprs: []repository.SubexprRecord{
+			{JobID: id, Op: "Join", Strict: signature.Sig(strict), Recurring: "rec",
+				InputDatasets: []string{"A", "B"}, Parent: -1,
+				Work: work, Rows: 1000, Bytes: 10_000, Eligible: signature.EligibleOK},
+		},
+	}
+}
+
+func TestEstimateOpportunity(t *testing.T) {
+	repo := repository.New()
+	// Three overlapping instances of the same strict subexpression.
+	repo.Add(occJob("a", t0, t0.Add(10*time.Minute), "s1", 600))
+	repo.Add(occJob("b", t0.Add(time.Minute), t0.Add(9*time.Minute), "s1", 600))
+	repo.Add(occJob("c", t0.Add(2*time.Minute), t0.Add(8*time.Minute), "s1", 600))
+	// A non-overlapping instance of another subexpression.
+	repo.Add(occJob("d", t0.Add(2*time.Hour), t0.Add(2*time.Hour+time.Minute), "s2", 600))
+
+	rep := pipelined.EstimateOpportunity(repo, t0, t0.AddDate(0, 0, 1), "c1")
+	if len(rep.Sharings) != 1 {
+		t.Fatalf("sharings = %+v", rep.Sharings)
+	}
+	s := rep.Sharings[0]
+	if s.Instances != 3 || s.Strict != "s1" {
+		t.Errorf("sharing = %+v", s)
+	}
+	// Saved ≈ 2 × (600 − pipe); pipe is tiny here.
+	if s.SavedWork < 1000 || s.SavedWork > 1200 {
+		t.Errorf("saved = %g, want ~1200", s.SavedWork)
+	}
+	if rep.TotalSaved != s.SavedWork {
+		t.Errorf("total = %g", rep.TotalSaved)
+	}
+	if rep.TotalWork <= 0 {
+		t.Error("total work context missing")
+	}
+}
+
+func TestEstimateOpportunitySkipsCheapSubtrees(t *testing.T) {
+	repo := repository.New()
+	// Overlapping but nearly free: pipelining would not pay.
+	repo.Add(occJob("a", t0, t0.Add(10*time.Minute), "s1", 0.000001))
+	repo.Add(occJob("b", t0.Add(time.Minute), t0.Add(9*time.Minute), "s1", 0.000001))
+	rep := pipelined.EstimateOpportunity(repo, t0, t0.AddDate(0, 0, 1), "c1")
+	if len(rep.Sharings) != 0 {
+		t.Errorf("cheap sharing reported: %+v", rep.Sharings)
+	}
+}

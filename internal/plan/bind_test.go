@@ -1,0 +1,286 @@
+package plan_test
+
+import (
+	"strings"
+	"testing"
+
+	"cloudviews/internal/data"
+	"cloudviews/internal/fixtures"
+	"cloudviews/internal/plan"
+	"cloudviews/internal/sqlparser"
+)
+
+func mustBind(t *testing.T, src string, params map[string]data.Value) plan.Node {
+	t.Helper()
+	cat, err := fixtures.Retail(fixtures.DefaultRetail())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sqlparser.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &plan.Binder{Catalog: cat, Params: params}
+	n, err := b.BindQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestBindScanSchema(t *testing.T) {
+	n := mustBind(t, `SELECT * FROM Customer`, nil)
+	scan, ok := n.(*plan.Scan)
+	if !ok {
+		t.Fatalf("got %T, want *Scan (pure star adds no Project)", n)
+	}
+	if scan.Dataset != "Customer" || len(scan.Schema()) != 3 {
+		t.Errorf("bad scan: %s %v", scan.Dataset, scan.Schema())
+	}
+	if scan.BaseRows != 200 {
+		t.Errorf("BaseRows = %d, want 200", scan.BaseRows)
+	}
+}
+
+func TestBindFilterProject(t *testing.T) {
+	n := mustBind(t, `SELECT Name AS n FROM Customer WHERE MktSegment = 'Asia'`, nil)
+	proj, ok := n.(*plan.Project)
+	if !ok {
+		t.Fatalf("root = %T, want Project", n)
+	}
+	if proj.Names[0] != "n" {
+		t.Errorf("name = %q", proj.Names[0])
+	}
+	if _, ok := proj.Child.(*plan.Filter); !ok {
+		t.Fatalf("child = %T, want Filter", proj.Child)
+	}
+}
+
+func TestBindJoinEquiKeyExtraction(t *testing.T) {
+	n := mustBind(t, `SELECT Price FROM Sales JOIN Customer ON Sales.CustomerId = Customer.Id WHERE MktSegment = 'Asia'`, nil)
+	var join *plan.Join
+	plan.Walk(n, func(m plan.Node) {
+		if j, ok := m.(*plan.Join); ok {
+			join = j
+		}
+	})
+	if join == nil {
+		t.Fatal("no join found")
+	}
+	if len(join.LeftKeys) != 1 || len(join.RightKeys) != 1 {
+		t.Fatalf("keys = %d/%d, want 1/1", len(join.LeftKeys), len(join.RightKeys))
+	}
+	if join.Residual != nil {
+		t.Errorf("unexpected residual %s", join.Residual.Canonical())
+	}
+	// Right key must be rebased to right child's local schema (Customer.Id = index 0).
+	rk, ok := join.RightKeys[0].(*plan.ColRef)
+	if !ok || rk.Index != 0 {
+		t.Errorf("right key = %#v, want ColRef index 0", join.RightKeys[0])
+	}
+}
+
+func TestBindJoinReversedCondition(t *testing.T) {
+	// Customer.Id on the LEFT of '=' should still be classified correctly.
+	n := mustBind(t, `SELECT Price FROM Sales JOIN Customer ON Customer.Id = Sales.CustomerId`, nil)
+	var join *plan.Join
+	plan.Walk(n, func(m plan.Node) {
+		if j, ok := m.(*plan.Join); ok {
+			join = j
+		}
+	})
+	if join == nil || len(join.LeftKeys) != 1 {
+		t.Fatal("equi key not extracted from reversed condition")
+	}
+	lk := join.LeftKeys[0].(*plan.ColRef)
+	if lk.Name != "CustomerId" {
+		t.Errorf("left key = %s, want CustomerId", lk.Name)
+	}
+}
+
+func TestBindResidualJoin(t *testing.T) {
+	n := mustBind(t, `SELECT Price FROM Sales JOIN Customer ON Sales.CustomerId = Customer.Id AND Sales.Quantity > 2`, nil)
+	var join *plan.Join
+	plan.Walk(n, func(m plan.Node) {
+		if j, ok := m.(*plan.Join); ok {
+			join = j
+		}
+	})
+	if join == nil || join.Residual == nil {
+		t.Fatal("expected residual predicate")
+	}
+	if len(join.LeftKeys) != 1 {
+		t.Errorf("keys = %d", len(join.LeftKeys))
+	}
+}
+
+func TestBindGroupBy(t *testing.T) {
+	n := mustBind(t, `SELECT MktSegment, COUNT(*) AS n, AVG(Price) AS p
+		FROM Sales JOIN Customer ON Sales.CustomerId = Customer.Id
+		GROUP BY MktSegment`, nil)
+	var agg *plan.Aggregate
+	plan.Walk(n, func(m plan.Node) {
+		if a, ok := m.(*plan.Aggregate); ok {
+			agg = a
+		}
+	})
+	if agg == nil {
+		t.Fatal("no aggregate")
+	}
+	if len(agg.GroupBy) != 1 || len(agg.Aggs) != 2 {
+		t.Fatalf("groups=%d aggs=%d", len(agg.GroupBy), len(agg.Aggs))
+	}
+	if agg.Aggs[0].Kind != plan.AggCount || agg.Aggs[0].Arg != nil {
+		t.Errorf("first agg should be COUNT(*): %+v", agg.Aggs[0])
+	}
+	schema := n.Schema()
+	if schema[0].Name != "MktSegment" || schema[1].Name != "n" || schema[2].Name != "p" {
+		t.Errorf("schema = %v", schema)
+	}
+}
+
+func TestBindSelectOrderReordersAggregate(t *testing.T) {
+	n := mustBind(t, `SELECT COUNT(*) AS n, MktSegment FROM Customer GROUP BY MktSegment`, nil)
+	schema := n.Schema()
+	if schema[0].Name != "n" || schema[1].Name != "MktSegment" {
+		t.Errorf("schema = %v; want aggregate first per select order", schema)
+	}
+	if _, ok := n.(*plan.Project); !ok {
+		t.Errorf("expected reordering Project, got %T", n)
+	}
+}
+
+func TestBindHaving(t *testing.T) {
+	n := mustBind(t, `SELECT MktSegment, COUNT(*) AS n FROM Customer GROUP BY MktSegment HAVING n > 10`, nil)
+	if _, ok := n.(*plan.Filter); !ok {
+		t.Fatalf("root = %T, want Filter (HAVING)", n)
+	}
+}
+
+func TestBindParams(t *testing.T) {
+	params := map[string]data.Value{"seg": data.String_("Asia")}
+	n := mustBind(t, `SELECT Name FROM Customer WHERE MktSegment = @seg`, params)
+	found := false
+	plan.Walk(n, func(m plan.Node) {
+		if f, ok := m.(*plan.Filter); ok {
+			f.Pred.Walk(func(e plan.Expr) {
+				if p, ok := e.(*plan.Param); ok && p.Name == "seg" && p.Val.S == "Asia" {
+					found = true
+				}
+			})
+		}
+	})
+	if !found {
+		t.Error("bound param not found in predicate")
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	cat, _ := fixtures.Retail(fixtures.DefaultRetail())
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`SELECT Nope FROM Customer`, "unknown column"},
+		{`SELECT Name FROM NoSuchTable`, "unknown dataset"},
+		{`SELECT Name FROM Customer WHERE MktSegment = @missing`, "unbound parameter"},
+		{`SELECT PartId FROM Sales JOIN Parts ON Sales.PartId = Parts.PartId`, "ambiguous"},
+		{`SELECT Name, COUNT(*) AS n FROM Customer GROUP BY MktSegment`, "neither aggregated nor in GROUP BY"},
+		{`SELECT FROBNICATE(Name) FROM Customer`, "unknown function"},
+		{`SELECT SUM(Price) / COUNT(*) FROM Sales GROUP BY PartId`, "not supported"},
+		{`PROCESS Customer USING "NoSuchUdo"`, "unknown UDO"},
+		{`SELECT * FROM Customer UNION ALL SELECT * FROM Sales`, "schema mismatch"},
+		{`SELECT *, Name FROM Customer GROUP BY Name`, "cannot be combined"},
+	}
+	for _, c := range cases {
+		q, err := sqlparser.ParseQuery(c.src)
+		if err != nil {
+			t.Errorf("parse %q: %v", c.src, err)
+			continue
+		}
+		b := &plan.Binder{Catalog: cat}
+		if _, err := b.BindQuery(q); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("bind %q: err = %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestBindScriptSharedIntermediate(t *testing.T) {
+	cat, _ := fixtures.Retail(fixtures.DefaultRetail())
+	script, err := sqlparser.Parse(`
+		asia = SELECT * FROM Customer WHERE MktSegment = 'Asia';
+		a = SELECT COUNT(*) AS n FROM asia GROUP BY MktSegment;
+		b = SELECT Name FROM asia;
+		OUTPUT a TO "out/a";
+		OUTPUT b TO "out/b";
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &plan.Binder{Catalog: cat}
+	outs, err := b.BindScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("outputs = %d", len(outs))
+	}
+	// Each reference receives its own deep copy of the intermediate.
+	countFilters := func(n plan.Node) int {
+		c := 0
+		plan.Walk(n, func(m plan.Node) {
+			if _, ok := m.(*plan.Filter); ok {
+				c++
+			}
+		})
+		return c
+	}
+	if countFilters(outs[0]) != 1 || countFilters(outs[1]) != 1 {
+		t.Error("each output should contain the shared filter subtree")
+	}
+}
+
+func TestBindUDO(t *testing.T) {
+	n := mustBind(t, `PROCESS Customer USING "AddRowTag" DEPENDS "libgeo"`, nil)
+	udo, ok := n.(*plan.UDO)
+	if !ok {
+		t.Fatalf("got %T", n)
+	}
+	schema := udo.Schema()
+	if schema[len(schema)-1].Name != "row_tag" {
+		t.Errorf("schema = %v, want trailing row_tag", schema)
+	}
+}
+
+func TestBindDistinct(t *testing.T) {
+	n := mustBind(t, `SELECT DISTINCT MktSegment FROM Customer`, nil)
+	agg, ok := n.(*plan.Aggregate)
+	if !ok {
+		t.Fatalf("got %T, want Aggregate for DISTINCT", n)
+	}
+	if len(agg.GroupBy) != 1 || len(agg.Aggs) != 0 {
+		t.Errorf("groups=%d aggs=%d", len(agg.GroupBy), len(agg.Aggs))
+	}
+}
+
+func TestBindSubqueryAliasResolution(t *testing.T) {
+	n := mustBind(t, `SELECT s.total FROM (SELECT CustomerId, SUM(Quantity) AS total FROM Sales GROUP BY CustomerId) AS s WHERE s.total > 5`, nil)
+	if n == nil {
+		t.Fatal("nil plan")
+	}
+	schema := n.Schema()
+	if len(schema) != 1 || schema[0].Name != "total" {
+		t.Errorf("schema = %v", schema)
+	}
+}
+
+func TestCloneNodeIndependence(t *testing.T) {
+	n := mustBind(t, `SELECT Name FROM Customer WHERE MktSegment = 'Asia'`, nil)
+	c := plan.CloneNode(n)
+	if c == n {
+		t.Fatal("clone returned same root pointer")
+	}
+	if plan.Format(c) != plan.Format(n) {
+		t.Error("clone must render identically")
+	}
+}

@@ -1,0 +1,140 @@
+package plan_test
+
+import (
+	"testing"
+	"time"
+
+	"cloudviews/internal/data"
+	"cloudviews/internal/plan"
+)
+
+func TestBinaryKinds(t *testing.T) {
+	icol := &plan.ColRef{Index: 0, Name: "i", Typ: data.KindInt}
+	fcol := &plan.ColRef{Index: 1, Name: "f", Typ: data.KindFloat}
+	scol := &plan.ColRef{Index: 2, Name: "s", Typ: data.KindString}
+	cases := []struct {
+		e    plan.Expr
+		want data.Kind
+	}{
+		{&plan.Binary{Op: "+", L: icol, R: icol}, data.KindInt},
+		{&plan.Binary{Op: "+", L: icol, R: fcol}, data.KindFloat},
+		{&plan.Binary{Op: "+", L: scol, R: icol}, data.KindString},
+		{&plan.Binary{Op: "/", L: icol, R: icol}, data.KindFloat},
+		{&plan.Binary{Op: "=", L: icol, R: icol}, data.KindBool},
+		{&plan.Binary{Op: "AND", L: icol, R: icol}, data.KindBool},
+		{&plan.Unary{Op: "NOT", E: icol}, data.KindBool},
+		{&plan.Unary{Op: "-", E: fcol}, data.KindFloat},
+		{&plan.Call{Name: "YEAR", Args: []plan.Expr{icol}}, data.KindInt},
+		{&plan.Call{Name: "LOWER", Args: []plan.Expr{scol}}, data.KindString},
+		{&plan.Call{Name: "NOW"}, data.KindTime},
+	}
+	for i, c := range cases {
+		if got := c.e.Kind(); got != c.want {
+			t.Errorf("case %d: Kind = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestArithmeticEval(t *testing.T) {
+	row := data.Row{data.Int(10), data.Float(2.5), data.String_("ab")}
+	icol := &plan.ColRef{Index: 0, Typ: data.KindInt}
+	fcol := &plan.ColRef{Index: 1, Typ: data.KindFloat}
+	scol := &plan.ColRef{Index: 2, Typ: data.KindString}
+	cases := []struct {
+		e    plan.Expr
+		want data.Value
+	}{
+		{&plan.Binary{Op: "+", L: icol, R: icol}, data.Int(20)},
+		{&plan.Binary{Op: "*", L: icol, R: fcol}, data.Float(25)},
+		{&plan.Binary{Op: "-", L: icol, R: icol}, data.Int(0)},
+		{&plan.Binary{Op: "%", L: icol, R: &plan.Const{Val: data.Int(3)}}, data.Int(1)},
+		{&plan.Binary{Op: "+", L: scol, R: icol}, data.String_("ab10")},
+		{&plan.Unary{Op: "-", E: icol}, data.Int(-10)},
+	}
+	for i, c := range cases {
+		got := c.e.Eval(row, nil)
+		if !got.Equal(c.want) {
+			t.Errorf("case %d: Eval = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestShortCircuitEvaluation(t *testing.T) {
+	// FALSE AND <anything> must not need the right side's columns.
+	f := &plan.Const{Val: data.Bool(false)}
+	danger := &plan.ColRef{Index: 99, Typ: data.KindBool} // out of range → NULL, not panic
+	e := &plan.Binary{Op: "AND", L: f, R: danger}
+	if got := e.Eval(data.Row{}, nil); got.B {
+		t.Error("false AND x = false")
+	}
+	tr := &plan.Const{Val: data.Bool(true)}
+	e2 := &plan.Binary{Op: "OR", L: tr, R: danger}
+	if got := e2.Eval(data.Row{}, nil); !got.B {
+		t.Error("true OR x = true")
+	}
+}
+
+func TestNondeterministicBuiltins(t *testing.T) {
+	ctx := &plan.EvalContext{NowNanos: time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC).UnixNano(), Rand: data.NewRand(1)}
+	now := (&plan.Call{Name: "NOW"}).Eval(nil, ctx)
+	if now.AsTime().UTC().Year() != 2020 {
+		t.Errorf("NOW = %v", now)
+	}
+	g1 := (&plan.Call{Name: "NEWGUID"}).Eval(nil, ctx)
+	g2 := (&plan.Call{Name: "NEWGUID"}).Eval(nil, ctx)
+	if g1.S == g2.S {
+		t.Error("NEWGUID must produce fresh values")
+	}
+	r := (&plan.Call{Name: "RANDOM"}).Eval(nil, ctx)
+	if r.F < 0 || r.F >= 1 {
+		t.Errorf("RANDOM = %g", r.F)
+	}
+}
+
+func TestCoalesceAndHashBucket(t *testing.T) {
+	null := &plan.Const{Val: data.Null()}
+	five := &plan.Const{Val: data.Int(5)}
+	c := &plan.Call{Name: "COALESCE", Args: []plan.Expr{null, five}}
+	if got := c.Eval(nil, nil); got.I != 5 {
+		t.Errorf("COALESCE = %v", got)
+	}
+	hb := &plan.Call{Name: "HASHBUCKET", Args: []plan.Expr{&plan.Const{Val: data.String_("key")}, &plan.Const{Val: data.Int(16)}}}
+	got := hb.Eval(nil, nil)
+	if got.I < 0 || got.I >= 16 {
+		t.Errorf("HASHBUCKET = %v", got)
+	}
+	// Stable.
+	if hb.Eval(nil, nil).I != got.I {
+		t.Error("HASHBUCKET must be deterministic")
+	}
+}
+
+func TestParamCanonicalForms(t *testing.T) {
+	p := &plan.Param{Name: "cutoff", Val: data.Int(42)}
+	if p.Canonical() == p.CanonicalRecurring() {
+		t.Error("strict and recurring canonical forms must differ for params")
+	}
+	q := &plan.Param{Name: "cutoff", Val: data.Int(99)}
+	if p.CanonicalRecurring() != q.CanonicalRecurring() {
+		t.Error("recurring form must ignore the value")
+	}
+	if p.Canonical() == q.Canonical() {
+		t.Error("strict form must include the value")
+	}
+}
+
+func TestColumnsUsedAndClone(t *testing.T) {
+	e := &plan.Binary{Op: "+",
+		L: &plan.ColRef{Index: 2, Typ: data.KindInt},
+		R: &plan.Binary{Op: "*",
+			L: &plan.ColRef{Index: 5, Typ: data.KindInt},
+			R: &plan.Const{Val: data.Int(2)}}}
+	used := plan.ColumnsUsed(e)
+	if len(used) != 2 || !used[2] || !used[5] {
+		t.Errorf("ColumnsUsed = %v", used)
+	}
+	c := plan.CloneExpr(e)
+	if c.Canonical() != e.Canonical() {
+		t.Error("clone must render identically")
+	}
+}

@@ -1,0 +1,191 @@
+package plan
+
+import (
+	"sort"
+
+	"cloudviews/internal/data"
+)
+
+// NormalizeExpr canonicalizes an expression tree without changing its
+// semantics: constants fold, AND/OR chains flatten and sort, commutative
+// operands order canonically, double negation drops. Signatures are computed
+// over normalized plans, so this pass determines how much syntactic variation
+// still matches for reuse (the paper: "same logical query subexpressions,
+// with some normalization").
+func NormalizeExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case *Binary:
+		l := NormalizeExpr(x.L)
+		r := NormalizeExpr(x.R)
+
+		switch x.Op {
+		case "AND", "OR":
+			terms := flattenBool(x.Op, l)
+			terms = append(terms, flattenBool(x.Op, r)...)
+			// Fold constant terms.
+			var kept []Expr
+			for _, t := range terms {
+				if c, ok := t.(*Const); ok && c.Val.Kind == data.KindBool {
+					if x.Op == "AND" && !c.Val.B {
+						return &Const{Val: data.Bool(false)}
+					}
+					if x.Op == "OR" && c.Val.B {
+						return &Const{Val: data.Bool(true)}
+					}
+					continue // identity element
+				}
+				kept = append(kept, t)
+			}
+			if len(kept) == 0 {
+				return &Const{Val: data.Bool(x.Op == "AND")}
+			}
+			sort.Slice(kept, func(i, j int) bool { return kept[i].Canonical() < kept[j].Canonical() })
+			out := kept[0]
+			for _, t := range kept[1:] {
+				out = &Binary{Op: x.Op, L: out, R: t}
+			}
+			return out
+
+		case "+", "*", "=", "!=":
+			// '+' concatenates strings, which is not commutative; keep order.
+			stringy := l.Kind() == data.KindString || r.Kind() == data.KindString
+			if !(x.Op == "+" && stringy) && l.Canonical() > r.Canonical() {
+				l, r = r, l
+			}
+		case ">":
+			return NormalizeExpr(&Binary{Op: "<", L: r, R: l})
+		case ">=":
+			return NormalizeExpr(&Binary{Op: "<=", L: r, R: l})
+		}
+
+		folded := tryFoldBinary(x.Op, l, r)
+		if folded != nil {
+			return folded
+		}
+		return &Binary{Op: x.Op, L: l, R: r}
+
+	case *Unary:
+		inner := NormalizeExpr(x.E)
+		if x.Op == "NOT" {
+			if u, ok := inner.(*Unary); ok && u.Op == "NOT" {
+				return u.E // double negation
+			}
+			if c, ok := inner.(*Const); ok && c.Val.Kind == data.KindBool {
+				return &Const{Val: data.Bool(!c.Val.B)}
+			}
+		}
+		if x.Op == "-" {
+			if c, ok := inner.(*Const); ok {
+				switch c.Val.Kind {
+				case data.KindInt:
+					return &Const{Val: data.Int(-c.Val.I)}
+				case data.KindFloat:
+					return &Const{Val: data.Float(-c.Val.F)}
+				}
+			}
+		}
+		return &Unary{Op: x.Op, E: inner}
+
+	case *Call:
+		args := make([]Expr, len(x.Args))
+		allConst := true
+		for i, a := range x.Args {
+			args[i] = NormalizeExpr(a)
+			if _, ok := args[i].(*Const); !ok {
+				allConst = false
+			}
+		}
+		// Fold deterministic calls over constants.
+		if allConst && IsDeterministicFunc(x.Name) && len(args) > 0 {
+			vals := make([]data.Value, len(args))
+			for i, a := range args {
+				vals[i] = a.(*Const).Val
+			}
+			c := &Call{Name: x.Name, Args: args}
+			return &Const{Val: c.Eval(nil, &EvalContext{Rand: data.NewRand(1)})}
+		}
+		return &Call{Name: x.Name, Args: args}
+
+	default:
+		return e
+	}
+}
+
+func flattenBool(op string, e Expr) []Expr {
+	if b, ok := e.(*Binary); ok && b.Op == op {
+		return append(flattenBool(op, b.L), flattenBool(op, b.R)...)
+	}
+	return []Expr{e}
+}
+
+// tryFoldBinary folds arithmetic/comparison over two constants; returns nil
+// when not foldable.
+func tryFoldBinary(op string, l, r Expr) Expr {
+	lc, lok := l.(*Const)
+	rc, rok := r.(*Const)
+	if !lok || !rok {
+		return nil
+	}
+	b := &Binary{Op: op, L: lc, R: rc}
+	return &Const{Val: b.Eval(nil, nil)}
+}
+
+// NormalizeNode canonicalizes all expressions in a plan tree, bottom-up, and
+// orders join key pairs canonically. It returns a new tree; the input is not
+// mutated.
+func NormalizeNode(n Node) Node {
+	return Rewrite(n, func(m Node) Node {
+		switch x := m.(type) {
+		case *Filter:
+			cp := *x
+			cp.Pred = NormalizeExpr(x.Pred)
+			return &cp
+		case *Project:
+			cp := *x
+			cp.Exprs = make([]Expr, len(x.Exprs))
+			for i, e := range x.Exprs {
+				cp.Exprs[i] = NormalizeExpr(e)
+			}
+			return &cp
+		case *Join:
+			cp := *x
+			type pair struct {
+				l, r Expr
+				key  string
+			}
+			pairs := make([]pair, len(x.LeftKeys))
+			for i := range x.LeftKeys {
+				l := NormalizeExpr(x.LeftKeys[i])
+				r := NormalizeExpr(x.RightKeys[i])
+				pairs[i] = pair{l: l, r: r, key: l.Canonical() + "=" + r.Canonical()}
+			}
+			sort.Slice(pairs, func(i, j int) bool { return pairs[i].key < pairs[j].key })
+			cp.LeftKeys = make([]Expr, len(pairs))
+			cp.RightKeys = make([]Expr, len(pairs))
+			for i, p := range pairs {
+				cp.LeftKeys[i], cp.RightKeys[i] = p.l, p.r
+			}
+			if x.Residual != nil {
+				cp.Residual = NormalizeExpr(x.Residual)
+			}
+			return &cp
+		case *Aggregate:
+			cp := *x
+			cp.GroupBy = make([]Expr, len(x.GroupBy))
+			for i, g := range x.GroupBy {
+				cp.GroupBy[i] = NormalizeExpr(g)
+			}
+			cp.Aggs = make([]AggSpec, len(x.Aggs))
+			for i, s := range x.Aggs {
+				ns := s
+				if s.Arg != nil {
+					ns.Arg = NormalizeExpr(s.Arg)
+				}
+				cp.Aggs[i] = ns
+			}
+			return &cp
+		default:
+			return m
+		}
+	})
+}

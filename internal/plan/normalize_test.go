@@ -1,0 +1,193 @@
+package plan_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cloudviews/internal/data"
+	"cloudviews/internal/plan"
+)
+
+func col(i int, name string) plan.Expr {
+	return &plan.ColRef{Index: i, Name: name, Typ: data.KindInt}
+}
+
+func lit(v int64) plan.Expr { return &plan.Const{Val: data.Int(v)} }
+
+func bin(op string, l, r plan.Expr) plan.Expr { return &plan.Binary{Op: op, L: l, R: r} }
+
+func TestNormalizeCommutativeOrder(t *testing.T) {
+	a := bin("=", col(0, "a"), col(1, "b"))
+	b := bin("=", col(1, "b"), col(0, "a"))
+	if plan.NormalizeExpr(a).Canonical() != plan.NormalizeExpr(b).Canonical() {
+		t.Error("a=b and b=a must normalize identically")
+	}
+}
+
+func TestNormalizeAndOrderAndFlatten(t *testing.T) {
+	p1 := bin("AND", bin("AND", col(0, "a"), col(1, "b")), col(2, "c"))
+	p2 := bin("AND", col(2, "c"), bin("AND", col(1, "b"), col(0, "a")))
+	if plan.NormalizeExpr(p1).Canonical() != plan.NormalizeExpr(p2).Canonical() {
+		t.Error("AND chains must normalize to canonical order")
+	}
+}
+
+func TestNormalizeComparisonFlip(t *testing.T) {
+	gt := bin(">", col(0, "a"), lit(5))
+	lt := bin("<", lit(5), col(0, "a"))
+	if plan.NormalizeExpr(gt).Canonical() != plan.NormalizeExpr(lt).Canonical() {
+		t.Errorf("a>5 and 5<a must match: %s vs %s",
+			plan.NormalizeExpr(gt).Canonical(), plan.NormalizeExpr(lt).Canonical())
+	}
+}
+
+func TestNormalizeConstantFolding(t *testing.T) {
+	e := bin("+", lit(2), lit(3))
+	n := plan.NormalizeExpr(e)
+	c, ok := n.(*plan.Const)
+	if !ok || c.Val.I != 5 {
+		t.Errorf("2+3 should fold to 5, got %s", n.Canonical())
+	}
+}
+
+func TestNormalizeBoolShortcuts(t *testing.T) {
+	f := &plan.Const{Val: data.Bool(false)}
+	tr := &plan.Const{Val: data.Bool(true)}
+	e := bin("AND", col(0, "a"), f)
+	if n := plan.NormalizeExpr(e); n.Canonical() != f.Canonical() {
+		t.Errorf("x AND false should fold to false, got %s", n.Canonical())
+	}
+	e2 := bin("OR", col(0, "a"), tr)
+	if n := plan.NormalizeExpr(e2); n.Canonical() != tr.Canonical() {
+		t.Errorf("x OR true should fold to true, got %s", n.Canonical())
+	}
+	e3 := bin("AND", col(0, "a"), tr)
+	if n := plan.NormalizeExpr(e3); n.Canonical() != col(0, "a").Canonical() {
+		t.Errorf("x AND true should fold to x, got %s", n.Canonical())
+	}
+}
+
+func TestNormalizeDoubleNegation(t *testing.T) {
+	e := &plan.Unary{Op: "NOT", E: &plan.Unary{Op: "NOT", E: col(0, "a")}}
+	if n := plan.NormalizeExpr(e); n.Canonical() != col(0, "a").Canonical() {
+		t.Errorf("NOT NOT x should fold, got %s", n.Canonical())
+	}
+}
+
+func TestNormalizeStringConcatNotReordered(t *testing.T) {
+	a := &plan.Const{Val: data.String_("a")}
+	b := &plan.Const{Val: data.String_("b")}
+	n := plan.NormalizeExpr(bin("+", b, a))
+	c, ok := n.(*plan.Const)
+	if !ok || c.Val.S != "ba" {
+		t.Errorf("string concat must preserve order, got %s", n.Canonical())
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	exprs := []plan.Expr{
+		bin("AND", bin(">", col(0, "a"), lit(1)), bin("=", col(1, "b"), col(2, "c"))),
+		bin("OR", bin("<=", lit(3), col(0, "a")), &plan.Unary{Op: "NOT", E: col(1, "b")}),
+		bin("*", bin("+", col(0, "a"), lit(0)), lit(2)),
+	}
+	for _, e := range exprs {
+		once := plan.NormalizeExpr(e)
+		twice := plan.NormalizeExpr(once)
+		if once.Canonical() != twice.Canonical() {
+			t.Errorf("not idempotent: %s -> %s", once.Canonical(), twice.Canonical())
+		}
+	}
+}
+
+// Property: normalization preserves evaluation on random rows for a family of
+// generated predicates.
+func TestNormalizePreservesSemantics(t *testing.T) {
+	f := func(av, bv int64, opPick uint8, flip bool) bool {
+		ops := []string{"=", "!=", "<", "<=", ">", ">="}
+		op := ops[int(opPick)%len(ops)]
+		var e plan.Expr = bin(op, col(0, "a"), col(1, "b"))
+		if flip {
+			e = bin("AND", e, bin("=", lit(1), lit(1)))
+		}
+		row := data.Row{data.Int(av), data.Int(bv)}
+		before := e.Eval(row, nil)
+		after := plan.NormalizeExpr(e).Eval(row, nil)
+		return before.Equal(after)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeNodeJoinKeyOrder(t *testing.T) {
+	mk := func(swapped bool) plan.Node {
+		l := &plan.Scan{Dataset: "L", Out: data.Schema{{Name: "a", Kind: data.KindInt}, {Name: "b", Kind: data.KindInt}}}
+		r := &plan.Scan{Dataset: "R", Out: data.Schema{{Name: "x", Kind: data.KindInt}, {Name: "y", Kind: data.KindInt}}}
+		j := &plan.Join{L: l, R: r}
+		if swapped {
+			j.LeftKeys = []plan.Expr{col(1, "b"), col(0, "a")}
+			j.RightKeys = []plan.Expr{col(1, "y"), col(0, "x")}
+		} else {
+			j.LeftKeys = []plan.Expr{col(0, "a"), col(1, "b")}
+			j.RightKeys = []plan.Expr{col(0, "x"), col(1, "y")}
+		}
+		return j
+	}
+	n1 := plan.NormalizeNode(mk(false))
+	n2 := plan.NormalizeNode(mk(true))
+	if n1.Attrs(false) != n2.Attrs(false) {
+		t.Errorf("join key order should canonicalize:\n%s\n%s", n1.Attrs(false), n2.Attrs(false))
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%llo", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_lo", false},
+		{"", "%", true},
+		{"abc", "", false},
+		{"a%b", "a%b", true},
+	}
+	for _, c := range cases {
+		e := bin("LIKE", &plan.Const{Val: data.String_(c.s)}, &plan.Const{Val: data.String_(c.p)})
+		got := e.Eval(nil, nil)
+		if got.B != c.want {
+			t.Errorf("LIKE(%q,%q) = %v, want %v", c.s, c.p, got.B, c.want)
+		}
+	}
+}
+
+func TestRemapColumns(t *testing.T) {
+	e := bin("+", col(2, "a"), col(5, "b"))
+	m := plan.RemapColumns(e, map[int]int{2: 0, 5: 1})
+	row := data.Row{data.Int(10), data.Int(20)}
+	if got := m.Eval(row, nil); got.I != 30 {
+		t.Errorf("remapped eval = %v, want 30", got)
+	}
+	// Original untouched.
+	longRow := data.Row{data.Int(0), data.Int(0), data.Int(1), data.Int(0), data.Int(0), data.Int(2)}
+	if got := e.Eval(longRow, nil); got.I != 3 {
+		t.Errorf("original mutated: %v", got)
+	}
+}
+
+func TestHasNondeterminism(t *testing.T) {
+	det := &plan.Call{Name: "LOWER", Args: []plan.Expr{col(0, "a")}}
+	nondet := &plan.Call{Name: "NOW"}
+	if plan.HasNondeterminism(det) {
+		t.Error("LOWER is deterministic")
+	}
+	if !plan.HasNondeterminism(nondet) {
+		t.Error("NOW is non-deterministic")
+	}
+	nested := bin("AND", col(0, "a"), &plan.Call{Name: "RANDOM"})
+	if !plan.HasNondeterminism(nested) {
+		t.Error("nested RANDOM must be detected")
+	}
+}

@@ -1,0 +1,119 @@
+package plan
+
+import (
+	"strings"
+	"sync"
+
+	"cloudviews/internal/data"
+)
+
+// UDOImpl is the executable implementation of a user-defined operator. SCOPE
+// UDOs are arbitrary C# row processors; here they are Go functions registered
+// by name. Apply may emit zero or more rows per input row.
+type UDOImpl struct {
+	Name string
+	// OutSchema derives the output schema from the input schema.
+	OutSchema func(in data.Schema) data.Schema
+	// Apply processes one input row.
+	Apply func(in data.Row, emit func(data.Row), ctx *EvalContext)
+	// Deterministic reports whether the implementation is free of
+	// non-determinism. Operators marked false are excluded from reuse, per
+	// the paper's signature-correctness policy.
+	Deterministic bool
+}
+
+var (
+	udoMu       sync.RWMutex
+	udoRegistry = map[string]*UDOImpl{}
+)
+
+// RegisterUDO installs an implementation, replacing any previous registration
+// with the same (case-insensitive) name.
+func RegisterUDO(impl *UDOImpl) {
+	udoMu.Lock()
+	defer udoMu.Unlock()
+	udoRegistry[strings.ToLower(impl.Name)] = impl
+}
+
+// LookupUDO finds a registered implementation.
+func LookupUDO(name string) (*UDOImpl, bool) {
+	udoMu.RLock()
+	defer udoMu.RUnlock()
+	impl, ok := udoRegistry[strings.ToLower(name)]
+	return impl, ok
+}
+
+func init() {
+	// NormalizeStrings lower-cases every string column: a typical cleansing
+	// UDO in cooking pipelines.
+	RegisterUDO(&UDOImpl{
+		Name:          "NormalizeStrings",
+		Deterministic: true,
+		OutSchema:     func(in data.Schema) data.Schema { return in.Clone() },
+		Apply: func(in data.Row, emit func(data.Row), _ *EvalContext) {
+			out := in.Clone()
+			for i, v := range out {
+				if v.Kind == data.KindString {
+					out[i] = data.String_(strings.ToLower(v.S))
+				}
+			}
+			emit(out)
+		},
+	})
+
+	// DropEmpty filters out rows whose first string column is empty —
+	// a validity scrubber.
+	RegisterUDO(&UDOImpl{
+		Name:          "DropEmpty",
+		Deterministic: true,
+		OutSchema:     func(in data.Schema) data.Schema { return in.Clone() },
+		Apply: func(in data.Row, emit func(data.Row), _ *EvalContext) {
+			for _, v := range in {
+				if v.Kind == data.KindString {
+					if v.S == "" {
+						return
+					}
+					break
+				}
+			}
+			emit(in)
+		},
+	})
+
+	// AddRowTag appends a deterministic hash column, as enrichment UDOs do.
+	RegisterUDO(&UDOImpl{
+		Name:          "AddRowTag",
+		Deterministic: true,
+		OutSchema: func(in data.Schema) data.Schema {
+			out := in.Clone()
+			return append(out, data.Column{Name: "row_tag", Kind: data.KindInt})
+		},
+		Apply: func(in data.Row, emit func(data.Row), _ *EvalContext) {
+			var h uint64 = 1469598103934665603
+			for _, v := range in {
+				for _, c := range []byte(v.String()) {
+					h = (h ^ uint64(c)) * 1099511628211
+				}
+			}
+			out := in.Clone()
+			out = append(out, data.Int(int64(h&0x7fffffffffffffff)))
+			emit(out)
+		},
+	})
+
+	// StampIngestTime appends the current time — non-deterministic BY DESIGN,
+	// the paper's DateTime.Now example. Reuse must skip plans containing it.
+	RegisterUDO(&UDOImpl{
+		Name:          "StampIngestTime",
+		Deterministic: false,
+		OutSchema: func(in data.Schema) data.Schema {
+			out := in.Clone()
+			return append(out, data.Column{Name: "ingest_time", Kind: data.KindTime})
+		},
+		Apply: func(in data.Row, emit func(data.Row), ctx *EvalContext) {
+			out := in.Clone()
+			out = append(out, data.Value{Kind: data.KindTime, I: ctx.NowNanos})
+			emit(out)
+		},
+	})
+}

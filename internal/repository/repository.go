@@ -1,0 +1,272 @@
+// Package repository implements the workload repository at the root of the
+// CloudViews architecture: a denormalized subexpressions table that pre-joins
+// each logical query subexpression with the runtime metrics observed for it,
+// plus the per-job telemetry the workload analyses read (Figures 2, 3, 8, 9
+// all derive from this store).
+package repository
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"cloudviews/internal/signature"
+)
+
+// SubexprRecord is one row of the denormalized subexpressions table.
+type SubexprRecord struct {
+	JobID     string
+	Strict    signature.Sig
+	Recurring signature.Sig
+	Op        string
+	Height    int
+	NodeCount int
+	Eligible  signature.Eligibility
+	// InputDatasets is the sorted set of base datasets under the
+	// subexpression (drives the Figure 8 generalized-reuse analysis).
+	InputDatasets []string
+	// Runtime metrics (the "pre-joined" half of the table). Zero when the
+	// subexpression was compiled but its stats were not observed. Work is
+	// the SUBTREE cost in container-seconds — what a reuse of this
+	// subexpression saves.
+	Rows  int64
+	Bytes int64
+	Work  float64
+	// JoinAlgo is set for join subexpressions ("Hash Join", ...).
+	JoinAlgo string
+	// Reused marks subexpressions served from a materialized view.
+	Reused bool
+	// Parent is the index of the parent subexpression within the job's
+	// Subexprs slice, or -1 for the root.
+	Parent int
+}
+
+// JobRecord is the per-job telemetry row.
+type JobRecord struct {
+	JobID    string
+	Cluster  string
+	VC       string
+	Pipeline string
+	User     string
+	// Template is the job's recurring root signature; Tag its insights tag.
+	Template signature.Sig
+	Tag      signature.Tag
+	Runtime  string // SCOPE runtime version
+	Submit   time.Time
+	Start    time.Time
+	End      time.Time
+
+	// Outcome metrics.
+	LatencySec    float64
+	ProcessingSec float64
+	BonusSec      float64
+	Containers    int
+	InputBytes    int64
+	DataReadBytes int64
+	QueueLen      int
+	ViewsBuilt    int
+	ViewsReused   int
+
+	Subexprs []SubexprRecord
+}
+
+// Repo is the thread-safe workload repository.
+type Repo struct {
+	mu   sync.RWMutex
+	jobs []*JobRecord
+}
+
+// New creates an empty repository.
+func New() *Repo { return &Repo{} }
+
+// Add appends a job record.
+func (r *Repo) Add(j *JobRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.jobs = append(r.jobs, j)
+}
+
+// Len returns the number of job records.
+func (r *Repo) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.jobs)
+}
+
+// Jobs returns all records in insertion order. The returned slice is shared;
+// callers must not mutate it.
+func (r *Repo) Jobs() []*JobRecord {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.jobs
+}
+
+// JobsBetween returns records with Submit in [from, to).
+func (r *Repo) JobsBetween(from, to time.Time) []*JobRecord {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*JobRecord
+	for _, j := range r.jobs {
+		if !j.Submit.Before(from) && j.Submit.Before(to) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// SubexprCount returns the total number of subexpression rows.
+func (r *Repo) SubexprCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, j := range r.jobs {
+		n += len(j.Subexprs)
+	}
+	return n
+}
+
+// GroupStat aggregates the occurrences of one recurring subexpression.
+type GroupStat struct {
+	Recurring signature.Sig
+	Op        string
+	Count     int
+	// DistinctStrict counts distinct instances (distinct inputs/params).
+	DistinctStrict int
+	AvgRows        float64
+	AvgBytes       float64
+	AvgWork        float64
+	Eligible       bool
+	InputDatasets  []string
+	VCs            []string
+	// VCCounts maps each VC to the number of occurrences it contributed.
+	VCCounts map[string]int
+	Jobs     []string
+	// Submits are the submission times of each occurrence's job, used by
+	// schedule-aware view selection; SubmitStrict[i] is the strict signature
+	// of the i-th occurrence (reuse only happens among occurrences sharing a
+	// strict instance).
+	Submits      []time.Time
+	SubmitStrict []signature.Sig
+	// Height of the subexpression (operator tree height).
+	Height int
+}
+
+// GroupByRecurring folds the subexpressions table by recurring signature —
+// the unit of workload analysis and view selection. Only jobs in [from, to)
+// participate.
+func (r *Repo) GroupByRecurring(from, to time.Time) map[signature.Sig]*GroupStat {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	groups := make(map[signature.Sig]*GroupStat)
+	strictSeen := make(map[signature.Sig]map[signature.Sig]bool)
+	vcSeen := make(map[signature.Sig]map[string]bool)
+	for _, j := range r.jobs {
+		if j.Submit.Before(from) || !j.Submit.Before(to) {
+			continue
+		}
+		for _, s := range j.Subexprs {
+			g, ok := groups[s.Recurring]
+			if !ok {
+				g = &GroupStat{
+					Recurring:     s.Recurring,
+					Op:            s.Op,
+					Eligible:      s.Eligible == signature.EligibleOK,
+					InputDatasets: s.InputDatasets,
+					Height:        s.Height,
+				}
+				g.VCCounts = make(map[string]int)
+				groups[s.Recurring] = g
+				strictSeen[s.Recurring] = make(map[signature.Sig]bool)
+				vcSeen[s.Recurring] = make(map[string]bool)
+			}
+			g.Count++
+			g.AvgRows += float64(s.Rows)
+			g.AvgBytes += float64(s.Bytes)
+			g.AvgWork += s.Work
+			g.Jobs = append(g.Jobs, j.JobID)
+			g.Submits = append(g.Submits, j.Submit)
+			g.SubmitStrict = append(g.SubmitStrict, s.Strict)
+			g.VCCounts[j.VC]++
+			strictSeen[s.Recurring][s.Strict] = true
+			vcSeen[s.Recurring][j.VC] = true
+		}
+	}
+	for sig, g := range groups {
+		n := float64(g.Count)
+		g.AvgRows /= n
+		g.AvgBytes /= n
+		g.AvgWork /= n
+		g.DistinctStrict = len(strictSeen[sig])
+		for vc := range vcSeen[sig] {
+			g.VCs = append(g.VCs, vc)
+		}
+		sort.Strings(g.VCs)
+	}
+	return groups
+}
+
+// DatasetConsumers returns, per dataset, the set of distinct consumers
+// (pipelines) that scanned it — the Figure 2 quantity.
+func (r *Repo) DatasetConsumers(from, to time.Time, clusterName string) map[string]map[string]bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]map[string]bool)
+	for _, j := range r.jobs {
+		if clusterName != "" && j.Cluster != clusterName {
+			continue
+		}
+		if j.Submit.Before(from) || !j.Submit.Before(to) {
+			continue
+		}
+		for _, s := range j.Subexprs {
+			if s.Op != "Scan" {
+				continue
+			}
+			for _, ds := range s.InputDatasets {
+				set, ok := out[ds]
+				if !ok {
+					set = make(map[string]bool)
+					out[ds] = set
+				}
+				set[j.Pipeline] = true
+			}
+		}
+	}
+	return out
+}
+
+// JoinExecution is one executed join instance with its job's execution
+// window, used by the concurrency analysis (Figure 9).
+type JoinExecution struct {
+	Recurring signature.Sig
+	Algo      string
+	Start     time.Time
+	End       time.Time
+}
+
+// JoinExecutions returns all join subexpression executions in the window.
+func (r *Repo) JoinExecutions(from, to time.Time, clusterName string) []JoinExecution {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []JoinExecution
+	for _, j := range r.jobs {
+		if clusterName != "" && j.Cluster != clusterName {
+			continue
+		}
+		if j.Submit.Before(from) || !j.Submit.Before(to) {
+			continue
+		}
+		for _, s := range j.Subexprs {
+			if s.Op != "Join" || s.JoinAlgo == "" {
+				continue
+			}
+			out = append(out, JoinExecution{
+				Recurring: s.Recurring,
+				Algo:      s.JoinAlgo,
+				Start:     j.Start,
+				End:       j.End,
+			})
+		}
+	}
+	return out
+}

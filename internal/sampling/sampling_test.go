@@ -1,0 +1,171 @@
+package sampling_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cloudviews/internal/data"
+	"cloudviews/internal/fixtures"
+	"cloudviews/internal/sampling"
+	"cloudviews/internal/storage"
+)
+
+// seedView materializes a 10k-row view with known aggregates.
+func seedView(t *testing.T) (*storage.Store, *data.Table) {
+	t.Helper()
+	store := storage.NewStore(func() time.Time { return fixtures.Epoch })
+	schema := data.Schema{
+		{Name: "UserId", Kind: data.KindInt},
+		{Name: "Value", Kind: data.KindFloat},
+		{Name: "Region", Kind: data.KindString},
+	}
+	tb := data.NewTable(schema)
+	rng := data.NewRand(7)
+	regions := []string{"us", "eu", "asia"}
+	for i := 0; i < 10000; i++ {
+		tb.Append(data.Row{
+			data.Int(int64(i)),
+			data.Float(rng.Float64() * 100),
+			data.String_(regions[rng.Intn(3)]),
+		})
+	}
+	if err := store.Materialize("view-1", "p", tb, 1); err != nil {
+		t.Fatal(err)
+	}
+	store.Seal("view-1")
+	return store, tb
+}
+
+func TestSampleViewSize(t *testing.T) {
+	store, _ := seedView(t)
+	s := sampling.NewStore()
+	sv, err := s.SampleView(store, "view-1", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := sv.Table.NumRows()
+	if n < 700 || n > 1300 {
+		t.Errorf("10%% of 10000 = %d rows; want ~1000", n)
+	}
+	if _, ok := s.Lookup("view-1", 10); !ok {
+		t.Error("sample not stored")
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	store, _ := seedView(t)
+	s1, _ := sampling.NewStore().SampleView(store, "view-1", 20)
+	s2, _ := sampling.NewStore().SampleView(store, "view-1", 20)
+	if s1.Table.Fingerprint() != s2.Table.Fingerprint() {
+		t.Error("samples must be deterministic")
+	}
+}
+
+func TestSampleErrors(t *testing.T) {
+	store, _ := seedView(t)
+	s := sampling.NewStore()
+	if _, err := s.SampleView(store, "view-1", 0); err == nil {
+		t.Error("0% must fail")
+	}
+	if _, err := s.SampleView(store, "view-1", 150); err == nil {
+		t.Error(">100% must fail")
+	}
+	if _, err := s.SampleView(store, "missing", 10); err == nil {
+		t.Error("unknown view must fail")
+	}
+}
+
+func TestApproxCountWithinTolerance(t *testing.T) {
+	store, full := seedView(t)
+	s := sampling.NewStore()
+	sv, err := s.SampleView(store, "view-1", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact: rows with Value > 50.
+	exact := 0
+	for _, r := range full.Rows {
+		if r[1].F > 50 {
+			exact++
+		}
+	}
+	est := sv.ApproxCount(func(r data.Row) bool { return r[1].F > 50 })
+	relErr := math.Abs(est.Value-float64(exact)) / float64(exact)
+	if relErr > 0.15 {
+		t.Errorf("approx count %0.f vs exact %d: rel err %.3f too large", est.Value, exact, relErr)
+	}
+	if est.HalfWidth <= 0 || est.SampleSize == 0 {
+		t.Errorf("estimate metadata missing: %+v", est)
+	}
+}
+
+func TestApproxSumWithinTolerance(t *testing.T) {
+	store, full := seedView(t)
+	s := sampling.NewStore()
+	sv, err := s.SampleView(store, "view-1", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exact float64
+	for _, r := range full.Rows {
+		exact += r[1].F
+	}
+	est, err := sv.ApproxSum("Value")
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr := math.Abs(est.Value-exact) / exact
+	if relErr > 0.1 {
+		t.Errorf("approx sum %.0f vs exact %.0f: rel err %.3f", est.Value, exact, relErr)
+	}
+	if _, err := sv.ApproxSum("missing"); err == nil {
+		t.Error("unknown column must fail")
+	}
+}
+
+func TestScaledViewEstimates(t *testing.T) {
+	// Views with a logical multiplier scale estimates up accordingly.
+	store := storage.NewStore(func() time.Time { return fixtures.Epoch })
+	schema := data.Schema{{Name: "v", Kind: data.KindInt}}
+	tb := data.NewTable(schema)
+	for i := 0; i < 1000; i++ {
+		tb.Append(data.Row{data.Int(int64(i))})
+	}
+	_ = store.Materialize("big", "p", tb, 1000) // logical 1M rows
+	store.Seal("big")
+	sv, err := sampling.NewStore().SampleView(store, "big", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := sv.ApproxCount(func(data.Row) bool { return true })
+	if est.Value < 0.8e6 || est.Value > 1.2e6 {
+		t.Errorf("scaled count = %.0f, want ~1M", est.Value)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	_, full := seedView(t)
+	stats := sampling.Describe(full)
+	if len(stats) != 3 {
+		t.Fatalf("stats = %d", len(stats))
+	}
+	byName := map[string]sampling.ColumnStats{}
+	for _, st := range stats {
+		byName[st.Column] = st
+	}
+	uid := byName["UserId"]
+	if uid.Count != 10000 || uid.Distinct != 10000 {
+		t.Errorf("UserId stats: %+v", uid)
+	}
+	if uid.Min.I != 0 || uid.Max.I != 9999 {
+		t.Errorf("UserId min/max: %v/%v", uid.Min, uid.Max)
+	}
+	if math.Abs(uid.Mean-4999.5) > 0.5 {
+		t.Errorf("UserId mean = %g", uid.Mean)
+	}
+	reg := byName["Region"]
+	if reg.Distinct != 3 {
+		t.Errorf("Region distinct = %d", reg.Distinct)
+	}
+}

@@ -1,0 +1,412 @@
+// Package signature computes the subexpression signatures at the heart of
+// CloudViews. A *strict* signature uniquely identifies a logical
+// subexpression instance including its inputs (dataset version GUIDs) and
+// bound parameter values: two plans with equal strict signatures compute
+// byte-identical results, so view matching is a hash-equality check. A
+// *recurring* signature discards the time-varying attributes (GUIDs and
+// parameter values) and therefore stays stable across instances of a
+// recurring job, which is what workload analysis selects on.
+//
+// Signatures incorporate the engine runtime version: when the optimizer
+// representation changes, all signatures change and all materialized views
+// are invalidated, exactly the operational behaviour §4 of the paper
+// describes ("Impact of changed signatures").
+package signature
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"cloudviews/internal/plan"
+)
+
+// Sig is a hex-encoded signature hash.
+type Sig string
+
+// Short returns a 12-character prefix for display.
+func (s Sig) Short() string {
+	if len(s) <= 12 {
+		return string(s)
+	}
+	return string(s[:12])
+}
+
+// Tag groups the signatures relevant to one recurring job, used by the
+// insights service index ("generate tags for each of the signatures that help
+// fetch relevant signatures for a given SCOPE job").
+type Tag string
+
+// Eligibility classifies whether a subexpression may participate in reuse.
+type Eligibility uint8
+
+const (
+	// EligibleOK: the subexpression may be materialized and reused.
+	EligibleOK Eligibility = iota
+	// IneligibleTrivial: bare scans and other free computations; nothing to save.
+	IneligibleTrivial
+	// IneligibleNondetUDO: subtree contains a UDO with by-design
+	// non-determinism (DateTime.Now, Guid.NewGuid, ...).
+	IneligibleNondetUDO
+	// IneligibleNondetFunc: a scalar expression calls a non-deterministic builtin.
+	IneligibleNondetFunc
+	// IneligibleDeepDeps: the UDO library dependency chain is too deep to
+	// traverse safely at compile time.
+	IneligibleDeepDeps
+	// IneligibleOutput: Output roots are job boundaries, never views.
+	IneligibleOutput
+)
+
+// String names the eligibility class.
+func (e Eligibility) String() string {
+	switch e {
+	case EligibleOK:
+		return "ok"
+	case IneligibleTrivial:
+		return "trivial"
+	case IneligibleNondetUDO:
+		return "nondeterministic-udo"
+	case IneligibleNondetFunc:
+		return "nondeterministic-func"
+	case IneligibleDeepDeps:
+		return "deep-dependency-chain"
+	case IneligibleOutput:
+		return "output-boundary"
+	default:
+		return fmt.Sprintf("eligibility(%d)", uint8(e))
+	}
+}
+
+// Subexpr describes one subexpression of a plan with both signatures.
+type Subexpr struct {
+	Node        plan.Node
+	Strict      Sig
+	Recurring   Sig
+	Op          string
+	Height      int // leaf = 1
+	NodeCount   int
+	Eligibility Eligibility
+	// InputDatasets is the sorted set of base datasets under this node, used
+	// by the generalized-reuse analysis (Figure 8).
+	InputDatasets []string
+	// Parent is the index (within the enumeration) of this subexpression's
+	// parent operator, or -1 for the root. Selection algorithms use it to
+	// discount nested candidates.
+	Parent int
+}
+
+// Signer computes signatures with a fixed engine version and UDO policy.
+type Signer struct {
+	// EngineVersion is folded into every hash; bumping it invalidates all
+	// previously materialized views.
+	EngineVersion string
+	// MaxUDODepDepth bounds the library dependency chain the signer is
+	// willing to traverse; deeper chains make the subexpression ineligible.
+	// Zero means the default of 8.
+	MaxUDODepDepth int
+}
+
+func (s *Signer) maxDepth() int {
+	if s.MaxUDODepDepth <= 0 {
+		return 8
+	}
+	return s.MaxUDODepDepth
+}
+
+func (s *Signer) hash(parts ...string) Sig {
+	h := sha256.New()
+	h.Write([]byte("v=" + s.EngineVersion))
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	return Sig(hex.EncodeToString(h.Sum(nil)[:16]))
+}
+
+// Strict computes the strict signature of a plan subtree.
+func (s *Signer) Strict(n plan.Node) Sig {
+	return s.signNode(n, false)
+}
+
+// Recurring computes the recurring signature of a plan subtree.
+func (s *Signer) Recurring(n plan.Node) Sig {
+	return s.signNode(n, true)
+}
+
+func (s *Signer) signNode(n plan.Node, recurring bool) Sig {
+	// Spool is transparent: materializing a subexpression must not change
+	// its identity, or the first job's own plan would stop matching.
+	if sp, ok := n.(*plan.Spool); ok {
+		return s.signNode(sp.Child, recurring)
+	}
+	// A ViewScan stands for the subexpression it replaced: it reports that
+	// subexpression's signatures so ancestor signatures are rewrite-stable.
+	if vs, ok := n.(*plan.ViewScan); ok {
+		if recurring {
+			return Sig(vs.RecurringSig)
+		}
+		return Sig(vs.StrictSig)
+	}
+	children := n.Children()
+	parts := make([]string, 0, len(children)+2)
+	parts = append(parts, "op="+n.OpName(), "attrs="+n.Attrs(recurring))
+	for _, c := range children {
+		parts = append(parts, string(s.signNode(c, recurring)))
+	}
+	return s.hash(parts...)
+}
+
+// JobTag derives the tag for a job plan: the recurring signature of its root.
+// All annotations for the job's template are indexed under this tag.
+func (s *Signer) JobTag(root plan.Node) Tag {
+	return TagForTemplate(s.Recurring(root))
+}
+
+// TagForTemplate builds the insights tag for a job template (recurring root)
+// signature; workload analysis uses it to publish annotations where the
+// compiler will look for them.
+func TagForTemplate(template Sig) Tag {
+	return Tag("tag-" + template.Short())
+}
+
+// Physical computes per-node PHYSICAL signatures: unlike strict signatures,
+// ViewScan hashes as itself (not as the subexpression it replaced) and Spool
+// is a real operator. Two nodes share a physical signature only when their
+// subtrees execute identically, which is what the executor's result cache
+// keys on — a plan that reuses a view must never replay the accounting of the
+// plan that computed it.
+func (s *Signer) Physical(root plan.Node) map[plan.Node]Sig {
+	out := make(map[plan.Node]Sig)
+	var rec func(n plan.Node) Sig
+	rec = func(n plan.Node) Sig {
+		parts := []string{"phys-op=" + n.OpName(), "attrs=" + n.Attrs(false)}
+		if vs, ok := n.(*plan.ViewScan); ok {
+			parts = append(parts, "view="+vs.StrictSig)
+		}
+		for _, c := range n.Children() {
+			parts = append(parts, string(rec(c)))
+		}
+		sig := s.hash(parts...)
+		out[n] = sig
+		return sig
+	}
+	rec(root)
+	return out
+}
+
+// Subexpressions enumerates every subexpression of the plan bottom-up,
+// computing both signatures in a single pass and classifying eligibility.
+func (s *Signer) Subexpressions(root plan.Node) []Subexpr {
+	var out []Subexpr
+	var rec func(n plan.Node) (strict, recur Sig, height, count int, datasets map[string]bool, elig Eligibility, idx int)
+	rec = func(n plan.Node) (Sig, Sig, int, int, map[string]bool, Eligibility, int) {
+		if sp, ok := n.(*plan.Spool); ok {
+			return rec(sp.Child)
+		}
+		if vs, ok := n.(*plan.ViewScan); ok {
+			out = append(out, Subexpr{
+				Node:        vs,
+				Strict:      Sig(vs.StrictSig),
+				Recurring:   Sig(vs.RecurringSig),
+				Op:          "ViewScan",
+				Height:      1,
+				NodeCount:   1,
+				Eligibility: IneligibleTrivial,
+				Parent:      -1,
+			})
+			return Sig(vs.StrictSig), Sig(vs.RecurringSig), 1, 1, map[string]bool{}, EligibleOK, len(out) - 1
+		}
+		children := n.Children()
+		strictParts := []string{"op=" + n.OpName(), "attrs=" + n.Attrs(false)}
+		recurParts := []string{"op=" + n.OpName(), "attrs=" + n.Attrs(true)}
+		height, count := 1, 1
+		datasets := make(map[string]bool)
+		elig := EligibleOK
+		var childIdx []int
+		for _, c := range children {
+			cs, cr, ch, cc, cd, ce, ci := rec(c)
+			strictParts = append(strictParts, string(cs))
+			recurParts = append(recurParts, string(cr))
+			childIdx = append(childIdx, ci)
+			if ch+1 > height {
+				height = ch + 1
+			}
+			count += cc
+			for d := range cd {
+				datasets[d] = true
+			}
+			if ce != EligibleOK {
+				elig = ce
+			}
+		}
+		// Node-local eligibility checks, applied after child propagation so
+		// the most specific child reason survives.
+		if elig == EligibleOK {
+			elig = s.nodeEligibility(n)
+		}
+		strict := s.hash(strictParts...)
+		recur := s.hash(recurParts...)
+		if sc, ok := n.(*plan.Scan); ok {
+			datasets[sc.Dataset] = true
+		}
+
+		nodeElig := elig
+		switch n.(type) {
+		case *plan.Scan, *plan.ViewScan:
+			// A bare scan is never worth materializing on its own.
+			nodeElig = IneligibleTrivial
+		case *plan.Output:
+			nodeElig = IneligibleOutput
+		}
+		if nodeElig == IneligibleTrivial && elig != EligibleOK {
+			nodeElig = elig
+		}
+
+		dsList := make([]string, 0, len(datasets))
+		for d := range datasets {
+			dsList = append(dsList, d)
+		}
+		sort.Strings(dsList)
+		out = append(out, Subexpr{
+			Node:          n,
+			Strict:        strict,
+			Recurring:     recur,
+			Op:            n.OpName(),
+			Height:        height,
+			NodeCount:     count,
+			Eligibility:   nodeElig,
+			InputDatasets: dsList,
+			Parent:        -1,
+		})
+		self := len(out) - 1
+		for _, ci := range childIdx {
+			out[ci].Parent = self
+		}
+		return strict, recur, height, count, datasets, elig, self
+	}
+	rec(root)
+	return out
+}
+
+// nodeEligibility checks reuse hazards local to one operator.
+func (s *Signer) nodeEligibility(n plan.Node) Eligibility {
+	switch x := n.(type) {
+	case *plan.UDO:
+		if x.Nondet {
+			return IneligibleNondetUDO
+		}
+		if impl, ok := plan.LookupUDO(x.Name); ok && !impl.Deterministic {
+			return IneligibleNondetUDO
+		}
+		depth, ok := DependencyDepth(x.Depends, s.maxDepth())
+		if !ok || depth > s.maxDepth() {
+			return IneligibleDeepDeps
+		}
+	case *plan.Filter:
+		if plan.HasNondeterminism(x.Pred) {
+			return IneligibleNondetFunc
+		}
+	case *plan.Project:
+		for _, e := range x.Exprs {
+			if plan.HasNondeterminism(e) {
+				return IneligibleNondetFunc
+			}
+		}
+	case *plan.Join:
+		for _, e := range x.LeftKeys {
+			if plan.HasNondeterminism(e) {
+				return IneligibleNondetFunc
+			}
+		}
+		for _, e := range x.RightKeys {
+			if plan.HasNondeterminism(e) {
+				return IneligibleNondetFunc
+			}
+		}
+		if x.Residual != nil && plan.HasNondeterminism(x.Residual) {
+			return IneligibleNondetFunc
+		}
+	case *plan.Aggregate:
+		for _, g := range x.GroupBy {
+			if plan.HasNondeterminism(g) {
+				return IneligibleNondetFunc
+			}
+		}
+		for _, a := range x.Aggs {
+			if a.Arg != nil && plan.HasNondeterminism(a.Arg) {
+				return IneligibleNondetFunc
+			}
+		}
+	}
+	return EligibleOK
+}
+
+// ---------------------------------------------------------------------------
+// Library dependency registry (for UDO dependency chains).
+
+var (
+	libMu   sync.RWMutex
+	libDeps = map[string][]string{}
+)
+
+// RegisterLibrary declares a library and its direct dependencies. Re-
+// registering replaces the previous entry.
+func RegisterLibrary(name string, deps ...string) {
+	libMu.Lock()
+	defer libMu.Unlock()
+	libDeps[strings.ToLower(name)] = append([]string(nil), deps...)
+}
+
+// ResetLibraries clears the registry (test hook).
+func ResetLibraries() {
+	libMu.Lock()
+	defer libMu.Unlock()
+	libDeps = map[string][]string{}
+}
+
+// DependencyDepth computes the maximum dependency-chain depth reachable from
+// the given libraries. A direct dependency list of depth 1 means "uses libs
+// with no further deps". The traversal aborts (ok=false) when it exceeds
+// limit — modeling the paper's "traversing these long chains could slow down
+// the entire compilation" policy — or when a cycle is detected.
+func DependencyDepth(libs []string, limit int) (depth int, ok bool) {
+	libMu.RLock()
+	defer libMu.RUnlock()
+	var visit func(lib string, seen map[string]bool, d int) (int, bool)
+	visit = func(lib string, seen map[string]bool, d int) (int, bool) {
+		if d > limit {
+			return d, false
+		}
+		key := strings.ToLower(lib)
+		if seen[key] {
+			return d, false // cycle: bail out conservatively
+		}
+		seen[key] = true
+		defer delete(seen, key)
+		maxD := d
+		for _, dep := range libDeps[key] {
+			dd, okc := visit(dep, seen, d+1)
+			if !okc {
+				return dd, false
+			}
+			if dd > maxD {
+				maxD = dd
+			}
+		}
+		return maxD, true
+	}
+	maxDepth := 0
+	for _, lib := range libs {
+		d, okc := visit(lib, map[string]bool{}, 1)
+		if !okc {
+			return d, false
+		}
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	return maxDepth, true
+}

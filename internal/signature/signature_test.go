@@ -1,0 +1,245 @@
+package signature_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cloudviews/internal/data"
+	"cloudviews/internal/fixtures"
+	"cloudviews/internal/plan"
+	"cloudviews/internal/signature"
+	"cloudviews/internal/sqlparser"
+)
+
+func bindQuery(t *testing.T, src string, params map[string]data.Value) plan.Node {
+	t.Helper()
+	cat, err := fixtures.Retail(fixtures.DefaultRetail())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sqlparser.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &plan.Binder{Catalog: cat, Params: params}
+	n, err := b.BindQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan.NormalizeNode(n)
+}
+
+var signer = &signature.Signer{EngineVersion: "test-1"}
+
+func TestStrictDeterministic(t *testing.T) {
+	src := `SELECT CustomerId, AVG(Price) AS p FROM Sales JOIN Customer ON Sales.CustomerId = Customer.Id WHERE MktSegment = 'Asia' GROUP BY CustomerId`
+	a := bindQuery(t, src, nil)
+	b := bindQuery(t, src, nil)
+	if signer.Strict(a) != signer.Strict(b) {
+		t.Error("identical plans must have identical strict signatures")
+	}
+}
+
+func TestStrictSensitiveToPredicate(t *testing.T) {
+	a := bindQuery(t, `SELECT Name FROM Customer WHERE MktSegment = 'Asia'`, nil)
+	b := bindQuery(t, `SELECT Name FROM Customer WHERE MktSegment = 'Europe'`, nil)
+	if signer.Strict(a) == signer.Strict(b) {
+		t.Error("different predicates must differ")
+	}
+}
+
+func TestNormalizationWidensMatching(t *testing.T) {
+	a := bindQuery(t, `SELECT Name FROM Customer WHERE MktSegment = 'Asia' AND Id > 5`, nil)
+	b := bindQuery(t, `SELECT Name FROM Customer WHERE Id > 5 AND MktSegment = 'Asia'`, nil)
+	if signer.Strict(a) != signer.Strict(b) {
+		t.Error("conjunct order should not affect signatures")
+	}
+	c := bindQuery(t, `SELECT Name FROM Customer WHERE 5 < Id AND 'Asia' = MktSegment`, nil)
+	if signer.Strict(a) != signer.Strict(c) {
+		t.Error("flipped comparisons should not affect signatures")
+	}
+}
+
+func TestRecurringDiscardsParams(t *testing.T) {
+	src := `SELECT Name FROM Customer WHERE MktSegment = @seg`
+	a := bindQuery(t, src, map[string]data.Value{"seg": data.String_("Asia")})
+	b := bindQuery(t, src, map[string]data.Value{"seg": data.String_("Europe")})
+	if signer.Strict(a) == signer.Strict(b) {
+		t.Error("strict must include parameter values")
+	}
+	if signer.Recurring(a) != signer.Recurring(b) {
+		t.Error("recurring must discard parameter values")
+	}
+}
+
+func TestRecurringDiscardsGUIDs(t *testing.T) {
+	cat, _ := fixtures.Retail(fixtures.DefaultRetail())
+	parse := func() plan.Node {
+		q, _ := sqlparser.ParseQuery(`SELECT Name FROM Customer WHERE MktSegment = 'Asia'`)
+		b := &plan.Binder{Catalog: cat}
+		n, err := b.BindQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan.NormalizeNode(n)
+	}
+	before := parse()
+	// Bulk update Customer: new GUID.
+	ds, _ := cat.Dataset("Customer")
+	tbl := data.NewTable(ds.Schema)
+	tbl.Append(data.Row{data.Int(1), data.String_("x"), data.String_("Asia")})
+	if _, err := cat.BulkUpdate("Customer", fixtures.Epoch.AddDate(0, 0, 1), tbl); err != nil {
+		t.Fatal(err)
+	}
+	after := parse()
+	if signer.Strict(before) == signer.Strict(after) {
+		t.Error("strict must change when the input version changes")
+	}
+	if signer.Recurring(before) != signer.Recurring(after) {
+		t.Error("recurring must survive bulk updates")
+	}
+}
+
+func TestEngineVersionInvalidatesSignatures(t *testing.T) {
+	n := bindQuery(t, `SELECT Name FROM Customer WHERE MktSegment = 'Asia'`, nil)
+	s1 := &signature.Signer{EngineVersion: "v1"}
+	s2 := &signature.Signer{EngineVersion: "v2"}
+	if s1.Strict(n) == s2.Strict(n) {
+		t.Error("runtime version bump must change all signatures")
+	}
+}
+
+func TestSpoolTransparent(t *testing.T) {
+	n := bindQuery(t, `SELECT Name FROM Customer WHERE MktSegment = 'Asia'`, nil)
+	spooled := &plan.Spool{Child: n}
+	if signer.Strict(n) != signer.Strict(spooled) {
+		t.Error("Spool must be signature-transparent")
+	}
+}
+
+func TestSubexpressionsEnumeration(t *testing.T) {
+	n := bindQuery(t, `SELECT CustomerId, AVG(Price) AS p FROM Sales JOIN Customer ON Sales.CustomerId = Customer.Id WHERE MktSegment = 'Asia' GROUP BY CustomerId`, nil)
+	subs := signer.Subexpressions(n)
+	if len(subs) != plan.CountNodes(n) {
+		t.Fatalf("subexpr count %d != node count %d", len(subs), plan.CountNodes(n))
+	}
+	// Root is last (post-order) and must have the full plan's signature.
+	root := subs[len(subs)-1]
+	if root.Strict != signer.Strict(n) {
+		t.Error("root subexpression strict mismatch")
+	}
+	if root.NodeCount != plan.CountNodes(n) {
+		t.Errorf("root NodeCount = %d, want %d", root.NodeCount, plan.CountNodes(n))
+	}
+	// Scans must be marked trivial; the join subtree eligible.
+	var sawTrivialScan, sawEligibleJoin bool
+	for _, s := range subs {
+		if s.Op == "Scan" && s.Eligibility == signature.IneligibleTrivial {
+			sawTrivialScan = true
+		}
+		if s.Op == "Join" && s.Eligibility == signature.EligibleOK {
+			sawEligibleJoin = true
+			if len(s.InputDatasets) != 2 {
+				t.Errorf("join InputDatasets = %v", s.InputDatasets)
+			}
+		}
+	}
+	if !sawTrivialScan || !sawEligibleJoin {
+		t.Errorf("eligibility classification wrong: trivialScan=%v eligibleJoin=%v", sawTrivialScan, sawEligibleJoin)
+	}
+}
+
+func TestNondeterminismIneligible(t *testing.T) {
+	n := bindQuery(t, `SELECT Name FROM Customer WHERE RANDOM() < 0.5`, nil)
+	subs := signer.Subexpressions(n)
+	root := subs[len(subs)-1]
+	if root.Eligibility != signature.IneligibleNondetFunc {
+		t.Errorf("eligibility = %v, want nondeterministic-func", root.Eligibility)
+	}
+}
+
+func TestNondetUDOIneligiblePropagates(t *testing.T) {
+	n := bindQuery(t, `SELECT ingest_time FROM (PROCESS (SELECT * FROM Customer WHERE MktSegment = 'Asia') USING "StampIngestTime") AS p JOIN Parts ON p.Id = Parts.PartId`, nil)
+	subs := signer.Subexpressions(n)
+	for _, s := range subs {
+		if s.Op == "Join" && s.Eligibility != signature.IneligibleNondetUDO {
+			t.Errorf("join above nondet UDO: eligibility = %v", s.Eligibility)
+		}
+	}
+	_ = n
+}
+
+func TestDependencyDepth(t *testing.T) {
+	signature.ResetLibraries()
+	defer signature.ResetLibraries()
+	signature.RegisterLibrary("a", "b")
+	signature.RegisterLibrary("b", "c")
+	signature.RegisterLibrary("c")
+	d, ok := signature.DependencyDepth([]string{"a"}, 10)
+	if !ok || d != 3 {
+		t.Errorf("depth = %d ok=%v, want 3 true", d, ok)
+	}
+	// Too deep.
+	if _, ok := signature.DependencyDepth([]string{"a"}, 2); ok {
+		t.Error("expected abort beyond limit")
+	}
+	// Cycle.
+	signature.RegisterLibrary("x", "y")
+	signature.RegisterLibrary("y", "x")
+	if _, ok := signature.DependencyDepth([]string{"x"}, 10); ok {
+		t.Error("cycles must abort")
+	}
+}
+
+func TestDeepDepsIneligible(t *testing.T) {
+	signature.ResetLibraries()
+	defer signature.ResetLibraries()
+	prev := ""
+	for i := 0; i < 12; i++ {
+		name := string(rune('a' + i))
+		if prev != "" {
+			signature.RegisterLibrary(prev, name)
+		}
+		prev = name
+	}
+	n := bindQuery(t, `PROCESS Customer USING "AddRowTag" DEPENDS "a"`, nil)
+	subs := signer.Subexpressions(n)
+	root := subs[len(subs)-1]
+	if root.Eligibility != signature.IneligibleDeepDeps {
+		t.Errorf("eligibility = %v, want deep-dependency-chain", root.Eligibility)
+	}
+}
+
+func TestJobTagStableAcrossParams(t *testing.T) {
+	src := `SELECT Name FROM Customer WHERE MktSegment = @seg`
+	a := bindQuery(t, src, map[string]data.Value{"seg": data.String_("Asia")})
+	b := bindQuery(t, src, map[string]data.Value{"seg": data.String_("Europe")})
+	if signer.JobTag(a) != signer.JobTag(b) {
+		t.Error("job tag must be stable across parameter changes")
+	}
+}
+
+// Property: signatures are pure functions of the plan (no hidden state).
+func TestSignaturePurity(t *testing.T) {
+	n := bindQuery(t, `SELECT MktSegment, COUNT(*) AS n FROM Customer GROUP BY MktSegment`, nil)
+	f := func(seed uint8) bool {
+		s := &signature.Signer{EngineVersion: "fixed"}
+		return s.Strict(n) == signer2().Strict(n) && s.Recurring(n) == signer2().Recurring(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func signer2() *signature.Signer { return &signature.Signer{EngineVersion: "fixed"} }
+
+func TestSigShort(t *testing.T) {
+	var s signature.Sig = "abcdefghijklmnop"
+	if s.Short() != "abcdefghijkl" {
+		t.Errorf("Short = %q", s.Short())
+	}
+	var tiny signature.Sig = "ab"
+	if tiny.Short() != "ab" {
+		t.Errorf("Short = %q", tiny.Short())
+	}
+}

@@ -1,0 +1,207 @@
+// Package sqlparser implements the lexer and recursive-descent parser for the
+// SCOPE-like declarative dialect used throughout the repository. A script is
+// a sequence of statements: named assignments of SELECT queries, PROCESS
+// statements invoking user-defined operators (UDOs), and OUTPUT statements
+// that define the job's results — mirroring how SCOPE scripts compose
+// rowset-valued expressions.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind enumerates lexical token classes.
+type TokenKind uint8
+
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokParam // @name
+	TokOp    // operators and punctuation
+)
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords upper-cased; idents preserved
+	Pos  int    // byte offset in the source
+	Line int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "JOIN": true, "INNER": true, "LEFT": true, "ON": true,
+	"AS": true, "AND": true, "OR": true, "NOT": true, "OUTPUT": true,
+	"TO": true, "PROCESS": true, "USING": true, "DEPENDS": true,
+	"NONDETERMINISTIC": true, "UNION": true, "ALL": true, "DISTINCT": true,
+	"ORDER": true, "ASC": true, "DESC": true, "TRUE": true, "FALSE": true,
+	"NULL": true, "EXTRACT": true, "SAMPLE": true, "PERCENT": true,
+	"IS": true, "IN": true, "BETWEEN": true, "LIKE": true,
+}
+
+// Lexer tokenizes a source string.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src, line: 1} }
+
+// Lex returns all tokens including a trailing EOF token, or an error with
+// line information for unterminated strings or illegal characters.
+func (l *Lexer) Lex() ([]Token, error) {
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *Lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) next() (Token, error) {
+	// Skip whitespace and comments.
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return Token{}, fmt.Errorf("line %d: unterminated block comment", l.line)
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		default:
+			goto lexed
+		}
+	}
+lexed:
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos, Line: l.line}, nil
+	}
+	start, line := l.pos, l.line
+	c := l.src[l.pos]
+
+	switch {
+	case c == '@':
+		l.pos++
+		for l.pos < len(l.src) && isIdentByte(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos == start+1 {
+			return Token{}, fmt.Errorf("line %d: bare '@' without parameter name", line)
+		}
+		return Token{Kind: TokParam, Text: l.src[start+1 : l.pos], Pos: start, Line: line}, nil
+
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentByte(l.src[l.pos]) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return Token{Kind: TokKeyword, Text: up, Pos: start, Line: line}, nil
+		}
+		return Token{Kind: TokIdent, Text: word, Pos: start, Line: line}, nil
+
+	case c >= '0' && c <= '9':
+		seenDot := false
+		for l.pos < len(l.src) {
+			d := l.src[l.pos]
+			if d == '.' && !seenDot {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if d < '0' || d > '9' {
+				break
+			}
+			l.pos++
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start, Line: line}, nil
+
+	case c == '\'' || c == '"':
+		quote := c
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			d := l.src[l.pos]
+			if d == quote {
+				// Doubled quote is an escaped quote.
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+					sb.WriteByte(quote)
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return Token{Kind: TokString, Text: sb.String(), Pos: start, Line: line}, nil
+			}
+			if d == '\n' {
+				l.line++
+			}
+			sb.WriteByte(d)
+			l.pos++
+		}
+		return Token{}, fmt.Errorf("line %d: unterminated string literal", line)
+
+	default:
+		// Multi-byte operators first.
+		for _, op := range []string{"<=", ">=", "!=", "<>", "=="} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += len(op)
+				text := op
+				if text == "<>" {
+					text = "!="
+				}
+				if text == "==" {
+					text = "="
+				}
+				return Token{Kind: TokOp, Text: text, Pos: start, Line: line}, nil
+			}
+		}
+		if strings.ContainsRune("+-*/%(),.;=<>", rune(c)) {
+			l.pos++
+			return Token{Kind: TokOp, Text: string(c), Pos: start, Line: line}, nil
+		}
+		return Token{}, fmt.Errorf("line %d: illegal character %q", line, rune(c))
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || (c >= '0' && c <= '9')
+}

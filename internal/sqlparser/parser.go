@@ -1,0 +1,652 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser consumes a token stream into a Script AST.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a full script.
+func Parse(src string) (*Script, error) {
+	toks, err := NewLexer(src).Lex()
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	script := &Script{}
+	for !p.at(TokEOF, "") {
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		script.Stmts = append(script.Stmts, st)
+		// Statement separator is a semicolon; trailing one optional.
+		p.accept(TokOp, ";")
+	}
+	if len(script.Stmts) == 0 {
+		return nil, fmt.Errorf("empty script")
+	}
+	return script, nil
+}
+
+// ParseQuery parses a single query expression (no assignments/outputs),
+// convenient for tests and interactive tools.
+func ParseQuery(src string) (QueryExpr, error) {
+	toks, err := NewLexer(src).Lex()
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	q, err := p.parseQueryExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokOp, ";")
+	if !p.at(TokEOF, "") {
+		return nil, p.errorf("unexpected trailing input %q", p.cur().Text)
+	}
+	return q, nil
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+
+func (p *Parser) at(kind TokenKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *Parser) accept(kind TokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(kind TokenKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		t := p.cur()
+		p.pos++
+		return t, nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return Token{}, p.errorf("expected %s, found %q", want, p.cur().Text)
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", p.cur().Line, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.at(TokKeyword, "OUTPUT"):
+		p.pos++
+		src, err := p.parseTableRefAsQuery()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "TO"); err != nil {
+			return nil, err
+		}
+		t, err := p.expect(TokString, "")
+		if err != nil {
+			return nil, err
+		}
+		return &OutputStmt{Source: src, Target: t.Text}, nil
+
+	case p.at(TokIdent, ""):
+		name := p.cur().Text
+		p.pos++
+		if _, err := p.expect(TokOp, "="); err != nil {
+			return nil, err
+		}
+		q, err := p.parseQueryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Name: name, Query: q}, nil
+
+	default:
+		return nil, p.errorf("expected statement, found %q", p.cur().Text)
+	}
+}
+
+// parseTableRefAsQuery reads either an identifier (named rowset) or a
+// parenthesized query and returns it as a QueryExpr for OUTPUT.
+func (p *Parser) parseTableRefAsQuery() (QueryExpr, error) {
+	if p.at(TokIdent, "") {
+		name := p.cur().Text
+		p.pos++
+		return &SelectQuery{
+			Items: []SelectItem{{Star: true}},
+			From:  &NamedRef{Name: name},
+		}, nil
+	}
+	if p.accept(TokOp, "(") {
+		q, err := p.parseQueryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return q, nil
+	}
+	return nil, p.errorf("expected rowset name or subquery, found %q", p.cur().Text)
+}
+
+func (p *Parser) parseQueryExpr() (QueryExpr, error) {
+	left, err := p.parsePrimaryQuery()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "UNION") {
+		if _, err := p.expect(TokKeyword, "ALL"); err != nil {
+			return nil, err
+		}
+		right, err := p.parsePrimaryQuery()
+		if err != nil {
+			return nil, err
+		}
+		left = &UnionQuery{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parsePrimaryQuery() (QueryExpr, error) {
+	switch {
+	case p.at(TokKeyword, "SELECT") || p.at(TokKeyword, "EXTRACT"):
+		return p.parseSelect()
+	case p.at(TokKeyword, "PROCESS"):
+		return p.parseProcess()
+	case p.at(TokOp, "("):
+		p.pos++
+		q, err := p.parseQueryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return q, nil
+	default:
+		return nil, p.errorf("expected SELECT, EXTRACT, or PROCESS, found %q", p.cur().Text)
+	}
+}
+
+func (p *Parser) parseProcess() (QueryExpr, error) {
+	if _, err := p.expect(TokKeyword, "PROCESS"); err != nil {
+		return nil, err
+	}
+	src, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "USING"); err != nil {
+		return nil, err
+	}
+	udo, err := p.expect(TokString, "")
+	if err != nil {
+		return nil, err
+	}
+	q := &ProcessQuery{Source: src, Udo: udo.Text}
+	for {
+		switch {
+		case p.accept(TokKeyword, "DEPENDS"):
+			for {
+				lib, err := p.expect(TokString, "")
+				if err != nil {
+					return nil, err
+				}
+				q.Depends = append(q.Depends, lib.Text)
+				if !p.accept(TokOp, ",") {
+					break
+				}
+			}
+		case p.accept(TokKeyword, "NONDETERMINISTIC"):
+			q.Nondeterministic = true
+		default:
+			return q, nil
+		}
+	}
+}
+
+func (p *Parser) parseSelect() (*SelectQuery, error) {
+	// EXTRACT is sugar for SELECT against a raw stream; keep one node type.
+	if !p.accept(TokKeyword, "SELECT") {
+		if _, err := p.expect(TokKeyword, "EXTRACT"); err != nil {
+			return nil, err
+		}
+	}
+	q := &SelectQuery{}
+	q.Distinct = p.accept(TokKeyword, "DISTINCT")
+
+	// Select list.
+	for {
+		if p.accept(TokOp, "*") {
+			q.Items = append(q.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.accept(TokKeyword, "AS") {
+				id, err := p.expect(TokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = id.Text
+			}
+			q.Items = append(q.Items, item)
+		}
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+
+	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	q.From = from
+
+	// JOIN clauses. `JOIN x ON cond` or `INNER JOIN x ON cond`. SCOPE-style
+	// implicit joins (JOIN without ON, natural on shared key) are rejected —
+	// the workload generator always writes explicit conditions.
+	for {
+		if p.accept(TokKeyword, "INNER") {
+			if _, err := p.expect(TokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.accept(TokKeyword, "JOIN") {
+			break
+		}
+		right, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		jc := JoinClause{Right: right}
+		if p.accept(TokKeyword, "ON") {
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			jc.On = cond
+		}
+		q.Joins = append(q.Joins, jc)
+	}
+
+	if p.accept(TokKeyword, "WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = w
+	}
+	if p.accept(TokKeyword, "GROUP") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, e)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Having = h
+	}
+	if p.accept(TokKeyword, "ORDER") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(TokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(TokKeyword, "ASC")
+			}
+			q.OrderBy = append(q.OrderBy, item)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "SAMPLE") {
+		n, err := p.expect(TokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "PERCENT"); err != nil {
+			return nil, err
+		}
+		pct, err := strconv.ParseFloat(n.Text, 64)
+		if err != nil || pct <= 0 || pct > 100 {
+			return nil, p.errorf("invalid sample percentage %q", n.Text)
+		}
+		q.SamplePercent = pct
+	}
+	return q, nil
+}
+
+func (p *Parser) parseTableRef() (TableRef, error) {
+	if p.accept(TokOp, "(") {
+		q, err := p.parseQueryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		ref := &SubqueryRef{Query: q}
+		ref.Alias = p.parseOptionalAlias()
+		return ref, nil
+	}
+	id, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	ref := &NamedRef{Name: id.Text}
+	ref.Alias = p.parseOptionalAlias()
+	return ref, nil
+}
+
+func (p *Parser) parseOptionalAlias() string {
+	if p.accept(TokKeyword, "AS") {
+		if p.at(TokIdent, "") {
+			a := p.cur().Text
+			p.pos++
+			return a
+		}
+		return ""
+	}
+	if p.at(TokIdent, "") {
+		a := p.cur().Text
+		p.pos++
+		return a
+	}
+	return ""
+}
+
+// Expression grammar, lowest to highest precedence:
+//
+//	OR -> AND -> NOT -> comparison -> additive -> multiplicative -> unary -> primary
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.accept(TokKeyword, "NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", Expr: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.accept(TokKeyword, "IS") {
+		negated := p.accept(TokKeyword, "NOT")
+		if _, err := p.expect(TokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		var e Expr = &FuncCall{Name: "ISNULL", Args: []Expr{left}}
+		if negated {
+			e = &UnaryExpr{Op: "NOT", Expr: e}
+		}
+		return e, nil
+	}
+	// BETWEEN a AND b  desugars to (x >= a AND x <= b).
+	if p.accept(TokKeyword, "BETWEEN") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{
+			Op:    "AND",
+			Left:  &BinaryExpr{Op: ">=", Left: left, Right: lo},
+			Right: &BinaryExpr{Op: "<=", Left: left, Right: hi},
+		}, nil
+	}
+	if p.accept(TokKeyword, "LIKE") {
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: "LIKE", Left: left, Right: pat}, nil
+	}
+	for _, op := range []string{"<=", ">=", "!=", "=", "<", ">"} {
+		if p.accept(TokOp, op) {
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, Left: left, Right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(TokOp, "+"):
+			op = "+"
+		case p.accept(TokOp, "-"):
+			op = "-"
+		default:
+			return left, nil
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(TokOp, "*"):
+			op = "*"
+		case p.accept(TokOp, "/"):
+			op = "/"
+		case p.accept(TokOp, "%"):
+			op = "%"
+		default:
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.accept(TokOp, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negative literals immediately.
+		if lit, ok := e.(*Literal); ok {
+			switch lit.Kind {
+			case LitInt:
+				return &Literal{Kind: LitInt, Int: -lit.Int}, nil
+			case LitFloat:
+				return &Literal{Kind: LitFloat, Float: -lit.Float}, nil
+			}
+		}
+		return &UnaryExpr{Op: "-", Expr: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber:
+		p.pos++
+		if strings.Contains(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errorf("invalid number %q", t.Text)
+			}
+			return &Literal{Kind: LitFloat, Float: f}, nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("invalid number %q", t.Text)
+		}
+		return &Literal{Kind: LitInt, Int: i}, nil
+
+	case t.Kind == TokString:
+		p.pos++
+		return &Literal{Kind: LitString, Str: t.Text}, nil
+
+	case t.Kind == TokParam:
+		p.pos++
+		return &ParamRef{Name: t.Text}, nil
+
+	case t.Kind == TokKeyword && t.Text == "TRUE":
+		p.pos++
+		return &Literal{Kind: LitBool, BoolV: true}, nil
+	case t.Kind == TokKeyword && t.Text == "FALSE":
+		p.pos++
+		return &Literal{Kind: LitBool, BoolV: false}, nil
+	case t.Kind == TokKeyword && t.Text == "NULL":
+		p.pos++
+		return &Literal{Kind: LitNull, IsNull: true}, nil
+
+	case t.Kind == TokOp && t.Text == "(":
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case t.Kind == TokIdent:
+		name := t.Text
+		p.pos++
+		// Function call?
+		if p.accept(TokOp, "(") {
+			fc := &FuncCall{Name: strings.ToUpper(name)}
+			if p.accept(TokOp, "*") {
+				fc.Star = true
+			} else if !p.at(TokOp, ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, a)
+					if !p.accept(TokOp, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+		// Qualified column?
+		if p.accept(TokOp, ".") {
+			col, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Qualifier: name, Name: col.Text}, nil
+		}
+		return &ColumnRef{Name: name}, nil
+
+	default:
+		return nil, p.errorf("unexpected token %q in expression", t.Text)
+	}
+}

@@ -1,0 +1,270 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := NewLexer(`SELECT a, b FROM T WHERE x >= 1.5 AND name = 'asia''s' -- comment`).Lex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+		texts = append(texts, tok.Text)
+	}
+	joined := strings.Join(texts, " ")
+	if !strings.Contains(joined, "asia's") {
+		t.Errorf("doubled quote not unescaped: %q", joined)
+	}
+	if kinds[0] != TokKeyword || texts[0] != "SELECT" {
+		t.Errorf("first token = %v %q, want SELECT keyword", kinds[0], texts[0])
+	}
+	if kinds[len(kinds)-1] != TokEOF {
+		t.Error("missing EOF token")
+	}
+}
+
+func TestLexParam(t *testing.T) {
+	toks, err := NewLexer("@startDate").Lex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokParam || toks[0].Text != "startDate" {
+		t.Errorf("got %v %q", toks[0].Kind, toks[0].Text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", "/* unterminated", "@ alone", "SELECT $bad"} {
+		if _, err := NewLexer(src).Lex(); err == nil {
+			t.Errorf("expected lex error for %q", src)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := NewLexer("a /* multi\nline */ b // trail\nc").Lex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idents []string
+	for _, tok := range toks {
+		if tok.Kind == TokIdent {
+			idents = append(idents, tok.Text)
+		}
+	}
+	if strings.Join(idents, ",") != "a,b,c" {
+		t.Errorf("idents = %v", idents)
+	}
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	q, err := ParseQuery(`SELECT CustomerId, AVG(Price*Quantity) AS avg_sales
+		FROM Sales JOIN Customer ON Sales.CustomerId = Customer.Id
+		WHERE MktSegment = 'Asia' GROUP BY CustomerId`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := q.(*SelectQuery)
+	if !ok {
+		t.Fatalf("got %T", q)
+	}
+	if len(sel.Items) != 2 {
+		t.Fatalf("items = %d, want 2", len(sel.Items))
+	}
+	if sel.Items[1].Alias != "avg_sales" {
+		t.Errorf("alias = %q", sel.Items[1].Alias)
+	}
+	if len(sel.Joins) != 1 {
+		t.Fatalf("joins = %d", len(sel.Joins))
+	}
+	if sel.Where == nil || len(sel.GroupBy) != 1 {
+		t.Error("missing WHERE or GROUP BY")
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	script, err := Parse(`
+		cooked = SELECT * FROM RawLogs WHERE Ts >= @start;
+		agg = SELECT Region, COUNT(*) AS n FROM cooked GROUP BY Region;
+		OUTPUT agg TO "out/agg.ss";
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(script.Stmts) != 3 {
+		t.Fatalf("stmts = %d, want 3", len(script.Stmts))
+	}
+	out, ok := script.Stmts[2].(*OutputStmt)
+	if !ok || out.Target != "out/agg.ss" {
+		t.Errorf("bad output stmt: %+v", script.Stmts[2])
+	}
+}
+
+func TestParseProcess(t *testing.T) {
+	q, err := ParseQuery(`PROCESS Logs USING "NormalizeStrings" DEPENDS "libA", "libB" NONDETERMINISTIC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := q.(*ProcessQuery)
+	if !ok {
+		t.Fatalf("got %T", q)
+	}
+	if p.Udo != "NormalizeStrings" || len(p.Depends) != 2 || !p.Nondeterministic {
+		t.Errorf("bad process: %+v", p)
+	}
+}
+
+func TestParseUnionAll(t *testing.T) {
+	q, err := ParseQuery(`SELECT a FROM X UNION ALL SELECT a FROM Y UNION ALL SELECT a FROM Z`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, ok := q.(*UnionQuery)
+	if !ok {
+		t.Fatalf("got %T", q)
+	}
+	if _, ok := u.Left.(*UnionQuery); !ok {
+		t.Error("UNION ALL should be left-associative")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	q, err := ParseQuery(`SELECT a FROM T WHERE a + 1 * 2 = 3 AND b = 4 OR c = 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := q.(*SelectQuery)
+	or, ok := sel.Where.(*BinaryExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top must be OR, got %s", sel.Where.String())
+	}
+	and, ok := or.Left.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("left of OR must be AND, got %s", or.Left.String())
+	}
+	want := "((a + (1 * 2)) = 3)"
+	if got := and.Left.String(); got != want {
+		t.Errorf("arith precedence: got %s want %s", got, want)
+	}
+}
+
+func TestParseBetweenDesugar(t *testing.T) {
+	q, err := ParseQuery(`SELECT a FROM T WHERE a BETWEEN 1 AND 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := q.(*SelectQuery).Where.String()
+	if w != "((a >= 1) AND (a <= 5))" {
+		t.Errorf("got %s", w)
+	}
+}
+
+func TestParseIsNull(t *testing.T) {
+	q, err := ParseQuery(`SELECT a FROM T WHERE a IS NOT NULL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := q.(*SelectQuery).Where.String()
+	if w != "(NOT ISNULL(a))" {
+		t.Errorf("got %s", w)
+	}
+}
+
+func TestParseSubquery(t *testing.T) {
+	q, err := ParseQuery(`SELECT x FROM (SELECT a AS x FROM T WHERE a > 0) AS sub`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := q.(*SelectQuery)
+	sub, ok := sel.From.(*SubqueryRef)
+	if !ok || sub.Alias != "sub" {
+		t.Fatalf("bad from: %+v", sel.From)
+	}
+}
+
+func TestParseSample(t *testing.T) {
+	q, err := ParseQuery(`SELECT a FROM T SAMPLE 10 PERCENT`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.(*SelectQuery).SamplePercent; got != 10 {
+		t.Errorf("sample = %g", got)
+	}
+	if _, err := ParseQuery(`SELECT a FROM T SAMPLE 200 PERCENT`); err == nil {
+		t.Error("expected error for >100 percent")
+	}
+}
+
+func TestParseNegativeLiteralFold(t *testing.T) {
+	q, err := ParseQuery(`SELECT a FROM T WHERE a > -5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := q.(*SelectQuery).Where.String()
+	if w != "(a > -5)" {
+		t.Errorf("got %s", w)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a FROM",
+		"SELECT a FROM T WHERE",
+		"OUTPUT TO 'x'",
+		"x = ",
+		"SELECT a FROM T GROUP",
+		"PROCESS T USING NormalizeStrings", // UDO name must be quoted string
+		"SELECT a b c FROM T",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	q, err := ParseQuery(`SELECT DISTINCT Region FROM T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.(*SelectQuery).Distinct {
+		t.Error("DISTINCT not set")
+	}
+}
+
+func TestParseQualifiedStarFuncs(t *testing.T) {
+	q, err := ParseQuery(`SELECT COUNT(*) AS n, LOWER(t.Name) AS ln FROM T AS t GROUP BY LOWER(t.Name)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := q.(*SelectQuery)
+	fc := sel.Items[0].Expr.(*FuncCall)
+	if !fc.Star || fc.Name != "COUNT" {
+		t.Errorf("bad count(*): %+v", fc)
+	}
+}
+
+func TestParseOrderBy(t *testing.T) {
+	q, err := ParseQuery(`SELECT a, b FROM T ORDER BY a DESC, b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := q.(*SelectQuery)
+	if len(sel.OrderBy) != 2 {
+		t.Fatalf("order items = %d", len(sel.OrderBy))
+	}
+	if !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("desc flags = %v %v", sel.OrderBy[0].Desc, sel.OrderBy[1].Desc)
+	}
+	if _, err := ParseQuery(`SELECT a FROM T ORDER a`); err == nil {
+		t.Error("ORDER without BY must fail")
+	}
+}

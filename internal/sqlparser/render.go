@@ -1,0 +1,120 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render pretty-prints a script back to dialect text. The output re-parses to
+// an equivalent AST (round-trip property, tested), which makes it usable for
+// the debugging flows around annotation files and incident repro.
+func Render(s *Script) string {
+	var b strings.Builder
+	for _, st := range s.Stmts {
+		switch stmt := st.(type) {
+		case *AssignStmt:
+			fmt.Fprintf(&b, "%s = %s;\n", stmt.Name, RenderQuery(stmt.Query))
+		case *OutputStmt:
+			fmt.Fprintf(&b, "OUTPUT (%s) TO %q;\n", RenderQuery(stmt.Source), stmt.Target)
+		}
+	}
+	return b.String()
+}
+
+// RenderQuery prints one query expression.
+func RenderQuery(q QueryExpr) string {
+	switch x := q.(type) {
+	case *SelectQuery:
+		return renderSelect(x)
+	case *ProcessQuery:
+		var b strings.Builder
+		fmt.Fprintf(&b, "PROCESS %s USING %q", renderTableRef(x.Source), x.Udo)
+		if len(x.Depends) > 0 {
+			quoted := make([]string, len(x.Depends))
+			for i, d := range x.Depends {
+				quoted[i] = fmt.Sprintf("%q", d)
+			}
+			b.WriteString(" DEPENDS " + strings.Join(quoted, ", "))
+		}
+		if x.Nondeterministic {
+			b.WriteString(" NONDETERMINISTIC")
+		}
+		return b.String()
+	case *UnionQuery:
+		return RenderQuery(x.Left) + " UNION ALL " + RenderQuery(x.Right)
+	default:
+		return fmt.Sprintf("/* unsupported %T */", q)
+	}
+}
+
+func renderSelect(q *SelectQuery) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	items := make([]string, len(q.Items))
+	for i, it := range q.Items {
+		if it.Star {
+			items[i] = "*"
+			continue
+		}
+		items[i] = it.Expr.String()
+		if it.Alias != "" {
+			items[i] += " AS " + it.Alias
+		}
+	}
+	b.WriteString(strings.Join(items, ", "))
+	b.WriteString(" FROM " + renderTableRef(q.From))
+	for _, j := range q.Joins {
+		b.WriteString(" JOIN " + renderTableRef(j.Right))
+		if j.On != nil {
+			b.WriteString(" ON " + j.On.String())
+		}
+	}
+	if q.Where != nil {
+		b.WriteString(" WHERE " + q.Where.String())
+	}
+	if len(q.GroupBy) > 0 {
+		groups := make([]string, len(q.GroupBy))
+		for i, g := range q.GroupBy {
+			groups[i] = g.String()
+		}
+		b.WriteString(" GROUP BY " + strings.Join(groups, ", "))
+	}
+	if q.Having != nil {
+		b.WriteString(" HAVING " + q.Having.String())
+	}
+	if len(q.OrderBy) > 0 {
+		keys := make([]string, len(q.OrderBy))
+		for i, o := range q.OrderBy {
+			keys[i] = o.Expr.String()
+			if o.Desc {
+				keys[i] += " DESC"
+			}
+		}
+		b.WriteString(" ORDER BY " + strings.Join(keys, ", "))
+	}
+	if q.SamplePercent > 0 {
+		fmt.Fprintf(&b, " SAMPLE %g PERCENT", q.SamplePercent)
+	}
+	return b.String()
+}
+
+func renderTableRef(r TableRef) string {
+	switch x := r.(type) {
+	case *NamedRef:
+		if x.Alias != "" && x.Alias != x.Name {
+			return x.Name + " AS " + x.Alias
+		}
+		return x.Name
+	case *SubqueryRef:
+		out := "(" + RenderQuery(x.Query) + ")"
+		if x.Alias != "" {
+			out += " AS " + x.Alias
+		}
+		return out
+	default:
+		return fmt.Sprintf("/* unsupported %T */", r)
+	}
+}

@@ -1,0 +1,173 @@
+package stats_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cloudviews/internal/data"
+	"cloudviews/internal/fixtures"
+	"cloudviews/internal/plan"
+	"cloudviews/internal/sqlparser"
+	"cloudviews/internal/stats"
+)
+
+func bindPlan(t *testing.T, src string) plan.Node {
+	t.Helper()
+	cat, err := fixtures.Retail(fixtures.DefaultRetail())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sqlparser.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &plan.Binder{Catalog: cat}
+	n, err := b.BindQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestEstimatorOverestimationBias(t *testing.T) {
+	// The estimator must OVERestimate a selective filter — that bias is what
+	// produces the paper's over-partitioning effect.
+	n := bindPlan(t, `SELECT * FROM Sales WHERE Quantity > 9`) // ~10% selective in reality
+	est := stats.NewEstimator()
+	_, root := est.EstimatePlan(n)
+	if root.Rows < 0.3*5000 {
+		t.Errorf("estimate %g is not generous for a selective filter", root.Rows)
+	}
+}
+
+func TestEstimatorScanUsesBaseRows(t *testing.T) {
+	n := bindPlan(t, `SELECT * FROM Customer`)
+	est := stats.NewEstimator()
+	_, root := est.EstimatePlan(n)
+	if root.Rows != 200 {
+		t.Errorf("scan estimate = %g, want 200", root.Rows)
+	}
+}
+
+func TestEstimatorViewScanExact(t *testing.T) {
+	vs := &plan.ViewScan{Rows: 1234, Bytes: 5678, Out: data.Schema{{Name: "a", Kind: data.KindInt}}}
+	est := stats.NewEstimator()
+	got := est.EstimateNode(vs, nil)
+	if got.Rows != 1234 || got.Bytes != 5678 {
+		t.Errorf("view estimate = %+v, want exact stats", got)
+	}
+}
+
+func TestEstimatorJoinAndAggregate(t *testing.T) {
+	n := bindPlan(t, `SELECT MktSegment, COUNT(*) AS n FROM Sales JOIN Customer ON Sales.CustomerId = Customer.Id GROUP BY MktSegment`)
+	est := stats.NewEstimator()
+	memo, root := est.EstimatePlan(n)
+	if root.Rows <= 0 {
+		t.Error("aggregate estimate must be positive")
+	}
+	var joinEst, aggEst float64
+	plan.Walk(n, func(m plan.Node) {
+		switch m.(type) {
+		case *plan.Join:
+			joinEst = memo[m].Rows
+		case *plan.Aggregate:
+			aggEst = memo[m].Rows
+		}
+	})
+	if joinEst < 5000 {
+		t.Errorf("join estimate %g should exceed the bigger input", joinEst)
+	}
+	if aggEst >= joinEst {
+		t.Error("aggregation must reduce the estimate")
+	}
+}
+
+func TestEstimatorGlobalAggregate(t *testing.T) {
+	n := bindPlan(t, `SELECT COUNT(*) AS n FROM Sales GROUP BY Quantity HAVING n > 0`)
+	est := stats.NewEstimator()
+	_, root := est.EstimatePlan(n)
+	if root.Rows <= 0 {
+		t.Error("estimate must be positive")
+	}
+}
+
+func TestHistoryRecordLookup(t *testing.T) {
+	h := stats.NewHistory()
+	if _, ok := h.Lookup("none"); ok {
+		t.Error("unknown signature must miss")
+	}
+	for i := 1; i <= 4; i++ {
+		h.Record("sig", stats.Observation{Rows: int64(i * 100), Bytes: int64(i * 1000), Work: float64(i)})
+	}
+	sum, ok := h.Lookup("sig")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	if sum.Count != 4 || sum.AvgRows != 250 || sum.AvgWork != 2.5 {
+		t.Errorf("summary = %+v", sum)
+	}
+	// P75 of {1,2,3,4} (nearest-rank) = 3.
+	if sum.P75Work != 3 {
+		t.Errorf("P75 = %g, want 3", sum.P75Work)
+	}
+	if h.Len() != 1 {
+		t.Errorf("len = %d", h.Len())
+	}
+	if sigs := h.Signatures(); len(sigs) != 1 || sigs[0] != "sig" {
+		t.Errorf("signatures = %v", sigs)
+	}
+}
+
+func TestHistoryJobSeries(t *testing.T) {
+	h := stats.NewHistory()
+	for i := 0; i < 8; i++ {
+		h.RecordJob("tmpl", stats.Observation{Work: float64(i), Latency: float64(i * 10)})
+	}
+	sum, ok := h.LookupJob("tmpl")
+	if !ok || sum.Count != 8 {
+		t.Fatalf("job summary = %+v ok=%v", sum, ok)
+	}
+	if sum.P75Latenc != 50 {
+		t.Errorf("P75 latency = %g, want 50 (nearest rank of 0..70)", sum.P75Latenc)
+	}
+	if _, ok := h.Lookup("tmpl"); ok {
+		t.Error("job and subexpression namespaces must be separate")
+	}
+}
+
+func TestHistoryRingBufferBounded(t *testing.T) {
+	h := stats.NewHistory()
+	for i := 0; i < 1000; i++ {
+		h.Record("s", stats.Observation{Work: float64(i)})
+	}
+	sum, _ := h.Lookup("s")
+	if sum.Count != 1000 {
+		t.Errorf("count = %d", sum.Count)
+	}
+	// P75 must reflect RECENT observations (the ring), not all time.
+	if sum.P75Work < 900 {
+		t.Errorf("P75 = %g, want from the recent window", sum.P75Work)
+	}
+}
+
+// Property: averages are order-independent.
+func TestHistoryOrderIndependence(t *testing.T) {
+	f := func(xs []uint16) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		h1, h2 := stats.NewHistory(), stats.NewHistory()
+		for _, x := range xs {
+			h1.Record("s", stats.Observation{Work: float64(x)})
+		}
+		for i := len(xs) - 1; i >= 0; i-- {
+			h2.Record("s", stats.Observation{Work: float64(xs[i])})
+		}
+		a, _ := h1.Lookup("s")
+		b, _ := h2.Lookup("s")
+		return a.AvgWork == b.AvgWork && a.Count == b.Count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

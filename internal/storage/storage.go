@@ -1,0 +1,290 @@
+// Package storage implements the materialized-view store backing CloudViews.
+// Views are throwaway artifacts: they are written once as part of query
+// processing (via the Spool operator), sealed early so concurrent-ish
+// consumers can start reading before the producing job finishes, expired
+// after a fixed TTL (one week in production), and simply recreated whenever
+// the underlying shared datasets are bulk-updated (their strict signatures
+// change, so the old artifacts stop matching and age out).
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cloudviews/internal/data"
+	"cloudviews/internal/signature"
+)
+
+// DefaultTTL matches the paper's production eviction policy ("our current
+// eviction policies expire each of the views after one week of creation").
+const DefaultTTL = 7 * 24 * time.Hour
+
+// View is one materialized artifact.
+type View struct {
+	Strict    signature.Sig
+	Recurring signature.Sig
+	Path      string
+	VC        string // virtual cluster that owns the storage
+	Table     *data.Table
+	Mult      float64 // logical scale multiplier
+	Rows      int64   // logical rows
+	Bytes     int64   // logical bytes
+	CreatedAt time.Time
+	ExpiresAt time.Time
+	// Sealed marks the view readable. The job manager seals views early —
+	// as soon as the producing subexpression finishes, before the rest of
+	// the job completes.
+	Sealed bool
+	// SealedAt is when the artifact becomes readable; consumers compiling
+	// before this instant cannot use it (models the materialization delay
+	// that schedule-aware selection must respect).
+	SealedAt time.Time
+	// Reads counts fetches, for usage metrics.
+	Reads int64
+}
+
+// Store is the thread-safe view store. It implements exec.ViewStore.
+type Store struct {
+	mu    sync.RWMutex
+	ttl   time.Duration
+	now   func() time.Time
+	views map[signature.Sig]*View
+	// byVC tracks logical bytes stored per virtual cluster.
+	byVC map[string]int64
+
+	// pending maps strict signatures to metadata staged by the optimizer
+	// before the executor materializes the bytes.
+	pending map[signature.Sig]*View
+
+	// counters
+	created int64
+	expired int64
+	purged  int64
+}
+
+// NewStore creates a store with the default TTL. The clock function supplies
+// the current (simulated) time.
+func NewStore(now func() time.Time) *Store {
+	return &Store{
+		ttl:     DefaultTTL,
+		now:     now,
+		views:   make(map[signature.Sig]*View),
+		byVC:    make(map[string]int64),
+		pending: make(map[signature.Sig]*View),
+	}
+}
+
+// SetTTL overrides the view TTL.
+func (s *Store) SetTTL(ttl time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ttl = ttl
+}
+
+// Stage registers the metadata for a view about to be materialized by a job.
+// The optimizer calls this when it inserts a Spool; the executor later calls
+// Materialize with the bytes, and the job manager calls Seal.
+func (s *Store) Stage(strict, recurring signature.Sig, path, vc string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.views[strict]; exists {
+		return
+	}
+	s.pending[strict] = &View{Strict: strict, Recurring: recurring, Path: path, VC: vc}
+}
+
+// Materialize stores the bytes of a staged view. Implements exec.ViewStore.
+// Unstaged signatures get a bare view record (tests and extensions use this
+// path directly).
+func (s *Store) Materialize(strict signature.Sig, path string, t *data.Table, mult float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.views[strict]; exists {
+		// Lost race with another job: keep the first artifact.
+		return nil
+	}
+	v, ok := s.pending[strict]
+	if !ok {
+		v = &View{Strict: strict, Path: path}
+	}
+	delete(s.pending, strict)
+	now := s.now()
+	v.Table = t
+	v.Mult = mult
+	v.Rows = int64(float64(t.NumRows()) * mult)
+	v.Bytes = int64(float64(t.ByteSize()) * mult)
+	v.CreatedAt = now
+	v.ExpiresAt = now.Add(s.ttl)
+	s.views[strict] = v
+	s.byVC[v.VC] += v.Bytes
+	s.created++
+	return nil
+}
+
+// Seal marks a view readable immediately. Returns false if the view is
+// unknown.
+func (s *Store) Seal(strict signature.Sig) bool {
+	return s.SealAt(strict, s.now())
+}
+
+// SealAt marks a view readable from t onward — the early-sealing point, when
+// the producing subexpression's stage finishes (before its whole job does).
+func (s *Store) SealAt(strict signature.Sig, t time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.views[strict]
+	if !ok {
+		return false
+	}
+	v.Sealed = true
+	v.SealedAt = t
+	return true
+}
+
+// Fetch returns a sealed, unexpired view's data. Implements exec.ViewStore.
+func (s *Store) Fetch(strict signature.Sig) (*data.Table, float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.views[strict]
+	if !ok || !v.Sealed || s.now().Before(v.SealedAt) || s.now().After(v.ExpiresAt) {
+		return nil, 0, false
+	}
+	v.Reads++
+	return v.Table, v.Mult, true
+}
+
+// Lookup returns view metadata regardless of sealing, for the optimizer's
+// matching phase and for tests.
+func (s *Store) Lookup(strict signature.Sig) (*View, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.views[strict]
+	if !ok {
+		return nil, false
+	}
+	cp := *v
+	cp.Table = v.Table
+	return &cp, ok
+}
+
+// Available reports whether a sealed, unexpired view exists — the check the
+// optimizer's top-down matching performs.
+func (s *Store) Available(strict signature.Sig) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.views[strict]
+	return ok && v.Sealed && !s.now().Before(v.SealedAt) && !s.now().After(v.ExpiresAt)
+}
+
+// InFlight reports whether a view is staged, or materialized but not yet
+// readable (unsealed, or sealed at a future instant): a second concurrent job
+// should neither rebuild nor reuse it.
+func (s *Store) InFlight(strict signature.Sig) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.pending[strict]; ok {
+		return true
+	}
+	v, ok := s.views[strict]
+	return ok && (!v.Sealed || s.now().Before(v.SealedAt))
+}
+
+// GC removes expired views and returns how many were evicted.
+func (s *Store) GC() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	n := 0
+	for sig, v := range s.views {
+		if now.After(v.ExpiresAt) {
+			s.byVC[v.VC] -= v.Bytes
+			delete(s.views, sig)
+			s.expired++
+			n++
+		}
+	}
+	return n
+}
+
+// Purge removes a specific view (user-initiated cleanup; the paper notes
+// users "can see the CloudViews-generated files ... and even purge views
+// whenever necessary").
+func (s *Store) Purge(strict signature.Sig) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.views[strict]
+	if !ok {
+		return false
+	}
+	s.byVC[v.VC] -= v.Bytes
+	delete(s.views, strict)
+	s.purged++
+	return true
+}
+
+// PurgeVC removes every view owned by a virtual cluster (opt-out cleanup).
+func (s *Store) PurgeVC(vc string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for sig, v := range s.views {
+		if v.VC == vc {
+			s.byVC[v.VC] -= v.Bytes
+			delete(s.views, sig)
+			s.purged++
+			n++
+		}
+	}
+	return n
+}
+
+// UsedBytes returns the logical bytes stored for a VC.
+func (s *Store) UsedBytes(vc string) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.byVC[vc]
+}
+
+// Count returns the number of live views.
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.views)
+}
+
+// Stats summarizes store activity.
+type Stats struct {
+	Live    int
+	Created int64
+	Expired int64
+	Purged  int64
+}
+
+// Snapshot returns store counters.
+func (s *Store) Snapshot() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{Live: len(s.views), Created: s.created, Expired: s.expired, Purged: s.purged}
+}
+
+// Views lists live view metadata sorted by path, for inspection tools.
+func (s *Store) Views() []*View {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*View, 0, len(s.views))
+	for _, v := range s.views {
+		cp := *v
+		out = append(out, &cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// PathFor builds the storage path for a view, encoding the strict signature
+// per the paper's architecture ("encode the strict signature in output
+// path").
+func PathFor(vc string, strict signature.Sig) string {
+	return fmt.Sprintf("cloudviews/%s/%s.ss", vc, strict.Short())
+}

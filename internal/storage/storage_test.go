@@ -1,0 +1,162 @@
+package storage_test
+
+import (
+	"testing"
+	"time"
+
+	"cloudviews/internal/data"
+	"cloudviews/internal/signature"
+	"cloudviews/internal/storage"
+)
+
+func table() *data.Table {
+	t := data.NewTable(data.Schema{{Name: "a", Kind: data.KindInt}})
+	t.Append(data.Row{data.Int(1)})
+	t.Append(data.Row{data.Int(2)})
+	return t
+}
+
+func TestStageMaterializeSealFetch(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := storage.NewStore(func() time.Time { return now })
+	s.Stage("sig1", "rec1", "p/sig1", "vc1")
+
+	if s.Available("sig1") {
+		t.Error("staged view must not be available")
+	}
+	if !s.InFlight("sig1") {
+		t.Error("staged view must be in flight")
+	}
+	if err := s.Materialize("sig1", "p/sig1", table(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Available("sig1") {
+		t.Error("unsealed view must not be available")
+	}
+	if !s.InFlight("sig1") {
+		t.Error("materialized-but-unsealed view is still in flight")
+	}
+	if !s.Seal("sig1") {
+		t.Fatal("seal failed")
+	}
+	if !s.Available("sig1") {
+		t.Error("sealed view must be available")
+	}
+	tb, mult, ok := s.Fetch("sig1")
+	if !ok || mult != 2 || tb.NumRows() != 2 {
+		t.Fatalf("fetch: ok=%v mult=%g rows=%d", ok, mult, tb.NumRows())
+	}
+	v, _ := s.Lookup("sig1")
+	if v.Reads != 1 || v.VC != "vc1" || v.Recurring != "rec1" {
+		t.Errorf("metadata: %+v", v)
+	}
+	// Logical bytes honor the multiplier.
+	if v.Bytes != table().ByteSize()*2 {
+		t.Errorf("bytes = %d, want %d", v.Bytes, table().ByteSize()*2)
+	}
+	if s.UsedBytes("vc1") != v.Bytes {
+		t.Errorf("vc accounting = %d", s.UsedBytes("vc1"))
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := storage.NewStore(func() time.Time { return now })
+	s.Stage("sig1", "rec1", "p", "vc")
+	_ = s.Materialize("sig1", "p", table(), 1)
+	s.Seal("sig1")
+
+	now = now.Add(storage.DefaultTTL - time.Hour)
+	if !s.Available("sig1") {
+		t.Error("view expired too early")
+	}
+	now = now.Add(2 * time.Hour)
+	if s.Available("sig1") {
+		t.Error("view must expire after TTL")
+	}
+	if _, _, ok := s.Fetch("sig1"); ok {
+		t.Error("expired view must not fetch")
+	}
+	if n := s.GC(); n != 1 {
+		t.Errorf("GC evicted %d, want 1", n)
+	}
+	if s.UsedBytes("vc") != 0 {
+		t.Error("GC must release storage accounting")
+	}
+	st := s.Snapshot()
+	if st.Expired != 1 || st.Live != 0 || st.Created != 1 {
+		t.Errorf("snapshot: %+v", st)
+	}
+}
+
+func TestMaterializeRaceKeepsFirst(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := storage.NewStore(func() time.Time { return now })
+	first := table()
+	_ = s.Materialize("sig1", "p", first, 1)
+	second := data.NewTable(first.Schema)
+	_ = s.Materialize("sig1", "p", second, 1)
+	s.Seal("sig1")
+	tb, _, _ := s.Fetch("sig1")
+	if tb.NumRows() != 2 {
+		t.Error("second materialization must not clobber the first")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := storage.NewStore(func() time.Time { return now })
+	for _, sig := range []signature.Sig{"a", "b", "c"} {
+		s.Stage(sig, "r"+sig, "p/"+string(sig), "vc1")
+		_ = s.Materialize(sig, "p/"+string(sig), table(), 1)
+		s.Seal(sig)
+	}
+	s.Stage("d", "rd", "p/d", "vc2")
+	_ = s.Materialize("d", "p/d", table(), 1)
+	s.Seal("d")
+
+	if !s.Purge("a") {
+		t.Error("purge failed")
+	}
+	if s.Purge("a") {
+		t.Error("double purge must fail")
+	}
+	if n := s.PurgeVC("vc1"); n != 2 {
+		t.Errorf("PurgeVC = %d, want 2", n)
+	}
+	if s.Count() != 1 {
+		t.Errorf("live = %d, want 1", s.Count())
+	}
+	if s.UsedBytes("vc1") != 0 {
+		t.Error("vc1 accounting must drop to zero")
+	}
+}
+
+func TestSetTTL(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := storage.NewStore(func() time.Time { return now })
+	s.SetTTL(time.Minute)
+	_ = s.Materialize("x", "p", table(), 1)
+	s.Seal("x")
+	now = now.Add(2 * time.Minute)
+	if s.Available("x") {
+		t.Error("custom TTL not honored")
+	}
+}
+
+func TestViewsListing(t *testing.T) {
+	s := storage.NewStore(func() time.Time { return time.Unix(0, 0) })
+	_ = s.Materialize("b", "p/2", table(), 1)
+	_ = s.Materialize("a", "p/1", table(), 1)
+	vs := s.Views()
+	if len(vs) != 2 || vs[0].Path != "p/1" {
+		t.Errorf("views = %+v", vs)
+	}
+}
+
+func TestPathFor(t *testing.T) {
+	p := storage.PathFor("vc1", "abcdefghijklmnopqrstuv")
+	if p != "cloudviews/vc1/abcdefghijkl.ss" {
+		t.Errorf("path = %q", p)
+	}
+}
