@@ -1,0 +1,197 @@
+package cloudviews
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"cloudviews/internal/workload"
+)
+
+// Pending is the handle for an asynchronously submitted job.
+type Pending struct {
+	id   string
+	done chan struct{}
+	res  *JobResult
+	err  error
+}
+
+// ID returns the job ID assigned at submission (available immediately).
+func (p *Pending) ID() string { return p.id }
+
+// Done returns a channel closed when the job has finished.
+func (p *Pending) Done() <-chan struct{} { return p.done }
+
+// Wait blocks until the job finishes and returns its result.
+func (p *Pending) Wait() (*JobResult, error) {
+	<-p.done
+	return p.res, p.err
+}
+
+// vcWorker is the single goroutine that executes one virtual cluster's
+// asynchronous submissions in FIFO order — the per-VC job queue of the
+// paper's Cosmos deployment. Different VCs get different workers and run
+// concurrently.
+type vcWorker struct {
+	sys  *System
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []*asyncTask
+	stop bool
+}
+
+type asyncTask struct {
+	in workload.JobInput
+	p  *Pending
+}
+
+func newVCWorker(sys *System) *vcWorker {
+	w := &vcWorker{sys: sys}
+	w.cond = sync.NewCond(&w.mu)
+	go w.loop()
+	return w
+}
+
+func (w *vcWorker) enqueue(t *asyncTask) {
+	w.mu.Lock()
+	w.q = append(w.q, t)
+	w.mu.Unlock()
+	w.cond.Signal()
+}
+
+func (w *vcWorker) loop() {
+	for {
+		w.mu.Lock()
+		for len(w.q) == 0 && !w.stop {
+			w.cond.Wait()
+		}
+		if w.stop && len(w.q) == 0 {
+			w.mu.Unlock()
+			return
+		}
+		t := w.q[0]
+		w.q = w.q[1:]
+		w.mu.Unlock()
+
+		// Drain sentinels (empty script — real tasks always carry one)
+		// complete without touching the engine.
+		if t.in.Script != "" {
+			t.p.res, t.p.err = w.sys.run(t.in)
+		}
+		close(t.p.done)
+	}
+}
+
+// shutdown asks the worker to exit after draining its queue.
+func (w *vcWorker) shutdown() {
+	w.mu.Lock()
+	w.stop = true
+	w.mu.Unlock()
+	w.cond.Signal()
+}
+
+// workerFor returns (starting if needed) the submission worker for a VC.
+func (s *System) workerFor(vc string) (*vcWorker, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("cloudviews: system is closed")
+	}
+	w, ok := s.workers[vc]
+	if !ok {
+		w = newVCWorker(s)
+		s.workers[vc] = w
+	}
+	return w, nil
+}
+
+// SubmitScriptAsync enqueues a job on its virtual cluster's worker and
+// returns immediately. Jobs on the same VC execute in submission order; jobs
+// on different VCs run concurrently. The returned Pending reports the result.
+func (s *System) SubmitScriptAsync(job Job) (*Pending, error) {
+	in, err := s.toInput(job)
+	if err != nil {
+		return nil, err
+	}
+	w, err := s.workerFor(in.VC)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pending{id: in.ID, done: make(chan struct{})}
+	w.enqueue(&asyncTask{in: in, p: p})
+	return p, nil
+}
+
+// SubmitBatch submits all jobs asynchronously and waits for every one of
+// them. results[i] corresponds to jobs[i] (nil where that job failed); the
+// returned error joins all per-job failures. Jobs sharing a VC keep their
+// slice order; jobs on different VCs run concurrently.
+func (s *System) SubmitBatch(jobs []Job) ([]*JobResult, error) {
+	pendings := make([]*Pending, len(jobs))
+	errs := make([]error, len(jobs))
+	for i, j := range jobs {
+		p, err := s.SubmitScriptAsync(j)
+		if err != nil {
+			errs[i] = fmt.Errorf("job %d (%q): %w", i, j.ID, err)
+			continue
+		}
+		pendings[i] = p
+	}
+	results := make([]*JobResult, len(jobs))
+	for i, p := range pendings {
+		if p == nil {
+			continue
+		}
+		res, err := p.Wait()
+		if err != nil {
+			errs[i] = fmt.Errorf("job %d (%q): %w", i, p.id, err)
+			continue
+		}
+		results[i] = res
+	}
+	return results, errors.Join(errs...)
+}
+
+// Drain blocks until every asynchronously submitted job has finished. Call
+// it before control-plane operations (RunDay, Analyze) when async
+// submissions may be in flight.
+func (s *System) Drain() {
+	s.mu.Lock()
+	workers := make([]*vcWorker, 0, len(s.workers))
+	for _, w := range s.workers {
+		workers = append(workers, w)
+	}
+	s.mu.Unlock()
+	for _, w := range workers {
+		w.waitIdle()
+	}
+}
+
+// waitIdle blocks until the worker's queue is empty and no job is running.
+func (w *vcWorker) waitIdle() {
+	// A sentinel task is FIFO like any other: when it runs, everything
+	// enqueued before it has completed.
+	sentinel := &asyncTask{p: &Pending{done: make(chan struct{})}}
+	w.enqueue(sentinel)
+	<-sentinel.p.done
+}
+
+// Close stops the background submission workers after draining their
+// queues. Further SubmitScriptAsync/SubmitBatch calls fail; synchronous
+// APIs keep working. Close is idempotent.
+func (s *System) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	workers := make([]*vcWorker, 0, len(s.workers))
+	for _, w := range s.workers {
+		workers = append(workers, w)
+	}
+	s.mu.Unlock()
+	for _, w := range workers {
+		w.shutdown()
+	}
+}

@@ -1,0 +1,202 @@
+package cloudviews_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cloudviews"
+)
+
+const asyncScript = `p = SELECT * FROM Events WHERE Value > %d;
+r = SELECT Region, COUNT(*) AS n FROM p GROUP BY Region;
+OUTPUT r TO "out/r";`
+
+func TestSubmitScriptAsync(t *testing.T) {
+	sys := demoSystem(t)
+	defer sys.Close()
+
+	p, err := sys.SubmitScriptAsync(cloudviews.Job{
+		ID: "async-1", VC: "vc1",
+		Script: fmt.Sprintf(asyncScript, 10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID() != "async-1" {
+		t.Errorf("pending ID = %q", p.ID())
+	}
+	res, err := p.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.NumRows() != 3 {
+		t.Errorf("rows = %d, want 3", res.Output.NumRows())
+	}
+	// Waiting twice is fine.
+	res2, _ := p.Wait()
+	if res2 != res {
+		t.Error("second Wait returned a different result")
+	}
+}
+
+// TestSubmitBatchMatchesSync submits the same mixed-VC batch synchronously
+// on one system and via SubmitBatch on another; outputs must agree, and
+// results must line up with the input slice.
+func TestSubmitBatchMatchesSync(t *testing.T) {
+	syncSys := demoSystem(t)
+	asyncSys := demoSystem(t)
+	defer asyncSys.Close()
+
+	var jobs []cloudviews.Job
+	for i := 0; i < 24; i++ {
+		jobs = append(jobs, cloudviews.Job{
+			ID:     fmt.Sprintf("batch-%02d", i),
+			VC:     fmt.Sprintf("vc%d", i%4),
+			Script: fmt.Sprintf(asyncScript, 5*(i%5)),
+			Submit: cloudviews.Epoch.Add(time.Duration(i) * time.Second),
+		})
+	}
+
+	want := make([]*cloudviews.JobResult, len(jobs))
+	for i, j := range jobs {
+		res, err := syncSys.SubmitScript(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+
+	got, err := asyncSys.SubmitBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("results = %d, want %d", len(got), len(jobs))
+	}
+	for i := range jobs {
+		if got[i] == nil {
+			t.Fatalf("result %d missing", i)
+		}
+		if got[i].ID != jobs[i].ID {
+			t.Errorf("result %d is for %q, want %q", i, got[i].ID, jobs[i].ID)
+		}
+		if gf, wf := got[i].Output.Fingerprint(), want[i].Output.Fingerprint(); gf != wf {
+			t.Errorf("job %s: batch output diverges from sync submission", jobs[i].ID)
+		}
+	}
+}
+
+// TestSubmitBatchPartialFailure: bad jobs fail individually without sinking
+// the batch.
+func TestSubmitBatchPartialFailure(t *testing.T) {
+	sys := demoSystem(t)
+	defer sys.Close()
+
+	jobs := []cloudviews.Job{
+		{ID: "good", VC: "vc1", Script: fmt.Sprintf(asyncScript, 10)},
+		{ID: "empty", VC: "vc1"}, // no script
+		{ID: "broken", VC: "vc2", Script: `SELECT FROM nothing !!!;`},  // parse error
+		{ID: "good2", VC: "vc2", Script: fmt.Sprintf(asyncScript, 20)}, // after the bad one
+	}
+	results, err := sys.SubmitBatch(jobs)
+	if err == nil {
+		t.Fatal("expected batch error")
+	}
+	if results[0] == nil || results[3] == nil {
+		t.Error("good jobs must still produce results")
+	}
+	if results[1] != nil || results[2] != nil {
+		t.Error("failed jobs must have nil results")
+	}
+}
+
+// TestAsyncPerVCOrdering: jobs on one VC execute in submission order even
+// with concurrent submitters on other VCs. The workload repository records
+// jobs in execution-completion order, so the relative order of one VC's
+// records is the order its worker ran them.
+func TestAsyncPerVCOrdering(t *testing.T) {
+	sys := demoSystem(t)
+	defer sys.Close()
+
+	const perVC = 20
+	for i := 0; i < perVC; i++ {
+		if _, err := sys.SubmitScriptAsync(cloudviews.Job{
+			ID: fmt.Sprintf("ord-%02d", i), VC: "vc-ordered",
+			Script: fmt.Sprintf(asyncScript, i%7),
+			Submit: cloudviews.Epoch.Add(time.Duration(i) * time.Second),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Noise VCs churn concurrently with the ordered stream.
+		if _, err := sys.SubmitScriptAsync(cloudviews.Job{
+			VC: fmt.Sprintf("noise-%d", i%3), Script: fmt.Sprintf(asyncScript, i%5),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Drain()
+
+	var ordered []string
+	for _, rec := range sys.Engine().Repo.Jobs() {
+		if rec.VC == "vc-ordered" {
+			ordered = append(ordered, rec.JobID)
+		}
+	}
+	if len(ordered) != perVC {
+		t.Fatalf("recorded %d ordered jobs, want %d", len(ordered), perVC)
+	}
+	for i, id := range ordered {
+		if want := fmt.Sprintf("ord-%02d", i); id != want {
+			t.Fatalf("per-VC FIFO violated: position %d ran %s, want %s (full order: %v)", i, id, want, ordered)
+		}
+	}
+}
+
+// TestConcurrentSyncSubmitters hammers SubmitScript from many goroutines —
+// the simplest contract: no races, correct per-job answers.
+func TestConcurrentSyncSubmitters(t *testing.T) {
+	sys := demoSystem(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				res, err := sys.SubmitScript(cloudviews.Job{
+					VC:     fmt.Sprintf("vc%d", w%4),
+					Script: fmt.Sprintf(asyncScript, 10*(i%3)),
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Output.NumRows() != 3 {
+					t.Errorf("rows = %d, want 3", res.Output.NumRows())
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestCloseStopsAsync(t *testing.T) {
+	sys := demoSystem(t)
+	p, err := sys.SubmitScriptAsync(cloudviews.Job{VC: "vc1", Script: fmt.Sprintf(asyncScript, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+	sys.Close() // idempotent
+	if _, err := sys.SubmitScriptAsync(cloudviews.Job{VC: "vc1", Script: fmt.Sprintf(asyncScript, 10)}); err == nil {
+		t.Error("async submission after Close must fail")
+	}
+	// Sync path still works after Close.
+	if _, err := sys.SubmitScript(cloudviews.Job{VC: "vc1", Script: fmt.Sprintf(asyncScript, 10)}); err != nil {
+		t.Errorf("sync submission after Close: %v", err)
+	}
+}

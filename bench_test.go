@@ -11,8 +11,11 @@ package cloudviews
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
+
+	"cloudviews/internal/data"
 
 	"cloudviews/internal/analysis"
 	"cloudviews/internal/catalog"
@@ -316,6 +319,87 @@ func BenchmarkGenerator(b *testing.B) {
 		if len(jobs) == 0 {
 			b.Fatal("no jobs")
 		}
+	}
+}
+
+// benchConcurrentSystem builds a System over a mid-sized dataset for the
+// concurrent-submission throughput benchmark.
+func benchConcurrentSystem(b *testing.B) *System {
+	b.Helper()
+	sys, err := NewSystem(Config{ClusterName: "bench-conc", Capacity: 400})
+	if err != nil {
+		b.Fatal(err)
+	}
+	schema := data.Schema{
+		{Name: "Id", Kind: data.KindInt},
+		{Name: "Region", Kind: data.KindString},
+		{Name: "Value", Kind: data.KindFloat},
+	}
+	if err := sys.DefineDataset("Events", schema); err != nil {
+		b.Fatal(err)
+	}
+	tb := data.NewTable(schema)
+	regions := []string{"us", "eu", "asia", "latam"}
+	for i := 0; i < 4000; i++ {
+		tb.Append(data.Row{
+			data.Int(int64(i)),
+			data.String_(regions[i%4]),
+			data.Float(float64((i * 31) % 101)),
+		})
+	}
+	if err := sys.PublishDataset("Events", tb); err != nil {
+		b.Fatal(err)
+	}
+	sys.SetScaleFactor("Events", 10_000)
+	return sys
+}
+
+// BenchmarkConcurrentSubmit measures end-to-end submission throughput
+// (parse → bind → optimize → execute → record) with 1, 4, and 16 submitter
+// goroutines sharing one System. The 1-worker arm is the serial baseline the
+// scaling claims compare against.
+func BenchmarkConcurrentSubmit(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sys := benchConcurrentSystem(b)
+			// 37 distinct filter constants → 37 distinct strict signatures,
+			// so the result cache warms identically in every arm without
+			// collapsing all the work.
+			scripts := make([]string, 37)
+			for i := range scripts {
+				scripts[i] = fmt.Sprintf(`p = SELECT * FROM Events WHERE Value > %d;
+r = SELECT Region, COUNT(*) AS n, SUM(Value) AS s FROM p GROUP BY Region;
+OUTPUT r TO "out/r";`, i)
+			}
+			b.ResetTimer()
+			ch := make(chan int)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := range ch {
+						_, err := sys.SubmitScript(Job{
+							VC:     fmt.Sprintf("vc%d", w%4),
+							Script: scripts[i%len(scripts)],
+						})
+						if err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			for i := 0; i < b.N; i++ {
+				ch <- i
+			}
+			close(ch)
+			wg.Wait()
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(b.N)/sec, "jobs/sec")
+			}
+		})
 	}
 }
 

@@ -25,10 +25,41 @@
 //
 // Repeated submissions of overlapping scripts are detected by the analysis
 // pass (System.Analyze) and transparently materialized and reused.
+//
+// # Concurrency
+//
+// A System is safe for concurrent use. SubmitScript may be called from any
+// number of goroutines; the shared state behind it (catalog, workload
+// repository, runtime statistics, materialized-view store, insights service)
+// is internally synchronized, and large operators fan out across partitions
+// internally while still producing byte-identical results to serial
+// execution.
+//
+// For pipelined ingestion, SubmitScriptAsync enqueues a job and returns a
+// Pending handle immediately; SubmitBatch submits a whole slice and waits
+// for all of it:
+//
+//	pending, _ := sys.SubmitScriptAsync(cloudviews.Job{VC: "vc1", Script: src})
+//	...
+//	res, err := pending.Wait()
+//
+//	results, err := sys.SubmitBatch(jobs) // results[i] matches jobs[i]
+//
+// Ordering guarantees: jobs submitted asynchronously to the SAME virtual
+// cluster execute one at a time in submission order (per-VC FIFO, matching
+// the paper's per-VC job queues); jobs on different VCs run concurrently
+// with no ordering between them. Results are deterministic regardless of
+// interleaving — equal strict signatures imply identical result bytes, so
+// view reuse can never change a job's output, only its cost. Call Close to
+// stop the background workers when done with async submission.
+//
+// RunDay and Analyze are control-plane operations: they assume no concurrent
+// submissions are in flight (drain async work first).
 package cloudviews
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"cloudviews/internal/analysis"
@@ -136,12 +167,17 @@ type JobResult struct {
 	PlanText string
 }
 
-// System is a single-cluster CloudViews deployment.
+// System is a single-cluster CloudViews deployment. Safe for concurrent
+// use; see the package documentation for the concurrency model.
 type System struct {
 	engine *core.Engine
 	cfg    Config
-	clock  time.Time
-	seq    int
+
+	mu      sync.Mutex // guards clock, seq, workers, closed
+	clock   time.Time
+	seq     int
+	workers map[string]*vcWorker
+	closed  bool
 }
 
 // NewSystem creates an empty system with its own catalog.
@@ -157,7 +193,12 @@ func NewSystem(cfg Config) (*System, error) {
 		MaxViewsPerJob: cfg.MaxViewsPerJob,
 		Selection:      cfg.Selection,
 	})
-	return &System{engine: eng, cfg: cfg, clock: fixtures.Epoch}, nil
+	return &System{
+		engine:  eng,
+		cfg:     cfg,
+		clock:   fixtures.Epoch,
+		workers: make(map[string]*vcWorker),
+	}, nil
 }
 
 // Engine exposes the underlying engine for advanced use (experiments,
@@ -172,7 +213,7 @@ func (s *System) DefineDataset(name string, schema Schema) error {
 
 // PublishDataset bulk-publishes a new immutable version of a dataset.
 func (s *System) PublishDataset(name string, t *Table) error {
-	_, err := s.engine.Catalog.BulkUpdate(name, s.clock, t)
+	_, err := s.engine.Catalog.BulkUpdate(name, s.Clock(), t)
 	return err
 }
 
@@ -189,25 +230,47 @@ func (s *System) OnboardVC(vc string) { s.engine.OnboardVC(vc) }
 func (s *System) OffboardVC(vc string) { s.engine.OffboardVC(vc) }
 
 // AdvanceClock moves the simulated time forward.
-func (s *System) AdvanceClock(d time.Duration) { s.clock = s.clock.Add(d) }
+func (s *System) AdvanceClock(d time.Duration) {
+	s.mu.Lock()
+	s.clock = s.clock.Add(d)
+	s.mu.Unlock()
+}
 
 // Clock returns the simulated time.
-func (s *System) Clock() time.Time { return s.clock }
+func (s *System) Clock() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clock
+}
+
+// observeSubmit advances the system clock to a job's submission time (the
+// clock never moves backwards).
+func (s *System) observeSubmit(t time.Time) {
+	s.mu.Lock()
+	if t.After(s.clock) {
+		s.clock = t
+	}
+	s.mu.Unlock()
+}
 
 // SubmitScript compiles and executes one job immediately (data plane only;
-// use RunDay for cluster-scheduled batches).
+// use RunDay for cluster-scheduled batches). Safe to call from multiple
+// goroutines; use SubmitScriptAsync/SubmitBatch for per-VC FIFO ordering.
 func (s *System) SubmitScript(job Job) (*JobResult, error) {
 	in, err := s.toInput(job)
 	if err != nil {
 		return nil, err
 	}
+	return s.run(in)
+}
+
+// run executes one prepared input through the engine.
+func (s *System) run(in workload.JobInput) (*JobResult, error) {
 	run, err := s.engine.CompileAndExecute(in)
 	if err != nil {
 		return nil, err
 	}
-	if run.Input.Submit.After(s.clock) {
-		s.clock = run.Input.Submit
-	}
+	s.observeSubmit(run.Input.Submit)
 	return &JobResult{
 		ID:          in.ID,
 		Output:      run.Output,
@@ -242,7 +305,7 @@ func (s *System) RunDay(day int, jobs []Job) (DayMetrics, error) {
 // view selection over the workload repository and annotation publishing.
 // Returns the number of job templates that received annotations.
 func (s *System) Analyze(window time.Duration) int {
-	to := s.clock.Add(24 * time.Hour)
+	to := s.Clock().Add(24 * time.Hour)
 	from := to.Add(-window - 24*time.Hour)
 	tags, _ := s.engine.RunAnalysis(from, to)
 	return tags
@@ -258,7 +321,11 @@ func (s *System) toInput(job Job) (workload.JobInput, error) {
 	if job.Script == "" {
 		return workload.JobInput{}, fmt.Errorf("cloudviews: job %q has no script", job.ID)
 	}
+	s.mu.Lock()
 	s.seq++
+	seq := s.seq
+	clock := s.clock
+	s.mu.Unlock()
 	in := workload.JobInput{
 		ID:       job.ID,
 		Cluster:  s.cfg.ClusterName,
@@ -272,7 +339,7 @@ func (s *System) toInput(job Job) (workload.JobInput, error) {
 		OptIn:    !job.OptOut,
 	}
 	if in.ID == "" {
-		in.ID = fmt.Sprintf("job-%06d", s.seq)
+		in.ID = fmt.Sprintf("job-%06d", seq)
 	}
 	if in.VC == "" {
 		in.VC = "default-vc"
@@ -284,7 +351,7 @@ func (s *System) toInput(job Job) (workload.JobInput, error) {
 		in.Runtime = "scope-r1"
 	}
 	if in.Submit.IsZero() {
-		in.Submit = s.clock
+		in.Submit = clock
 	}
 	return in, nil
 }

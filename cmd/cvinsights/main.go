@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -36,9 +37,17 @@ func main() {
 	scale := flag.Float64("scale", 0.5, "workload scale (1.0 = paper-sized cluster)")
 	top := flag.Int("top", 15, "top candidates to display")
 	flag.Parse()
+	if err := run(os.Stdout, *days, *scale, *top); err != nil {
+		fmt.Fprintf(os.Stderr, "cvinsights: %v\n", err)
+		os.Exit(1)
+	}
+}
 
+// run produces the full insights report on w. Extracted from main so the
+// report format can be golden-tested.
+func run(w io.Writer, days int, scale float64, top int) error {
 	profile := workload.DefaultProfile("Insights")
-	profile.Pipelines = int(float64(profile.Pipelines) * 2 * *scale)
+	profile.Pipelines = int(float64(profile.Pipelines) * 2 * scale)
 	if profile.Pipelines < 10 {
 		profile.Pipelines = 10
 	}
@@ -46,7 +55,7 @@ func main() {
 	cat := catalog.New()
 	gen := workload.NewGenerator(cat, profile)
 	if err := gen.Bootstrap(); err != nil {
-		fatal(err)
+		return err
 	}
 	var vcCfgs []cluster.VCConfig
 	for _, vc := range gen.VCNames() {
@@ -58,20 +67,20 @@ func main() {
 		ClusterCfg:  cluster.Config{Capacity: 400, VCs: vcCfgs},
 	})
 
-	fmt.Printf("collecting %d day(s) of workload telemetry from %d pipelines...\n\n", *days, profile.Pipelines)
-	for day := 0; day < *days; day++ {
+	fmt.Fprintf(w, "collecting %d day(s) of workload telemetry from %d pipelines...\n\n", days, profile.Pipelines)
+	for day := 0; day < days; day++ {
 		if day > 0 {
 			if err := gen.AdvanceDay(day); err != nil {
-				fatal(err)
+				return err
 			}
 		}
 		if _, err := eng.RunDay(day, gen.JobsForDay(day)); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
 	from := fixtures.Epoch
-	to := fixtures.Epoch.AddDate(0, 0, *days)
+	to := fixtures.Epoch.AddDate(0, 0, days)
 	repo := eng.Repo
 
 	// --- Workload composition -------------------------------------------
@@ -94,14 +103,14 @@ func main() {
 			recurringJobs += n
 		}
 	}
-	fmt.Println("WORKLOAD COMPOSITION")
-	fmt.Printf("  jobs                 %8d\n", len(jobs))
-	fmt.Printf("  pipelines            %8d\n", len(pipelines))
-	fmt.Printf("  users                %8d\n", len(users))
-	fmt.Printf("  virtual clusters     %8d\n", len(vcs))
-	fmt.Printf("  subexpressions       %8d\n", repo.SubexprCount())
-	fmt.Printf("  recurring job share  %7.1f%%\n", 100*float64(recurringJobs)/float64(len(jobs)))
-	fmt.Printf("  total processing     %8.0f container-sec\n\n", totalWork)
+	fmt.Fprintln(w, "WORKLOAD COMPOSITION")
+	fmt.Fprintf(w, "  jobs                 %8d\n", len(jobs))
+	fmt.Fprintf(w, "  pipelines            %8d\n", len(pipelines))
+	fmt.Fprintf(w, "  users                %8d\n", len(users))
+	fmt.Fprintf(w, "  virtual clusters     %8d\n", len(vcs))
+	fmt.Fprintf(w, "  subexpressions       %8d\n", repo.SubexprCount())
+	fmt.Fprintf(w, "  recurring job share  %7.1f%%\n", 100*float64(recurringJobs)/float64(len(jobs)))
+	fmt.Fprintf(w, "  total processing     %8.0f container-sec\n\n", totalWork)
 
 	// --- Redundancy -------------------------------------------------------
 	groups := repo.GroupByRecurring(from, to)
@@ -115,11 +124,11 @@ func main() {
 			reusable += g.Count - g.DistinctStrict
 		}
 	}
-	fmt.Println("REDUNDANCY")
-	fmt.Printf("  distinct subexpressions      %8d\n", len(groups))
-	fmt.Printf("  repeated instances           %7.1f%%\n", 100*float64(repeated)/float64(instances))
-	fmt.Printf("  avg repeat frequency         %8.2f\n", float64(instances)/float64(len(groups)))
-	fmt.Printf("  reusable instances (exact)   %8d\n\n", reusable)
+	fmt.Fprintln(w, "REDUNDANCY")
+	fmt.Fprintf(w, "  distinct subexpressions      %8d\n", len(groups))
+	fmt.Fprintf(w, "  repeated instances           %7.1f%%\n", 100*float64(repeated)/float64(instances))
+	fmt.Fprintf(w, "  avg repeat frequency         %8.2f\n", float64(instances)/float64(len(groups)))
+	fmt.Fprintf(w, "  reusable instances (exact)   %8d\n\n", reusable)
 
 	// --- Candidates -------------------------------------------------------
 	byVC, rejected := analysis.SelectViews(repo, from, to, analysis.SelectionConfig{
@@ -137,25 +146,35 @@ func main() {
 			expectedSavings += c.Utility
 		}
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].c.Utility > all[j].c.Utility })
+	// Full ordering (not just utility) so the report is byte-stable across
+	// runs: `all` is assembled from map iteration.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c.Utility != all[j].c.Utility {
+			return all[i].c.Utility > all[j].c.Utility
+		}
+		if all[i].vc != all[j].vc {
+			return all[i].vc < all[j].vc
+		}
+		return all[i].c.Recurring < all[j].c.Recurring
+	})
 
-	fmt.Println("TOP REUSE CANDIDATES (expected per-window savings)")
-	fmt.Println("  rank  op         freq  utility(cs)  storage(MB)  vc")
+	fmt.Fprintln(w, "TOP REUSE CANDIDATES (expected per-window savings)")
+	fmt.Fprintln(w, "  rank  op         freq  utility(cs)  storage(MB)  vc")
 	for i, f := range all {
-		if i >= *top {
+		if i >= top {
 			break
 		}
-		fmt.Printf("  %4d  %-9s %5d  %11.1f  %11.1f  %s\n",
+		fmt.Fprintf(w, "  %4d  %-9s %5d  %11.1f  %11.1f  %s\n",
 			i+1, f.c.Op, f.c.Frequency, f.c.Utility, float64(f.c.StorageCost)/1e6, f.vc)
 	}
-	fmt.Printf("\n  candidates selected: %d (%d rejected as schedule-concurrent)\n", len(all), rejected)
+	fmt.Fprintf(w, "\n  candidates selected: %d (%d rejected as schedule-concurrent)\n", len(all), rejected)
 	if totalWork > 0 {
-		fmt.Printf("  expected compute savings if enabled: %.0f container-sec (%.1f%% of the window)\n",
+		fmt.Fprintf(w, "  expected compute savings if enabled: %.0f container-sec (%.1f%% of the window)\n",
 			expectedSavings, 100*expectedSavings/totalWork)
 	}
 
 	// --- Per-VC breakdown --------------------------------------------------
-	fmt.Println("\nPER-VC BREAKDOWN")
+	fmt.Fprintln(w, "\nPER-VC BREAKDOWN")
 	vcNames := make([]string, 0, len(byVC))
 	for vc := range byVC {
 		vcNames = append(vcNames, vc)
@@ -168,43 +187,39 @@ func main() {
 			u += c.Utility
 			storageNeed += c.StorageCost
 		}
-		fmt.Printf("  %-18s %3d views, %10.1f cs saved, %8.1f MB storage\n",
+		fmt.Fprintf(w, "  %-18s %3d views, %10.1f cs saved, %8.1f MB storage\n",
 			vc, len(byVC[vc]), u, float64(storageNeed)/1e6)
 	}
 	// --- Lineage (§5.2 dependency surfacing) -------------------------------
 	producers := map[string]string{}
 	for _, name := range cat.Names() {
-		if ds, ok := cat.Dataset(name); ok && ds.Producer != "" {
-			producers[name] = ds.Producer
+		if ds, ok := cat.Dataset(name); ok && ds.Producer() != "" {
+			producers[name] = ds.Producer()
 		}
 	}
 	g := lineage.Build(repo, from, to, producers)
-	fmt.Println("\nPIPELINE DEPENDENCIES")
-	fmt.Printf("  datasets in the graph         %6d\n", len(g.Datasets))
-	fmt.Printf("  pipelines depending on others %5.1f%%  (paper: ~80%%)\n", 100*g.DependentShare())
+	fmt.Fprintln(w, "\nPIPELINE DEPENDENCIES")
+	fmt.Fprintf(w, "  datasets in the graph         %6d\n", len(g.Datasets))
+	fmt.Fprintf(w, "  pipelines depending on others %5.1f%%  (paper: ~80%%)\n", 100*g.DependentShare())
 	recs := g.RecommendPhysicalDesigns(5)
 	for i, rec := range recs {
 		if i >= 5 {
 			break
 		}
-		fmt.Printf("  tailor %-22s for %2d consumers (%d reads) — %s\n",
+		fmt.Fprintf(w, "  tailor %-22s for %2d consumers (%d reads) — %s\n",
 			rec.Dataset, rec.Consumers, rec.Reads, "producer: "+rec.Producer)
 	}
 
 	// --- Workload compression (§5.2) ---------------------------------------
 	cres := compress.Compress(repo, from, to, compress.Options{TargetCoverage: 0.95})
-	fmt.Println("\nWORKLOAD COMPRESSION (pre-production representative set)")
-	fmt.Printf("  representative templates  %6d (%.1f%% of all templates)\n",
+	fmt.Fprintln(w, "\nWORKLOAD COMPRESSION (pre-production representative set)")
+	fmt.Fprintf(w, "  representative templates  %6d (%.1f%% of all templates)\n",
 		len(cres.Representatives), 100*cres.CompressionRatio)
-	fmt.Printf("  subexpression coverage    %6d / %d\n", cres.CoveredSubexprs, cres.TotalSubexprs)
+	fmt.Fprintf(w, "  subexpression coverage    %6d / %d\n", cres.CoveredSubexprs, cres.TotalSubexprs)
 	if cres.TotalWork > 0 {
-		fmt.Printf("  weighted compute coverage %5.1f%%\n", 100*cres.CoveredWork/cres.TotalWork)
+		fmt.Fprintf(w, "  weighted compute coverage %5.1f%%\n", 100*cres.CoveredWork/cres.TotalWork)
 	}
 
-	fmt.Println("\nverdict: enable CloudViews on the VCs above to capture these savings automatically.")
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "cvinsights: %v\n", err)
-	os.Exit(1)
+	fmt.Fprintln(w, "\nverdict: enable CloudViews on the VCs above to capture these savings automatically.")
+	return nil
 }

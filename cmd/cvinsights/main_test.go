@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden report")
+
+// TestReportGolden pins the full insights report byte-for-byte so formatting
+// changes show up as reviewable diffs. Regenerate with:
+//
+//	go test ./cmd/cvinsights -run Golden -update
+func TestReportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 2, 0.3, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "report_golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestReportDeterministic guards the golden test itself: two runs with the
+// same parameters must emit identical bytes (the report iterates maps, so
+// every listing needs a total order).
+func TestReportDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a, 1, 0.3, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, 1, 0.3, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("report is nondeterministic across runs")
+	}
+}

@@ -9,8 +9,10 @@ package catalog
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cloudviews/internal/data"
@@ -30,27 +32,42 @@ type Version struct {
 	Forgotten bool
 }
 
-// Dataset is a named stream with a history of versions.
+// Dataset is a named stream with a history of versions. Dataset pointers
+// escape the catalog lock (Dataset, Latest), so the mutable metadata fields
+// are atomics: executors read the scale factor on every scan while admin
+// calls may be rescaling concurrently.
 type Dataset struct {
 	Name     string
 	Schema   data.Schema
-	versions []*Version // oldest first
-	// Producer optionally records the pipeline that cooks this dataset, for
+	versions []*Version // oldest first; guarded by the catalog lock
+
+	// producer optionally records the pipeline that cooks this dataset, for
 	// lineage analyses.
-	Producer string
-	// ScaleFactor is the logical size multiplier used by the execution
-	// simulator: tables are materialized small, but work and IO accounting
-	// are multiplied by this factor to emulate production-scale inputs
-	// without production-scale memory. 0 means 1.
-	ScaleFactor float64
+	producer atomic.Pointer[string]
+	// scale holds math.Float64bits of the logical size multiplier used by
+	// the execution simulator: tables are materialized small, but work and
+	// IO accounting are multiplied by this factor to emulate
+	// production-scale inputs without production-scale memory. 0 means 1.
+	scale atomic.Uint64
 }
 
-// EffectiveScale returns the scale factor, defaulting to 1.
+// EffectiveScale returns the scale factor, defaulting to 1. Safe for
+// concurrent use.
 func (d *Dataset) EffectiveScale() float64 {
-	if d.ScaleFactor <= 0 {
+	f := math.Float64frombits(d.scale.Load())
+	if f <= 0 {
 		return 1
 	}
-	return d.ScaleFactor
+	return f
+}
+
+// Producer returns the pipeline that cooks this dataset ("" = ingested raw).
+// Safe for concurrent use.
+func (d *Dataset) Producer() string {
+	if p := d.producer.Load(); p != nil {
+		return *p
+	}
+	return ""
 }
 
 // Catalog is the thread-safe dataset registry.
@@ -83,19 +100,19 @@ func (c *Catalog) Define(name string, schema data.Schema) (*Dataset, error) {
 
 // SetScaleFactor sets the logical size multiplier for a dataset.
 func (c *Catalog) SetScaleFactor(name string, f float64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if ds, ok := c.datasets[name]; ok {
-		ds.ScaleFactor = f
+		ds.scale.Store(math.Float64bits(f))
 	}
 }
 
 // SetProducer records the pipeline that produces the dataset.
 func (c *Catalog) SetProducer(name, producer string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if ds, ok := c.datasets[name]; ok {
-		ds.Producer = producer
+		ds.producer.Store(&producer)
 	}
 }
 

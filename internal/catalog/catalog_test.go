@@ -166,7 +166,7 @@ func TestProducerLineage(t *testing.T) {
 	_, _ = c.Define("X", schema)
 	c.SetProducer("X", "cook-7")
 	ds, _ := c.Dataset("X")
-	if ds.Producer != "cook-7" {
-		t.Errorf("producer = %q", ds.Producer)
+	if ds.Producer() != "cook-7" {
+		t.Errorf("producer = %q", ds.Producer())
 	}
 }

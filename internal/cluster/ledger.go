@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Ledger is the synchronization point between the concurrent data plane and
+// the deterministic discrete-event scheduler. Worker goroutines finish jobs
+// in arbitrary order and post their stage specs with Complete; the scheduler
+// later drains the batch. Drain returns specs in canonical (Submit, ID)
+// order, so the schedule produced from a ledger is byte-identical no matter
+// which interleaving the workers happened to run in.
+type Ledger struct {
+	mu    sync.Mutex
+	specs []JobSpec
+	seen  map[string]bool
+}
+
+// NewLedger creates an empty completion ledger.
+func NewLedger() *Ledger {
+	return &Ledger{seen: make(map[string]bool)}
+}
+
+// Complete records one finished job. Safe for concurrent use; events may
+// arrive in any order. Posting the same job ID twice is an error (it would
+// double-count the job's work in the schedule).
+func (l *Ledger) Complete(spec JobSpec) error {
+	if spec.ID == "" {
+		return fmt.Errorf("cluster: completion event with empty job ID")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seen[spec.ID] {
+		return fmt.Errorf("cluster: duplicate completion event for job %s", spec.ID)
+	}
+	l.seen[spec.ID] = true
+	l.specs = append(l.specs, spec)
+	return nil
+}
+
+// Pending returns the number of undrained completion events.
+func (l *Ledger) Pending() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.specs)
+}
+
+// Drain removes and returns all recorded events in canonical (Submit, ID)
+// order. The ledger is reusable afterwards; IDs from earlier batches remain
+// blocked so a straggling duplicate still fails loudly.
+func (l *Ledger) Drain() []JobSpec {
+	l.mu.Lock()
+	out := l.specs
+	l.specs = nil
+	l.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Submit.Equal(out[j].Submit) {
+			return out[i].Submit.Before(out[j].Submit)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// RunLedger drains the ledger and simulates the batch. Because Drain
+// canonicalizes order, the outcomes are independent of the order in which
+// workers posted their completions.
+func (s *Simulator) RunLedger(l *Ledger) ([]Outcome, error) {
+	return s.Run(l.Drain())
+}

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func ledgerSpecs(n int) []JobSpec {
+	t0 := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	specs := make([]JobSpec, n)
+	for i := range specs {
+		specs[i] = JobSpec{
+			ID:     fmt.Sprintf("job-%03d", i),
+			VC:     fmt.Sprintf("vc%d", i%4),
+			Submit: t0.Add(time.Duration(i%17) * time.Second),
+			Stages: []StageSpec{
+				{Work: float64(1+i%5) * 10, Width: 1 + i%8},
+				{Work: 5, Width: 2, Deps: []int{0}},
+			},
+			Compile: 100 * time.Millisecond,
+		}
+	}
+	return specs
+}
+
+// TestLedgerOutOfOrderDeterministic posts completion events from many
+// goroutines in scrambled order and checks the resulting schedule is
+// identical to submitting the same batch serially in order.
+func TestLedgerOutOfOrderDeterministic(t *testing.T) {
+	specs := ledgerSpecs(60)
+	sim := New(Config{Capacity: 200, VCs: []VCConfig{
+		{Name: "vc0", Tokens: 20}, {Name: "vc1", Tokens: 20},
+		{Name: "vc2", Tokens: 20}, {Name: "vc3", Tokens: 20},
+	}})
+
+	serial, err := sim.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	led := NewLedger()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker posts a strided slice, so arrival order at the
+			// ledger is an arbitrary interleaving.
+			for i := w; i < len(specs); i += 8 {
+				if err := led.Complete(specs[len(specs)-1-i]); err != nil {
+					t.Error(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if led.Pending() != len(specs) {
+		t.Fatalf("pending = %d, want %d", led.Pending(), len(specs))
+	}
+
+	concurrent, err := sim.RunLedger(led)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(concurrent) != len(serial) {
+		t.Fatalf("outcome count %d vs %d", len(concurrent), len(serial))
+	}
+	for i := range serial {
+		if serial[i] != concurrent[i] {
+			t.Errorf("outcome %d diverges:\n serial:     %+v\n concurrent: %+v", i, serial[i], concurrent[i])
+		}
+	}
+	if led.Pending() != 0 {
+		t.Errorf("ledger not drained: %d left", led.Pending())
+	}
+}
+
+func TestLedgerRejectsDuplicates(t *testing.T) {
+	led := NewLedger()
+	spec := ledgerSpecs(1)[0]
+	if err := led.Complete(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := led.Complete(spec); err == nil {
+		t.Error("duplicate completion must be rejected")
+	}
+	led.Drain()
+	// IDs stay blocked across batches.
+	if err := led.Complete(spec); err == nil {
+		t.Error("duplicate across drained batches must be rejected")
+	}
+	if err := led.Complete(JobSpec{}); err == nil {
+		t.Error("empty job ID must be rejected")
+	}
+}

@@ -43,7 +43,7 @@ type DayMetrics struct {
 // result cache is reset daily (inputs regenerate daily, so strict signatures
 // rarely survive a day boundary).
 func (e *Engine) RunDay(day int, jobs []workload.JobInput) (DayMetrics, error) {
-	e.cache = exec.NewCache()
+	e.resetCache()
 	dayStart := fixtures.Epoch.AddDate(0, 0, day)
 
 	runs := make([]*JobRun, 0, len(jobs))
@@ -110,7 +110,7 @@ func (e *Engine) RunDay(day int, jobs []workload.JobInput) (DayMetrics, error) {
 
 	// End of day: advance the clock past the last completion and expire old
 	// views.
-	e.clock = dayStart.AddDate(0, 0, 1)
+	e.SetClock(dayStart.AddDate(0, 0, 1))
 	e.Store.GC()
 	return m, nil
 }
@@ -152,7 +152,7 @@ func (e *Engine) RunAnalysis(from, to time.Time) (tags int, scheduleRejected int
 func (e *Engine) RecordWorkloadDay(day int, jobs []workload.JobInput) error {
 	_ = day
 	for _, in := range jobs {
-		e.clock = in.Submit
+		e.advanceClock(in.Submit)
 		signer := e.signerFor(in.Runtime)
 		script, err := sqlparser.Parse(in.Script)
 		if err != nil {

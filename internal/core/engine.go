@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"cloudviews/internal/analysis"
@@ -53,10 +54,21 @@ type Engine struct {
 	Selection   analysis.SelectionConfig
 
 	maxViewsPerJob int
-	signers        map[string]*signature.Signer
-	clock          time.Time
-	cache          *exec.Cache
-	rng            *data.Rand
+
+	// mu guards the signer registry and the result-cache pointer (which
+	// RunDay swaps at day boundaries). The cache itself is internally
+	// synchronized; only the pointer needs the lock.
+	mu      sync.Mutex
+	signers map[string]*signature.Signer
+	cache   *exec.Cache
+
+	// clockMu guards the simulated clock. CompileAndExecute only advances
+	// it (never rewinds), so concurrent submissions observe a monotonic
+	// clock regardless of completion order.
+	clockMu sync.RWMutex
+	clock   time.Time
+
+	rng *data.Rand
 }
 
 // NewEngine builds an engine over the given catalog.
@@ -76,7 +88,7 @@ func NewEngine(cfg Config) *Engine {
 		cache:          exec.NewCache(),
 		rng:            data.NewRand(99),
 	}
-	e.Store = storage.NewStore(func() time.Time { return e.clock })
+	e.Store = storage.NewStore(e.Clock)
 	if cfg.ViewTTL > 0 {
 		e.Store.SetTTL(cfg.ViewTTL)
 	}
@@ -84,11 +96,32 @@ func NewEngine(cfg Config) *Engine {
 	return e
 }
 
-// Clock returns the engine's simulated time.
-func (e *Engine) Clock() time.Time { return e.clock }
+// Clock returns the engine's simulated time. Safe for concurrent use.
+func (e *Engine) Clock() time.Time {
+	e.clockMu.RLock()
+	defer e.clockMu.RUnlock()
+	return e.clock
+}
 
-// SetClock advances the simulated time.
-func (e *Engine) SetClock(t time.Time) { e.clock = t }
+// SetClock sets the simulated time unconditionally (tests and day
+// boundaries may rewind it). Safe for concurrent use, but racing it
+// against submissions gives whichever write lands last.
+func (e *Engine) SetClock(t time.Time) {
+	e.clockMu.Lock()
+	e.clock = t
+	e.clockMu.Unlock()
+}
+
+// advanceClock moves the simulated time forward to t if t is later than the
+// current clock. Concurrent submissions arrive in arbitrary order, so the
+// clock must never move backwards mid-flight (views would "un-seal").
+func (e *Engine) advanceClock(t time.Time) {
+	e.clockMu.Lock()
+	if t.After(e.clock) {
+		e.clock = t
+	}
+	e.clockMu.Unlock()
+}
 
 // OnboardVC enables CloudViews for a virtual cluster (the opt-in/opt-out
 // unit).
@@ -104,12 +137,30 @@ func (e *Engine) OffboardVC(vc string) {
 // versions produce incompatible signatures (§4, "Impact of changed
 // signatures").
 func (e *Engine) signerFor(runtime string) *signature.Signer {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	s, ok := e.signers[runtime]
 	if !ok {
 		s = &signature.Signer{EngineVersion: e.ClusterName + "/" + runtime}
 		e.signers[runtime] = s
 	}
 	return s
+}
+
+// resultCache returns the current shared result cache (RunDay swaps it at
+// day boundaries).
+func (e *Engine) resultCache() *exec.Cache {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cache
+}
+
+// resetCache installs a fresh result cache and returns it.
+func (e *Engine) resetCache() *exec.Cache {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache = exec.NewCache()
+	return e.cache
 }
 
 // JobRun is the result of the data-plane half of a job: compiled plan,
@@ -127,7 +178,7 @@ type JobRun struct {
 // CompileAndExecute runs the data plane for one job: parse → bind → optimize
 // (with reuse) → execute → publish cooked outputs → stage views for sealing.
 func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
-	e.clock = in.Submit
+	e.advanceClock(in.Submit)
 	signer := e.signerFor(in.Runtime)
 
 	script, err := sqlparser.Parse(in.Script)
@@ -162,13 +213,16 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 	ex := &exec.Executor{
 		Catalog: e.Catalog,
 		Views:   e.Store,
-		Cache:   e.cache,
+		Cache:   e.resultCache(),
 		// The result cache is keyed by PHYSICAL signatures: a plan that
 		// reuses a view must not replay the accounting of the plan that
 		// computed the subexpression.
 		SigMap: signer.Physical(cr.Plan),
+		// NowNanos comes from the job's own submit time, not the shared
+		// clock: a job's answer must not depend on which other jobs were
+		// in flight when it ran.
 		Ctx: &plan.EvalContext{
-			NowNanos: e.clock.UnixNano(),
+			NowNanos: in.Submit.UnixNano(),
 			Rand:     e.rng.Fork(hashString(in.ID)),
 		},
 	}
@@ -181,7 +235,7 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 	// shared dataset — derived data created as part of query processing.
 	if out, ok := cr.Plan.(*plan.Output); ok && strings.HasPrefix(out.Target, "dataset:") {
 		name := strings.TrimPrefix(out.Target, "dataset:")
-		if _, err := e.Catalog.BulkUpdate(name, e.clock, res.Table.Clone()); err != nil {
+		if _, err := e.Catalog.BulkUpdate(name, in.Submit, res.Table.Clone()); err != nil {
 			return nil, fmt.Errorf("job %s: publishing cooked dataset: %w", in.ID, err)
 		}
 	}

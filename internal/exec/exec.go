@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"cloudviews/internal/catalog"
 	"cloudviews/internal/data"
@@ -109,16 +110,42 @@ type CacheEntry struct {
 	TotalRead  int64
 }
 
-// Cache is a strict-signature-keyed result cache.
+// Cache is a strict-signature-keyed result cache. It is safe for concurrent
+// use: many executors (one per in-flight job) share one cache, and identical
+// subexpressions racing to populate an entry resolve first-writer-wins, which
+// is sound because equal physical signatures imply byte-identical results.
 type Cache struct {
-	m map[signature.Sig]*CacheEntry
+	mu sync.RWMutex
+	m  map[signature.Sig]*CacheEntry
 }
 
 // NewCache creates an empty cache.
 func NewCache() *Cache { return &Cache{m: make(map[signature.Sig]*CacheEntry)} }
 
 // Len returns the number of cached subexpressions.
-func (c *Cache) Len() int { return len(c.m) }
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Get returns the entry for a physical signature, if present.
+func (c *Cache) Get(sig signature.Sig) (*CacheEntry, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.m[sig]
+	return e, ok
+}
+
+// Put stores an entry unless one already exists (first writer wins, keeping
+// replayed accounting stable across concurrent producers).
+func (c *Cache) Put(sig signature.Sig, e *CacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.m[sig]; !exists {
+		c.m[sig] = e
+	}
+}
 
 // Executor runs plans. It is not safe for concurrent use; create one per job.
 type Executor struct {
@@ -134,6 +161,12 @@ type Executor struct {
 	// this job is charged only the transfer (paper §5.4, reuse in
 	// concurrent queries without pre-materialization).
 	PipelineSharing bool
+	// Parallelism bounds the intra-operator worker count for partitioned
+	// hash-join and hash-aggregate execution. 0 means GOMAXPROCS (capped);
+	// 1 forces fully serial execution. Parallel plans produce byte-identical
+	// results to serial execution: partitioning is hash-based and outputs are
+	// reassembled in the serial emission order.
+	Parallelism int
 
 	res RunResult
 }
@@ -179,7 +212,7 @@ func (ex *Executor) eval(n plan.Node) (nodeResult, error) {
 	// Result-cache lookup (strict signature identity ⇒ identical result).
 	if ex.Cache != nil && ex.SigMap != nil {
 		if sig, ok := ex.SigMap[n]; ok {
-			if entry, hit := ex.Cache.m[sig]; hit {
+			if entry, hit := ex.Cache.Get(sig); hit {
 				ex.res.CacheHits++
 				if ex.PipelineSharing {
 					// Shared accounting: the producer already paid for the
@@ -219,21 +252,19 @@ func (ex *Executor) eval(n plan.Node) (nodeResult, error) {
 		return nodeResult{}, err
 	}
 
-	// Populate the cache with the subtree slice.
+	// Populate the cache with the subtree slice (first writer wins).
 	if ex.Cache != nil && ex.SigMap != nil {
 		if sig, ok := ex.SigMap[n]; ok {
-			if _, exists := ex.Cache.m[sig]; !exists {
-				sub := make([]NodeStat, len(ex.res.Stats)-statsStart)
-				copy(sub, ex.res.Stats[statsStart:])
-				ex.Cache.m[sig] = &CacheEntry{
-					Table:      r.table,
-					Mult:       r.mult,
-					Stats:      sub,
-					InputBytes: ex.res.InputBytes - inputStart,
-					ViewBytes:  ex.res.ViewBytes - viewStart,
-					TotalRead:  ex.res.TotalRead - readStart,
-				}
-			}
+			sub := make([]NodeStat, len(ex.res.Stats)-statsStart)
+			copy(sub, ex.res.Stats[statsStart:])
+			ex.Cache.Put(sig, &CacheEntry{
+				Table:      r.table,
+				Mult:       r.mult,
+				Stats:      sub,
+				InputBytes: ex.res.InputBytes - inputStart,
+				ViewBytes:  ex.res.ViewBytes - viewStart,
+				TotalRead:  ex.res.TotalRead - readStart,
+			})
 		}
 	}
 	return r, nil
@@ -327,9 +358,13 @@ func (ex *Executor) evalFilter(x *plan.Filter) (nodeResult, error) {
 		return nodeResult{}, err
 	}
 	out := data.NewTable(in.table.Schema)
-	for _, row := range in.table.Rows {
-		if v := x.Pred.Eval(row, ex.Ctx); v.Kind == data.KindBool && v.B {
-			out.Append(row)
+	if ex.parallelOK(in.table.NumRows(), x.Pred) {
+		ex.parallelFilter(in.table, x.Pred, out)
+	} else {
+		for _, row := range in.table.Rows {
+			if v := x.Pred.Eval(row, ex.Ctx); v.Kind == data.KindBool && v.B {
+				out.Append(row)
+			}
 		}
 	}
 	work := float64(logicalRows(in.table, in.mult)) * costFilterRow
@@ -343,12 +378,16 @@ func (ex *Executor) evalProject(x *plan.Project) (nodeResult, error) {
 		return nodeResult{}, err
 	}
 	out := data.NewTable(x.Schema())
-	for _, row := range in.table.Rows {
-		nr := make(data.Row, len(x.Exprs))
-		for i, e := range x.Exprs {
-			nr[i] = e.Eval(row, ex.Ctx)
+	if ex.parallelOK(in.table.NumRows(), x.Exprs...) {
+		ex.parallelProject(in.table, x.Exprs, out)
+	} else {
+		for _, row := range in.table.Rows {
+			nr := make(data.Row, len(x.Exprs))
+			for i, e := range x.Exprs {
+				nr[i] = e.Eval(row, ex.Ctx)
+			}
+			out.Append(nr)
 		}
-		out.Append(nr)
 	}
 	work := float64(logicalRows(in.table, in.mult)) * costProjectRow * float64(max(1, len(x.Exprs)))
 	ex.record(NodeStat{Node: x, Op: "Project", RowsOut: logicalRows(out, in.mult), BytesOut: logicalBytes(out, in.mult), Work: work})
@@ -407,15 +446,19 @@ func (ex *Executor) evalJoin(x *plan.Join) (nodeResult, error) {
 
 	switch algo {
 	case plan.JoinHash:
-		build := make(map[string][]data.Row, r.table.NumRows())
-		for _, rr := range r.table.Rows {
-			k := ex.joinKey(rr, x.RightKeys)
-			build[k] = append(build[k], rr)
-		}
-		for _, lr := range l.table.Rows {
-			k := ex.joinKey(lr, x.LeftKeys)
-			for _, rr := range build[k] {
-				emit(lr, rr)
+		if ex.parallelOK(l.table.NumRows()+r.table.NumRows(), joinExprs(x)...) {
+			ex.parallelHashJoin(l.table, r.table, x, out)
+		} else {
+			build := make(map[string][]data.Row, r.table.NumRows())
+			for _, rr := range r.table.Rows {
+				k := ex.joinKey(rr, x.RightKeys)
+				build[k] = append(build[k], rr)
+			}
+			for _, lr := range l.table.Rows {
+				k := ex.joinKey(lr, x.LeftKeys)
+				for _, rr := range build[k] {
+					emit(lr, rr)
+				}
 			}
 		}
 		work = (lRows + rRows) * costHashRow
@@ -514,96 +557,26 @@ func (ex *Executor) evalAggregate(x *plan.Aggregate) (nodeResult, error) {
 	// Exchange: aggregation shuffles its input.
 	ex.res.TotalRead += logicalBytes(in.table, in.mult)
 
-	type aggState struct {
-		groupVals data.Row
-		sums      []float64
-		counts    []int64
-		mins      []data.Value
-		maxs      []data.Value
-	}
-	states := make(map[string]*aggState)
-	var order []string
-
-	for _, row := range in.table.Rows {
-		keyParts := make([]string, len(x.GroupBy))
-		groupVals := make(data.Row, len(x.GroupBy))
-		for i, g := range x.GroupBy {
-			v := g.Eval(row, ex.Ctx)
-			groupVals[i] = v
-			keyParts[i] = fmt.Sprintf("%d:%s", v.Kind, v.String())
-		}
-		key := strings.Join(keyParts, "\x00")
-		st, ok := states[key]
-		if !ok {
-			st = &aggState{
-				groupVals: groupVals,
-				sums:      make([]float64, len(x.Aggs)),
-				counts:    make([]int64, len(x.Aggs)),
-				mins:      make([]data.Value, len(x.Aggs)),
-				maxs:      make([]data.Value, len(x.Aggs)),
-			}
-			for i := range st.mins {
-				st.mins[i] = data.Null()
-				st.maxs[i] = data.Null()
-			}
-			states[key] = st
-			order = append(order, key)
-		}
-		for i, spec := range x.Aggs {
-			var v data.Value
-			if spec.Arg != nil {
-				v = spec.Arg.Eval(row, ex.Ctx)
-				if v.IsNull() && spec.Kind != plan.AggCount {
-					continue
-				}
-			}
-			switch spec.Kind {
-			case plan.AggCount:
-				st.counts[i]++
-			case plan.AggSum, plan.AggAvg:
-				st.sums[i] += v.AsFloat()
-				st.counts[i]++
-			case plan.AggMin:
-				if st.mins[i].IsNull() || v.Compare(st.mins[i]) < 0 {
-					st.mins[i] = v
-				}
-			case plan.AggMax:
-				if st.maxs[i].IsNull() || v.Compare(st.maxs[i]) > 0 {
-					st.maxs[i] = v
-				}
-			}
-		}
-	}
-
 	schema := x.Schema()
 	out := data.NewTable(schema)
-	for _, key := range order {
-		st := states[key]
-		row := make(data.Row, 0, len(schema))
-		row = append(row, st.groupVals...)
-		for i, spec := range x.Aggs {
-			switch spec.Kind {
-			case plan.AggCount:
-				row = append(row, data.Int(st.counts[i]))
-			case plan.AggSum:
-				if spec.Arg != nil && spec.Arg.Kind() == data.KindInt {
-					row = append(row, data.Int(int64(st.sums[i])))
-				} else {
-					row = append(row, data.Float(st.sums[i]))
-				}
-			case plan.AggAvg:
-				if st.counts[i] == 0 {
-					row = append(row, data.Null())
-				} else {
-					row = append(row, data.Float(st.sums[i]/float64(st.counts[i])))
-				}
-			case plan.AggMin:
-				row = append(row, st.mins[i])
-			case plan.AggMax:
-				row = append(row, st.maxs[i])
+	if ex.parallelOK(in.table.NumRows(), aggExprs(x)...) {
+		ex.parallelHashAggregate(in.table, x, out)
+	} else {
+		states := make(map[string]*aggState)
+		var order []string
+		for _, row := range in.table.Rows {
+			key, groupVals := ex.groupKey(row, x)
+			st, ok := states[key]
+			if !ok {
+				st = newAggState(groupVals, len(x.Aggs))
+				states[key] = st
+				order = append(order, key)
 			}
+			st.accumulate(row, x, ex.Ctx)
 		}
-		out.Append(row)
+		for _, key := range order {
+			out.Append(states[key].outputRow(x, schema))
+		}
 	}
 
 	work := float64(logicalRows(in.table, in.mult)) * costAggRow

@@ -1,0 +1,397 @@
+// Parallel operator implementations: partitioned hash-join build/probe and
+// partitioned hash-aggregate, plus chunked filter/project. Every parallel
+// path produces output BYTE-IDENTICAL to its serial counterpart — rows are
+// partitioned by key hash (so per-group accumulation order matches the input
+// order) and reassembled in the serial emission order. Operators containing
+// non-deterministic expressions (RAND() and friends mutate the per-job PRNG)
+// always run serially.
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"cloudviews/internal/data"
+	"cloudviews/internal/plan"
+)
+
+// groupKeyPart/joinKeyParts mirror the serial joinKey encoding so parallel
+// and serial paths hash identical key strings.
+func groupKeyPart(v data.Value) string { return fmt.Sprintf("%d:%s", v.Kind, v.String()) }
+
+func joinKeyParts(parts []string) string { return strings.Join(parts, "\x00") }
+
+// parallelRowThreshold is the minimum physical row count before an operator
+// fans out; below it goroutine overhead dominates.
+const parallelRowThreshold = 2048
+
+// maxWorkers caps intra-operator parallelism so concurrent jobs don't
+// oversubscribe the scheduler.
+const maxWorkers = 16
+
+func (ex *Executor) workers() int {
+	w := ex.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > maxWorkers {
+		w = maxWorkers
+	}
+	return w
+}
+
+// parallelOK decides whether an operator over the given physical row count
+// may run on multiple goroutines: enough rows to amortize the fan-out, more
+// than one worker, and no non-deterministic expressions (their PRNG state is
+// per-job and order-sensitive).
+func (ex *Executor) parallelOK(rows int, exprs ...plan.Expr) bool {
+	if rows < parallelRowThreshold || ex.workers() < 2 {
+		return false
+	}
+	for _, e := range exprs {
+		if e != nil && plan.HasNondeterminism(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// joinExprs collects every scalar expression a join evaluates.
+func joinExprs(x *plan.Join) []plan.Expr {
+	out := make([]plan.Expr, 0, len(x.LeftKeys)+len(x.RightKeys)+1)
+	out = append(out, x.LeftKeys...)
+	out = append(out, x.RightKeys...)
+	if x.Residual != nil {
+		out = append(out, x.Residual)
+	}
+	return out
+}
+
+// aggExprs collects every scalar expression an aggregate evaluates.
+func aggExprs(x *plan.Aggregate) []plan.Expr {
+	out := make([]plan.Expr, 0, len(x.GroupBy)+len(x.Aggs))
+	out = append(out, x.GroupBy...)
+	for _, a := range x.Aggs {
+		if a.Arg != nil {
+			out = append(out, a.Arg)
+		}
+	}
+	return out
+}
+
+// chunkRanges splits [0, n) into at most w near-equal contiguous ranges.
+func chunkRanges(n, w int) [][2]int {
+	if w > n {
+		w = n
+	}
+	out := make([][2]int, 0, w)
+	for i := 0; i < w; i++ {
+		lo, hi := i*n/w, (i+1)*n/w
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// forEachChunk runs fn over contiguous row ranges on separate goroutines and
+// waits for all of them.
+func forEachChunk(n, w int, fn func(chunk int, lo, hi int)) {
+	chunks := chunkRanges(n, w)
+	var wg sync.WaitGroup
+	for ci, cr := range chunks {
+		wg.Add(1)
+		go func(ci, lo, hi int) {
+			defer wg.Done()
+			fn(ci, lo, hi)
+		}(ci, cr[0], cr[1])
+	}
+	wg.Wait()
+}
+
+// hashStr is FNV-1a over a key string, used only for partition routing.
+func hashStr(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// evalKeys computes the join key of every row, chunk-parallel.
+func (ex *Executor) evalKeys(rows []data.Row, keys []plan.Expr, w int) []string {
+	out := make([]string, len(rows))
+	forEachChunk(len(rows), w, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = ex.joinKey(rows[i], keys)
+		}
+	})
+	return out
+}
+
+// parallelHashJoin is the partitioned equivalent of the serial hash join:
+// the build side is partitioned by key hash (each partition map is built by
+// one worker, scanning the build rows in input order so per-key row order is
+// preserved), and the probe side is processed in contiguous chunks whose
+// outputs are concatenated in chunk order — exactly the serial emission
+// order.
+func (ex *Executor) parallelHashJoin(l, r *data.Table, x *plan.Join, out *data.Table) {
+	w := ex.workers()
+	rightKeys := ex.evalKeys(r.Rows, x.RightKeys, w)
+	leftKeys := ex.evalKeys(l.Rows, x.LeftKeys, w)
+
+	// Partitioned build: worker p owns keys routed to partition p.
+	parts := make([]map[string][]data.Row, w)
+	var wg sync.WaitGroup
+	for p := 0; p < w; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			m := make(map[string][]data.Row)
+			for i, rr := range r.Rows {
+				k := rightKeys[i]
+				if int(hashStr(k)%uint64(w)) == p {
+					m[k] = append(m[k], rr)
+				}
+			}
+			parts[p] = m
+		}(p)
+	}
+	wg.Wait()
+
+	// Chunked probe: each chunk emits into a private buffer; buffers are
+	// concatenated in chunk order, matching the serial left-to-right scan.
+	results := make([][]data.Row, len(chunkRanges(len(l.Rows), w)))
+	forEachChunk(len(l.Rows), w, func(ci, lo, hi int) {
+		var local []data.Row
+		for i := lo; i < hi; i++ {
+			k := leftKeys[i]
+			for _, rr := range parts[hashStr(k)%uint64(w)][k] {
+				if combined, ok := ex.combineJoinRow(l.Rows[i], rr, x); ok {
+					local = append(local, combined)
+				}
+			}
+		}
+		results[ci] = local
+	})
+	for _, rs := range results {
+		out.Rows = append(out.Rows, rs...)
+	}
+}
+
+// combineJoinRow concatenates a match and applies the residual predicate. It
+// is safe for concurrent use when the residual is deterministic.
+func (ex *Executor) combineJoinRow(lr, rr data.Row, x *plan.Join) (data.Row, bool) {
+	combined := make(data.Row, 0, len(lr)+len(rr))
+	combined = append(combined, lr...)
+	combined = append(combined, rr...)
+	if x.Residual != nil {
+		if v := x.Residual.Eval(combined, ex.Ctx); v.Kind != data.KindBool || !v.B {
+			return nil, false
+		}
+	}
+	return combined, true
+}
+
+// aggState accumulates one group's aggregates (shared by the serial and
+// parallel hash-aggregate paths).
+type aggState struct {
+	groupVals data.Row
+	sums      []float64
+	counts    []int64
+	mins      []data.Value
+	maxs      []data.Value
+	// firstRow is the input index of the group's first row, used by the
+	// parallel path to reproduce the serial first-appearance output order.
+	firstRow int
+}
+
+func newAggState(groupVals data.Row, nAggs int) *aggState {
+	st := &aggState{
+		groupVals: groupVals,
+		sums:      make([]float64, nAggs),
+		counts:    make([]int64, nAggs),
+		mins:      make([]data.Value, nAggs),
+		maxs:      make([]data.Value, nAggs),
+	}
+	for i := range st.mins {
+		st.mins[i] = data.Null()
+		st.maxs[i] = data.Null()
+	}
+	return st
+}
+
+func (st *aggState) accumulate(row data.Row, x *plan.Aggregate, ctx *plan.EvalContext) {
+	for i, spec := range x.Aggs {
+		var v data.Value
+		if spec.Arg != nil {
+			v = spec.Arg.Eval(row, ctx)
+			if v.IsNull() && spec.Kind != plan.AggCount {
+				continue
+			}
+		}
+		switch spec.Kind {
+		case plan.AggCount:
+			st.counts[i]++
+		case plan.AggSum, plan.AggAvg:
+			st.sums[i] += v.AsFloat()
+			st.counts[i]++
+		case plan.AggMin:
+			if st.mins[i].IsNull() || v.Compare(st.mins[i]) < 0 {
+				st.mins[i] = v
+			}
+		case plan.AggMax:
+			if st.maxs[i].IsNull() || v.Compare(st.maxs[i]) > 0 {
+				st.maxs[i] = v
+			}
+		}
+	}
+}
+
+func (st *aggState) outputRow(x *plan.Aggregate, schema data.Schema) data.Row {
+	row := make(data.Row, 0, len(schema))
+	row = append(row, st.groupVals...)
+	for i, spec := range x.Aggs {
+		switch spec.Kind {
+		case plan.AggCount:
+			row = append(row, data.Int(st.counts[i]))
+		case plan.AggSum:
+			if spec.Arg != nil && spec.Arg.Kind() == data.KindInt {
+				row = append(row, data.Int(int64(st.sums[i])))
+			} else {
+				row = append(row, data.Float(st.sums[i]))
+			}
+		case plan.AggAvg:
+			if st.counts[i] == 0 {
+				row = append(row, data.Null())
+			} else {
+				row = append(row, data.Float(st.sums[i]/float64(st.counts[i])))
+			}
+		case plan.AggMin:
+			row = append(row, st.mins[i])
+		case plan.AggMax:
+			row = append(row, st.maxs[i])
+		}
+	}
+	return row
+}
+
+// groupKey computes one row's group key and values.
+func (ex *Executor) groupKey(row data.Row, x *plan.Aggregate) (string, data.Row) {
+	keyParts := make([]string, len(x.GroupBy))
+	groupVals := make(data.Row, len(x.GroupBy))
+	for i, g := range x.GroupBy {
+		v := g.Eval(row, ex.Ctx)
+		groupVals[i] = v
+		keyParts[i] = groupKeyPart(v)
+	}
+	return joinKeyParts(keyParts), groupVals
+}
+
+// parallelHashAggregate partitions rows by group-key hash: each worker owns a
+// disjoint set of groups and accumulates its rows in input order (so float
+// sums add in the serial order), then groups are emitted sorted by first
+// appearance — the serial output order.
+func (ex *Executor) parallelHashAggregate(in *data.Table, x *plan.Aggregate, out *data.Table) {
+	w := ex.workers()
+	n := len(in.Rows)
+
+	// Phase 1 (chunked): evaluate group keys and values once per row.
+	keys := make([]string, n)
+	vals := make([]data.Row, n)
+	forEachChunk(n, w, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			keys[i], vals[i] = ex.groupKey(in.Rows[i], x)
+		}
+	})
+
+	// Phase 2 (partitioned): worker p aggregates the groups it owns.
+	partStates := make([]map[string]*aggState, w)
+	partOrder := make([][]string, w)
+	var wg sync.WaitGroup
+	for p := 0; p < w; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			states := make(map[string]*aggState)
+			var order []string
+			for i := 0; i < n; i++ {
+				k := keys[i]
+				if int(hashStr(k)%uint64(w)) != p {
+					continue
+				}
+				st, ok := states[k]
+				if !ok {
+					st = newAggState(vals[i], len(x.Aggs))
+					st.firstRow = i
+					states[k] = st
+					order = append(order, k)
+				}
+				st.accumulate(in.Rows[i], x, ex.Ctx)
+			}
+			partStates[p] = states
+			partOrder[p] = order
+		}(p)
+	}
+	wg.Wait()
+
+	// Phase 3: merge partitions in first-appearance order (k-way merge over
+	// the per-partition order lists, which are already sorted by firstRow).
+	schema := x.Schema()
+	idx := make([]int, w)
+	total := 0
+	for p := 0; p < w; p++ {
+		total += len(partOrder[p])
+	}
+	for emitted := 0; emitted < total; emitted++ {
+		best, bestRow := -1, n
+		for p := 0; p < w; p++ {
+			if idx[p] < len(partOrder[p]) {
+				if fr := partStates[p][partOrder[p][idx[p]]].firstRow; fr < bestRow {
+					best, bestRow = p, fr
+				}
+			}
+		}
+		st := partStates[best][partOrder[best][idx[best]]]
+		idx[best]++
+		out.Append(st.outputRow(x, schema))
+	}
+}
+
+// parallelFilter evaluates the predicate over contiguous chunks and
+// concatenates survivors in chunk order.
+func (ex *Executor) parallelFilter(in *data.Table, pred plan.Expr, out *data.Table) {
+	w := ex.workers()
+	results := make([][]data.Row, len(chunkRanges(len(in.Rows), w)))
+	forEachChunk(len(in.Rows), w, func(ci, lo, hi int) {
+		var local []data.Row
+		for i := lo; i < hi; i++ {
+			if v := pred.Eval(in.Rows[i], ex.Ctx); v.Kind == data.KindBool && v.B {
+				local = append(local, in.Rows[i])
+			}
+		}
+		results[ci] = local
+	})
+	for _, rs := range results {
+		out.Rows = append(out.Rows, rs...)
+	}
+}
+
+// parallelProject evaluates the projection over contiguous chunks, writing
+// directly into a preallocated output slice (projection is 1:1).
+func (ex *Executor) parallelProject(in *data.Table, exprs []plan.Expr, out *data.Table) {
+	w := ex.workers()
+	rows := make([]data.Row, len(in.Rows))
+	forEachChunk(len(in.Rows), w, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			nr := make(data.Row, len(exprs))
+			for j, e := range exprs {
+				nr[j] = e.Eval(in.Rows[i], ex.Ctx)
+			}
+			rows[i] = nr
+		}
+	})
+	out.Rows = append(out.Rows, rows...)
+}

@@ -1,0 +1,160 @@
+package exec_test
+
+import (
+	"sync"
+	"testing"
+
+	"cloudviews/internal/data"
+	"cloudviews/internal/exec"
+	"cloudviews/internal/fixtures"
+	"cloudviews/internal/plan"
+	"cloudviews/internal/signature"
+	"cloudviews/internal/sqlparser"
+)
+
+var equivalenceQueries = []string{
+	`SELECT * FROM Sales WHERE Price > 50`,
+	`SELECT SaleId, Price * Quantity AS revenue, Discount + 1.0 AS d FROM Sales`,
+	`SELECT Name, Price FROM Sales JOIN Customer ON Sales.CustomerId = Customer.Id`,
+	`SELECT Name, Price FROM Sales JOIN Customer ON Sales.CustomerId = Customer.Id AND Sales.Quantity > 2`,
+	`SELECT CustomerId, COUNT(*) AS n, SUM(Price) AS total, AVG(Discount) AS avgd, MIN(Quantity) AS mn, MAX(Quantity) AS mx FROM Sales GROUP BY CustomerId`,
+	`SELECT MktSegment, COUNT(*) AS n FROM Sales JOIN Customer ON Sales.CustomerId = Customer.Id GROUP BY MktSegment`,
+	`SELECT DISTINCT CustomerId FROM Sales`,
+	`SELECT CustomerId, SUM(Price*Quantity) AS rev FROM Sales WHERE Discount < 0.3 GROUP BY CustomerId ORDER BY rev DESC`,
+}
+
+// TestParallelMatchesSerial executes each query fully serially and with
+// maximum intra-operator parallelism, asserting byte-identical result tables
+// and identical accounting.
+func TestParallelMatchesSerial(t *testing.T) {
+	cat, err := fixtures.Retail(fixtures.RetailConfig{Customers: 4000, Parts: 80, Sales: 12000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, src := range equivalenceQueries {
+		q, err := sqlparser.ParseQuery(src)
+		if err != nil {
+			t.Fatalf("q%d parse: %v", qi, err)
+		}
+		b := &plan.Binder{Catalog: cat}
+		n, err := b.BindQuery(q)
+		if err != nil {
+			t.Fatalf("q%d bind: %v", qi, err)
+		}
+		serial := &exec.Executor{Catalog: cat, Parallelism: 1}
+		sres, err := serial.Run(plan.CloneNode(n))
+		if err != nil {
+			t.Fatalf("q%d serial: %v", qi, err)
+		}
+		par := &exec.Executor{Catalog: cat, Parallelism: 8}
+		pres, err := par.Run(plan.CloneNode(n))
+		if err != nil {
+			t.Fatalf("q%d parallel: %v", qi, err)
+		}
+		if sf, pf := sres.Table.Fingerprint(), pres.Table.Fingerprint(); sf != pf {
+			t.Errorf("q%d (%s): parallel result diverges from serial (%d vs %d rows)",
+				qi, src, sres.Table.NumRows(), pres.Table.NumRows())
+		}
+		if sres.TotalWork != pres.TotalWork || sres.InputBytes != pres.InputBytes || sres.TotalRead != pres.TotalRead {
+			t.Errorf("q%d: accounting diverges: work %v/%v input %v/%v read %v/%v",
+				qi, sres.TotalWork, pres.TotalWork, sres.InputBytes, pres.InputBytes, sres.TotalRead, pres.TotalRead)
+		}
+		if len(sres.Stats) != len(pres.Stats) {
+			t.Errorf("q%d: stat count diverges: %d vs %d", qi, len(sres.Stats), len(pres.Stats))
+			continue
+		}
+		for i := range sres.Stats {
+			s, p := sres.Stats[i], pres.Stats[i]
+			if s.Op != p.Op || s.RowsOut != p.RowsOut || s.BytesOut != p.BytesOut || s.Work != p.Work {
+				t.Errorf("q%d stat %d (%s): diverges rows %d/%d bytes %d/%d work %v/%v",
+					qi, i, s.Op, s.RowsOut, p.RowsOut, s.BytesOut, p.BytesOut, s.Work, p.Work)
+			}
+		}
+	}
+}
+
+// TestNondeterministicStaysSerial: operators containing RAND() must not fan
+// out (the per-job PRNG is order-sensitive), and two serial runs with the
+// same seed must agree.
+func TestNondeterministicStaysSerial(t *testing.T) {
+	cat, err := fixtures.Retail(fixtures.RetailConfig{Customers: 100, Parts: 20, Sales: 6000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sqlparser.ParseQuery(`SELECT SaleId FROM Sales WHERE RANDOM() < 0.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &plan.Binder{Catalog: cat}
+	n, err := b.BindQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(parallelism int) string {
+		ex := &exec.Executor{Catalog: cat, Parallelism: parallelism, Ctx: &plan.EvalContext{Rand: data.NewRand(99)}}
+		res, err := ex.Run(plan.CloneNode(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Table.Fingerprint()
+	}
+	if run(1) != run(8) {
+		t.Error("RAND() filter must execute identically regardless of Parallelism (serial fallback)")
+	}
+}
+
+// TestCacheConcurrentAccess hammers one shared result cache from many
+// goroutines executing overlapping plans — the shape of concurrent job
+// submission. Run under -race.
+func TestCacheConcurrentAccess(t *testing.T) {
+	cat, err := fixtures.Retail(fixtures.RetailConfig{Customers: 500, Parts: 30, Sales: 4000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := exec.NewCache()
+	signer := &signature.Signer{EngineVersion: "cache-test"}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	fps := make([]string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Every goroutine runs the same overlapping query; all of them
+			// race to populate and read the shared cache.
+			q, err := sqlparser.ParseQuery(`SELECT CustomerId, SUM(Price) AS s FROM Sales WHERE Quantity > 1 GROUP BY CustomerId`)
+			if err != nil {
+				errs <- err
+				return
+			}
+			b := &plan.Binder{Catalog: cat}
+			n, err := b.BindQuery(q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			ex := &exec.Executor{Catalog: cat, Cache: cache, SigMap: signer.Physical(n)}
+			res, err := ex.Run(n)
+			if err != nil {
+				errs <- err
+				return
+			}
+			fps[g] = res.Table.Fingerprint()
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for g := 1; g < goroutines; g++ {
+		if fps[g] != fps[0] {
+			t.Fatalf("goroutine %d saw a different result", g)
+		}
+	}
+	if cache.Len() == 0 {
+		t.Error("cache should have been populated")
+	}
+}

@@ -20,6 +20,12 @@ type Binder struct {
 	Pins map[string]catalog.GUID
 
 	env map[string]Node // named intermediate rowsets, bound
+
+	// resolved memoizes the dataset version each name bound to, so a script
+	// that references the same dataset several times sees ONE version even
+	// if a concurrent bulk update publishes a newer one mid-bind (snapshot
+	// consistency for a single compilation).
+	resolved map[string]*catalog.Version
 }
 
 // BindScript binds a full script and returns the Output roots, in script
@@ -160,15 +166,21 @@ func (b *Binder) bindTableRef(ref sqlparser.TableRef) (Node, *scope, error) {
 			return cloned, scopeFrom(cloned.Schema(), qual), nil
 		}
 		// Catalog dataset.
-		var ver *catalog.Version
-		var err error
-		if g, ok := b.Pins[r.Name]; ok {
-			ver, err = b.Catalog.VersionByGUID(g)
-		} else {
-			ver, err = b.Catalog.Latest(r.Name)
-		}
-		if err != nil {
-			return nil, nil, err
+		ver, ok := b.resolved[r.Name]
+		if !ok {
+			var err error
+			if g, pinned := b.Pins[r.Name]; pinned {
+				ver, err = b.Catalog.VersionByGUID(g)
+			} else {
+				ver, err = b.Catalog.Latest(r.Name)
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+			if b.resolved == nil {
+				b.resolved = make(map[string]*catalog.Version)
+			}
+			b.resolved[r.Name] = ver
 		}
 		ds, _ := b.Catalog.Dataset(r.Name)
 		scan := &Scan{

@@ -93,12 +93,14 @@ func (r *Repo) Len() int {
 	return len(r.jobs)
 }
 
-// Jobs returns all records in insertion order. The returned slice is shared;
-// callers must not mutate it.
+// Jobs returns all records in insertion order. The returned slice is a
+// copy, so callers can iterate it while other goroutines keep appending.
 func (r *Repo) Jobs() []*JobRecord {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.jobs
+	out := make([]*JobRecord, len(r.jobs))
+	copy(out, r.jobs)
+	return out
 }
 
 // JobsBetween returns records with Submit in [from, to).

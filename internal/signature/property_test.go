@@ -1,0 +1,167 @@
+package signature_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"cloudviews/internal/catalog"
+	"cloudviews/internal/plan"
+	"cloudviews/internal/signature"
+	"cloudviews/internal/sqlparser"
+	"cloudviews/internal/workload"
+)
+
+// propertyScripts collects at least 1000 distinct scripts from the workload
+// generator's templates — the same recurring-job corpus the system runs in
+// the simulations.
+func propertyScripts(t testing.TB) ([]workload.JobInput, *catalog.Catalog) {
+	t.Helper()
+	p := workload.DefaultProfile("SigProp")
+	p.Pipelines = 40
+	p.RawStreams = 6
+	p.CookedDatasets = 8
+	p.DimTables = 3
+	p.PrefixPool = 25
+	p.RowsPerRawDay = 50
+	cat := catalog.New()
+	gen := workload.NewGenerator(cat, p)
+	if err := gen.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	var jobs []workload.JobInput
+	for day := 0; len(jobs) < 1000; day++ {
+		if day > 0 {
+			if err := gen.AdvanceDay(day); err != nil {
+				t.Fatal(err)
+			}
+		}
+		jobs = append(jobs, gen.JobsForDay(day)...)
+		if day > 30 {
+			t.Fatalf("could not collect 1000 scripts in 30 days (have %d)", len(jobs))
+		}
+	}
+	return jobs[:1000], cat
+}
+
+// signatureProfile is the comparable digest of one script's full signature
+// set: every subexpression's strict and recurring signature, in traversal
+// order.
+func signatureProfile(t testing.TB, cat *catalog.Catalog, signer *signature.Signer, in workload.JobInput) string {
+	script, err := sqlparser.Parse(in.Script)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", in.ID, err)
+	}
+	binder := &plan.Binder{Catalog: cat, Params: in.Params}
+	outs, err := binder.BindScript(script)
+	if err != nil {
+		t.Fatalf("%s: bind: %v", in.ID, err)
+	}
+	var sb strings.Builder
+	for _, root := range outs {
+		for _, s := range signer.Subexpressions(root) {
+			fmt.Fprintf(&sb, "%s|%s;", s.Strict, s.Recurring)
+		}
+	}
+	return sb.String()
+}
+
+// TestSignatureDeterministicAcrossGoroutines computes the full signature set
+// of 1000 workload scripts on 8 goroutines simultaneously (sharing one
+// Signer and one catalog) and requires every goroutine to produce exactly
+// the baseline. Signatures are the identity of a computation — if two racing
+// compilations could disagree, a job could fetch another computation's
+// bytes.
+func TestSignatureDeterministicAcrossGoroutines(t *testing.T) {
+	jobs, cat := propertyScripts(t)
+	signer := &signature.Signer{EngineVersion: "prop/v1"}
+
+	baseline := make([]string, len(jobs))
+	for i, in := range jobs {
+		baseline[i] = signatureProfile(t, cat, signer, in)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine walks the corpus in a different order.
+			for k := range jobs {
+				i := (k*7 + g*131) % len(jobs)
+				if got := signatureProfile(t, cat, signer, jobs[i]); got != baseline[i] {
+					t.Errorf("goroutine %d: job %s: signature diverges from baseline", g, jobs[i].ID)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestSignatureWhitespaceInvariance: signatures hash the bound plan, not the
+// script text, so layout must never matter.
+func TestSignatureWhitespaceInvariance(t *testing.T) {
+	jobs, cat := propertyScripts(t)
+	signer := &signature.Signer{EngineVersion: "prop/v1"}
+	mangle := func(src string) string {
+		// Newlines never occur inside string literals in this corpus, so
+		// doubling them and padding the ends is semantics-preserving.
+		s := strings.ReplaceAll(src, "\n", " \n\n\t ")
+		return "\n\t " + s + " \n "
+	}
+	for _, in := range jobs {
+		orig := signatureProfile(t, cat, signer, in)
+		m := in
+		m.Script = mangle(in.Script)
+		if got := signatureProfile(t, cat, signer, m); got != orig {
+			t.Fatalf("job %s: signature changed under whitespace mangling\nscript:\n%s", in.ID, in.Script)
+		}
+	}
+}
+
+// TestSignatureStatementReorderInvariance: assignments that do not depend on
+// each other can appear in any order; the OUTPUT's plan — and therefore its
+// signature — is the same DAG either way.
+func TestSignatureStatementReorderInvariance(t *testing.T) {
+	cat := catalog.New()
+	gen := workload.NewGenerator(cat, workload.DefaultProfile("Reorder"))
+	if err := gen.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	// Find a dataset to build on.
+	names := cat.Names()
+	if len(names) < 2 {
+		t.Fatal("no datasets")
+	}
+	ds1, ds2 := names[0], names[1]
+	sch1, _ := cat.Dataset(ds1)
+	sch2, _ := cat.Dataset(ds2)
+	col1 := sch1.Schema[0].Name
+	col2 := sch2.Schema[0].Name
+
+	forward := fmt.Sprintf(`a = SELECT %[1]s FROM %[2]s;
+b = SELECT %[3]s AS %[1]s FROM %[4]s;
+u = SELECT %[1]s FROM a UNION ALL SELECT %[1]s FROM b;
+OUTPUT u TO "out/u";`, col1, ds1, col2, ds2)
+	reordered := fmt.Sprintf(`b = SELECT %[3]s AS %[1]s FROM %[4]s;
+a = SELECT %[1]s FROM %[2]s;
+u = SELECT %[1]s FROM a UNION ALL SELECT %[1]s FROM b;
+OUTPUT u TO "out/u";`, col1, ds1, col2, ds2)
+
+	signer := &signature.Signer{EngineVersion: "prop/v1"}
+	f := signatureProfile(t, cat, signer, workload.JobInput{ID: "fwd", Script: forward})
+	r := signatureProfile(t, cat, signer, workload.JobInput{ID: "rev", Script: reordered})
+	if f != r {
+		t.Error("independent statement reordering changed the signature set")
+	}
+	// Sanity: a genuinely different script must NOT collide.
+	other := fmt.Sprintf(`a = SELECT %[1]s FROM %[2]s;
+OUTPUT a TO "out/u";`, col1, ds1)
+	o := signatureProfile(t, cat, signer, workload.JobInput{ID: "other", Script: other})
+	if o == f {
+		t.Error("distinct scripts produced identical signature sets")
+	}
+}

@@ -1,0 +1,63 @@
+package sqlparser
+
+import (
+	"testing"
+)
+
+// FuzzParse feeds arbitrary byte strings through the full script parser. The
+// contract under test: Parse never panics — malformed input must come back
+// as an error, because in production the submission pipeline runs the parser
+// on untrusted user scripts inside long-lived worker goroutines, where a
+// panic would take down the whole worker.
+func FuzzParse(f *testing.F) {
+	// Seeds: the corpus parser_test.go exercises, valid and invalid.
+	seeds := []string{
+		`SELECT a, b FROM T WHERE x >= 1.5 AND name = 'asia''s'`,
+		`SELECT CustomerId, AVG(Price*Quantity) AS avg_sales
+		 FROM Sales WHERE MktSegment = 'Asia' GROUP BY CustomerId`,
+		`cooked = SELECT * FROM RawLogs WHERE Ts >= @start;
+		 agg = SELECT Region, COUNT(*) AS n FROM cooked GROUP BY Region;
+		 OUTPUT agg TO "out/agg.ss";`,
+		`PROCESS Logs USING "NormalizeStrings" DEPENDS "libA", "libB" NONDETERMINISTIC`,
+		`SELECT a FROM X UNION ALL SELECT a FROM Y UNION ALL SELECT a FROM Z`,
+		`SELECT a FROM T WHERE a + 1 * 2 = 3 AND b = 4 OR c = 5`,
+		`SELECT a FROM T WHERE a BETWEEN 1 AND 5`,
+		`SELECT a FROM T WHERE a IS NOT NULL`,
+		`SELECT x FROM (SELECT a AS x FROM T WHERE a > 0) AS sub`,
+		`SELECT a FROM T SAMPLE 10 PERCENT`,
+		`SELECT a FROM T SAMPLE 200 PERCENT`,
+		`SELECT a FROM T WHERE a > -5`,
+		`SELECT DISTINCT Region FROM T`,
+		`SELECT COUNT(*) AS n, LOWER(t.Name) AS ln FROM T AS t GROUP BY LOWER(t.Name)`,
+		`SELECT a, b FROM T ORDER BY a DESC, b`,
+		"",
+		"SELECT",
+		"SELECT a FROM",
+		"SELECT a FROM T WHERE",
+		"OUTPUT TO 'x'",
+		"x = ",
+		"SELECT a FROM T GROUP",
+		"PROCESS T USING NormalizeStrings",
+		"SELECT a b c FROM T",
+		"SELECT a FROM T ORDER a",
+		"-- comment only",
+		"'unterminated",
+		`"unterminated double`,
+		"SELECT ((((((((((a))))))))))",
+		"@@@@",
+		"SELECT a FROM T WHERE a IN",
+		"\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Both entry points must degrade to errors, never panic.
+		if script, err := Parse(src); err == nil && script == nil {
+			t.Error("Parse returned nil script with nil error")
+		}
+		if q, err := ParseQuery(src); err == nil && q == nil {
+			t.Error("ParseQuery returned nil query with nil error")
+		}
+	})
+}
