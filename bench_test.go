@@ -324,9 +324,9 @@ func BenchmarkGenerator(b *testing.B) {
 
 // benchConcurrentSystem builds a System over a mid-sized dataset for the
 // concurrent-submission throughput benchmark.
-func benchConcurrentSystem(b *testing.B) *System {
+func benchConcurrentSystem(b *testing.B, disableObs bool) *System {
 	b.Helper()
-	sys, err := NewSystem(Config{ClusterName: "bench-conc", Capacity: 400})
+	sys, err := NewSystem(Config{ClusterName: "bench-conc", Capacity: 400, DisableObservability: disableObs})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -354,51 +354,69 @@ func benchConcurrentSystem(b *testing.B) *System {
 	return sys
 }
 
-// BenchmarkConcurrentSubmit measures end-to-end submission throughput
-// (parse → bind → optimize → execute → record) with 1, 4, and 16 submitter
-// goroutines sharing one System. The 1-worker arm is the serial baseline the
-// scaling claims compare against.
+// runConcurrentSubmit is the shared body of the concurrent-submission
+// benchmarks: end-to-end throughput (parse → bind → optimize → execute →
+// record) with N submitter goroutines sharing one System.
+func runConcurrentSubmit(b *testing.B, workers int, disableObs bool) {
+	sys := benchConcurrentSystem(b, disableObs)
+	// 37 distinct filter constants → 37 distinct strict signatures,
+	// so the result cache warms identically in every arm without
+	// collapsing all the work.
+	scripts := make([]string, 37)
+	for i := range scripts {
+		scripts[i] = fmt.Sprintf(`p = SELECT * FROM Events WHERE Value > %d;
+r = SELECT Region, COUNT(*) AS n, SUM(Value) AS s FROM p GROUP BY Region;
+OUTPUT r TO "out/r";`, i)
+	}
+	b.ResetTimer()
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range ch {
+				_, err := sys.SubmitScript(Job{
+					VC:     fmt.Sprintf("vc%d", w%4),
+					Script: scripts[i%len(scripts)],
+				})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < b.N; i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "jobs/sec")
+	}
+}
+
+// BenchmarkConcurrentSubmit measures submission throughput with 1, 4, and 16
+// submitter goroutines, observability ON (the default: per-job traces and the
+// metrics registry). The 1-worker arm is the serial baseline the scaling
+// claims compare against.
 func BenchmarkConcurrentSubmit(b *testing.B) {
 	for _, workers := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			sys := benchConcurrentSystem(b)
-			// 37 distinct filter constants → 37 distinct strict signatures,
-			// so the result cache warms identically in every arm without
-			// collapsing all the work.
-			scripts := make([]string, 37)
-			for i := range scripts {
-				scripts[i] = fmt.Sprintf(`p = SELECT * FROM Events WHERE Value > %d;
-r = SELECT Region, COUNT(*) AS n, SUM(Value) AS s FROM p GROUP BY Region;
-OUTPUT r TO "out/r";`, i)
-			}
-			b.ResetTimer()
-			ch := make(chan int)
-			var wg sync.WaitGroup
-			for w := 0; w < workers; w++ {
-				wg.Add(1)
-				go func(w int) {
-					defer wg.Done()
-					for i := range ch {
-						_, err := sys.SubmitScript(Job{
-							VC:     fmt.Sprintf("vc%d", w%4),
-							Script: scripts[i%len(scripts)],
-						})
-						if err != nil {
-							b.Error(err)
-							return
-						}
-					}
-				}(w)
-			}
-			for i := 0; i < b.N; i++ {
-				ch <- i
-			}
-			close(ch)
-			wg.Wait()
-			b.StopTimer()
-			if sec := b.Elapsed().Seconds(); sec > 0 {
-				b.ReportMetric(float64(b.N)/sec, "jobs/sec")
-			}
+			runConcurrentSubmit(b, workers, false)
+		})
+	}
+}
+
+// BenchmarkConcurrentSubmitNoTrace is the observability-off baseline; the
+// delta against BenchmarkConcurrentSubmit is the tracing+metrics overhead
+// (budget: <5%).
+func BenchmarkConcurrentSubmitNoTrace(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			runConcurrentSubmit(b, workers, true)
 		})
 	}
 }

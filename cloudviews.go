@@ -68,6 +68,7 @@ import (
 	"cloudviews/internal/core"
 	"cloudviews/internal/data"
 	"cloudviews/internal/fixtures"
+	"cloudviews/internal/obs"
 	"cloudviews/internal/workload"
 )
 
@@ -90,6 +91,16 @@ type (
 	VCConfig = cluster.VCConfig
 	// DayMetrics aggregates one simulated day of cluster activity.
 	DayMetrics = core.DayMetrics
+	// Trace is a per-job execution trace: timed spans (parse, bind,
+	// insights, optimize, queue, execute, seal) plus view-decision events.
+	Trace = obs.Trace
+	// TraceSpan is one timed phase of a job trace.
+	TraceSpan = obs.Span
+	// TraceEvent is one decision point recorded in a job trace.
+	TraceEvent = obs.Event
+	// MetricsRegistry collects system counters/gauges/histograms and exports
+	// them in Prometheus text format.
+	MetricsRegistry = obs.Registry
 )
 
 // Column kinds, re-exported for schema construction.
@@ -131,6 +142,9 @@ type Config struct {
 	ViewTTL time.Duration
 	// MaxViewsPerJob caps materializations per job (default 4).
 	MaxViewsPerJob int
+	// DisableObservability turns off per-job traces and the metrics
+	// registry (on by default; the overhead is a few percent).
+	DisableObservability bool
 }
 
 // Job is one SCOPE-like script submission.
@@ -165,6 +179,9 @@ type JobResult struct {
 	DataRead   int64
 	// PlanText is the final (post-reuse) plan rendering.
 	PlanText string
+	// Trace is the job's execution trace (nil when Config.
+	// DisableObservability is set). Render() pretty-prints it.
+	Trace *Trace
 }
 
 // System is a single-cluster CloudViews deployment. Safe for concurrent
@@ -186,12 +203,13 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("cloudviews: ClusterName is required")
 	}
 	eng := core.NewEngine(core.Config{
-		ClusterName:    cfg.ClusterName,
-		Catalog:        catalog.New(),
-		ClusterCfg:     cluster.Config{Capacity: cfg.Capacity, VCs: cfg.VCs},
-		ViewTTL:        cfg.ViewTTL,
-		MaxViewsPerJob: cfg.MaxViewsPerJob,
-		Selection:      cfg.Selection,
+		ClusterName:          cfg.ClusterName,
+		Catalog:              catalog.New(),
+		ClusterCfg:           cluster.Config{Capacity: cfg.Capacity, VCs: cfg.VCs},
+		ViewTTL:              cfg.ViewTTL,
+		MaxViewsPerJob:       cfg.MaxViewsPerJob,
+		Selection:            cfg.Selection,
+		DisableObservability: cfg.DisableObservability,
 	})
 	return &System{
 		engine:  eng,
@@ -280,8 +298,14 @@ func (s *System) run(in workload.JobInput) (*JobResult, error) {
 		InputBytes:  run.Exec.InputBytes,
 		DataRead:    run.Exec.TotalRead,
 		PlanText:    planText(run),
+		Trace:       run.Trace,
 	}, nil
 }
+
+// Metrics returns the system's metrics registry, or nil when observability
+// is disabled. ExportString() renders it in Prometheus text format with a
+// deterministic family and series order.
+func (s *System) Metrics() *MetricsRegistry { return s.engine.Metrics }
 
 func planText(run *core.JobRun) string {
 	return core.FormatPlan(run.Compile.Plan)

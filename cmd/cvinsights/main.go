@@ -220,6 +220,12 @@ func run(w io.Writer, days int, scale float64, top int) error {
 		fmt.Fprintf(w, "  weighted compute coverage %5.1f%%\n", 100*cres.CoveredWork/cres.TotalWork)
 	}
 
+	// --- System metrics (observability layer) ------------------------------
+	// The export order is deterministic, so this section is golden-testable
+	// like the rest of the report.
+	fmt.Fprintln(w, "\nSYSTEM METRICS (Prometheus text format)")
+	fmt.Fprint(w, eng.Metrics.ExportString())
+
 	fmt.Fprintln(w, "\nverdict: enable CloudViews on the VCs above to capture these savings automatically.")
 	return nil
 }

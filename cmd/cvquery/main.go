@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	cvquery [-script file.scope] [-n 2] [-show-rows 10] [-annotate]
+//	cvquery [-script file.scope] [-n 2] [-show-rows 10] [-annotate] [-trace]
 //
 // Without -script, the three Figure 4 analyst queries are run in sequence,
 // after a workload-analysis pass primes the insights service.
@@ -38,6 +38,7 @@ func main() {
 	repeats := flag.Int("n", 2, "times to run the script(s); 2+ demonstrates reuse")
 	showRows := flag.Int("show-rows", 8, "result rows to print")
 	annotate := flag.Bool("annotate", false, "export the query annotations file for the first job's tag")
+	trace := flag.Bool("trace", false, "print each job's execution trace (spans + view decisions)")
 	flag.Parse()
 
 	cat, err := fixtures.Retail(fixtures.DefaultRetail())
@@ -89,6 +90,9 @@ func main() {
 				fatal(err)
 			}
 			printRun(run, *showRows)
+			if *trace && run.Trace != nil {
+				fmt.Print(run.Trace.Render())
+			}
 			if *annotate && round == 0 && i == 0 {
 				exportAnnotations(eng.Insights, run.Compile.Tag)
 			}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	cvsim [-scale 0.25] [-days N] [-series] [-seed N]
+//	cvsim [-scale 0.25] [-days N] [-series] [-seed N] [-metrics]
 //
 // -scale 1.0 runs the full 619-pipeline, 21-VC deployment (minutes of CPU);
 // the default 0.25 keeps it under a minute while preserving the shapes.
@@ -25,6 +25,7 @@ func main() {
 	days := flag.Int("days", 0, "override window length in days (0 = scaled default)")
 	series := flag.Bool("series", false, "print the full Figure 6/7 daily series")
 	seed := flag.Uint64("seed", 0, "override workload seed")
+	metrics := flag.Bool("metrics", false, "print the CloudViews arm's system-metrics export")
 	flag.Parse()
 
 	cfg := experiments.DefaultProduction()
@@ -55,5 +56,9 @@ func main() {
 	} else {
 		// Print first/last rows so the shape is visible without -series.
 		fmt.Println("(run with -series for the full Figure 6/7 daily series)")
+	}
+	if *metrics {
+		fmt.Println("\nSYSTEM METRICS (CloudViews arm, Prometheus text format)")
+		fmt.Print(res.Metrics)
 	}
 }

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"cloudviews/internal/obs"
 )
 
 // StageSpec describes one schedulable stage of a job.
@@ -83,6 +85,19 @@ type Config struct {
 type Simulator struct {
 	cfg      Config
 	vcTokens map[string]int
+
+	// metrics, when wired via SetMetrics; nil-safe no-ops otherwise.
+	mGuaranteed *obs.Counter
+	mBonus      *obs.Counter
+	hQueueLen   *obs.Histogram
+}
+
+// SetMetrics registers the simulator's scheduling metrics with a registry.
+// Call before the first Run.
+func (s *Simulator) SetMetrics(r *obs.Registry) {
+	s.mGuaranteed = r.Counter("cloudviews_cluster_guaranteed_seconds_total")
+	s.mBonus = r.Counter("cloudviews_cluster_bonus_seconds_total")
+	s.hQueueLen = r.Histogram("cloudviews_cluster_queue_length", []float64{0, 1, 2, 4, 8, 16, 32, 64})
 }
 
 // New creates a simulator. Unknown VCs referenced by jobs get a default token
@@ -251,6 +266,11 @@ func (s *Simulator) Run(jobs []JobSpec) ([]Outcome, error) {
 		}
 		return outcomes[i].ID < outcomes[j].ID
 	})
+	for _, o := range outcomes {
+		s.mGuaranteed.Add(o.Processing - o.Bonus)
+		s.mBonus.Add(o.Bonus)
+		s.hQueueLen.Observe(float64(o.QueueLenAtStart))
+	}
 	return outcomes, nil
 }
 

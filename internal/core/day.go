@@ -88,6 +88,9 @@ func (e *Engine) RunDay(day int, jobs []workload.JobInput) (DayMetrics, error) {
 		rec.InputBytes = run.Exec.InputBytes
 		rec.DataReadBytes = run.Exec.TotalRead
 		rec.QueueLen = o.QueueLenAtStart
+		if o.QueueWait > 0 {
+			run.Trace.SpanAt("queue:cluster", o.Start.Add(-o.QueueWait), o.QueueWait)
+		}
 
 		e.History.RecordJob(rec.Template, stats.Observation{
 			Rows:    0,

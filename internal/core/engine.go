@@ -18,6 +18,7 @@ import (
 	"cloudviews/internal/exec"
 	"cloudviews/internal/fixtures"
 	"cloudviews/internal/insights"
+	"cloudviews/internal/obs"
 	"cloudviews/internal/optimizer"
 	"cloudviews/internal/plan"
 	"cloudviews/internal/repository"
@@ -39,6 +40,9 @@ type Config struct {
 	MaxViewsPerJob int
 	// Selection tunes the feedback loop's view selection.
 	Selection analysis.SelectionConfig
+	// DisableObservability turns off per-job traces and the metrics
+	// registry (benchmark baseline; production keeps them on).
+	DisableObservability bool
 }
 
 // Engine is one cluster's query-processing system with CloudViews installed.
@@ -52,8 +56,18 @@ type Engine struct {
 	Est         *stats.Estimator
 	Sim         *cluster.Simulator
 	Selection   analysis.SelectionConfig
+	// Metrics is the system-wide registry every substrate reports into
+	// (nil when Config.DisableObservability is set; all consumers no-op).
+	Metrics *obs.Registry
 
 	maxViewsPerJob int
+
+	// cached job counters (nil-safe when observability is disabled).
+	mJobs       *obs.Counter
+	mJobsFailed *obs.Counter
+	mBuilt      *obs.Counter
+	mReused     *obs.Counter
+	mCompileSec *obs.Counter
 
 	// mu guards the signer registry and the result-cache pointer (which
 	// RunDay swaps at day boundaries). The cache itself is internally
@@ -93,6 +107,17 @@ func NewEngine(cfg Config) *Engine {
 		e.Store.SetTTL(cfg.ViewTTL)
 	}
 	e.Insights.SetClusterEnabled(cfg.ClusterName, true)
+	if !cfg.DisableObservability {
+		e.Metrics = obs.NewRegistry()
+		e.Store.SetMetrics(e.Metrics)
+		e.Insights.SetMetrics(e.Metrics)
+		e.Sim.SetMetrics(e.Metrics)
+		e.mJobs = e.Metrics.Counter("cloudviews_jobs_total")
+		e.mJobsFailed = e.Metrics.Counter("cloudviews_jobs_failed_total")
+		e.mBuilt = e.Metrics.Counter("cloudviews_views_built_total")
+		e.mReused = e.Metrics.Counter("cloudviews_views_reused_total")
+		e.mCompileSec = e.Metrics.Counter("cloudviews_compile_seconds_total")
+	}
 	return e
 }
 
@@ -173,6 +198,8 @@ type JobRun struct {
 	Record   *repository.JobRecord
 	Output   *data.Table
 	Proposed []optimizer.ProposedView
+	// Trace is the job's observability record (nil when disabled).
+	Trace *obs.Trace
 }
 
 // CompileAndExecute runs the data plane for one job: parse → bind → optimize
@@ -181,18 +208,31 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 	e.advanceClock(in.Submit)
 	signer := e.signerFor(in.Runtime)
 
+	// Trace in simulated time from the job's own submit instant; nil when
+	// observability is off (every recording method no-ops on nil).
+	var tr *obs.Trace
+	if e.Metrics != nil {
+		tr = obs.NewTrace(in.ID, in.Submit)
+	}
+	e.mJobs.Inc()
+
 	script, err := sqlparser.Parse(in.Script)
 	if err != nil {
+		e.mJobsFailed.Inc()
 		return nil, fmt.Errorf("job %s: parse: %w", in.ID, err)
 	}
+	tr.Span("parse", 0)
 	binder := &plan.Binder{Catalog: e.Catalog, Params: in.Params}
 	outs, err := binder.BindScript(script)
 	if err != nil {
+		e.mJobsFailed.Inc()
 		return nil, fmt.Errorf("job %s: bind: %w", in.ID, err)
 	}
 	if len(outs) != 1 {
+		e.mJobsFailed.Inc()
 		return nil, fmt.Errorf("job %s: expected exactly one OUTPUT, got %d", in.ID, len(outs))
 	}
+	tr.Span("bind", 0)
 	root := outs[0]
 
 	opt := &optimizer.Optimizer{
@@ -202,6 +242,7 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 		Store:          e.Store,
 		Insights:       e.Insights,
 		MaxViewsPerJob: e.maxViewsPerJob,
+		Trace:          tr,
 	}
 	cr := opt.Compile(root, optimizer.CompileOptions{
 		JobID:   in.ID,
@@ -209,6 +250,7 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 		VC:      in.VC,
 		OptIn:   in.OptIn,
 	})
+	e.mCompileSec.Add(cr.CompileLatency.Seconds())
 
 	ex := &exec.Executor{
 		Catalog: e.Catalog,
@@ -217,7 +259,8 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 		// The result cache is keyed by PHYSICAL signatures: a plan that
 		// reuses a view must not replay the accounting of the plan that
 		// computed the subexpression.
-		SigMap: signer.Physical(cr.Plan),
+		SigMap:  signer.Physical(cr.Plan),
+		Metrics: e.Metrics,
 		// NowNanos comes from the job's own submit time, not the shared
 		// clock: a job's answer must not depend on which other jobs were
 		// in flight when it ran.
@@ -228,6 +271,7 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 	}
 	res, err := ex.Run(cr.Plan)
 	if err != nil {
+		e.failJob(cr, in.ID, tr)
 		return nil, fmt.Errorf("job %s: exec: %w", in.ID, err)
 	}
 
@@ -236,13 +280,15 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 	if out, ok := cr.Plan.(*plan.Output); ok && strings.HasPrefix(out.Target, "dataset:") {
 		name := strings.TrimPrefix(out.Target, "dataset:")
 		if _, err := e.Catalog.BulkUpdate(name, in.Submit, res.Table.Clone()); err != nil {
+			e.failJob(cr, in.ID, tr)
 			return nil, fmt.Errorf("job %s: publishing cooked dataset: %w", in.ID, err)
 		}
 	}
 
-	run := &JobRun{Input: in, Compile: cr, Exec: res, Proposed: cr.Proposed}
+	run := &JobRun{Input: in, Compile: cr, Exec: res, Proposed: cr.Proposed, Trace: tr}
 	run.Output = res.Table
 	run.Stages = e.buildStageSpecs(cr, res)
+	e.traceStages(tr, run.Stages)
 	run.Record = e.buildRecord(in, signer, cr, res)
 	// The record lands in the repository immediately so workload analysis
 	// sees it; RunDay fills in the scheduling outcome afterwards (the record
@@ -256,17 +302,59 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 	// runtime after submission.
 	if len(cr.Proposed) > 0 {
 		sealAt := in.Submit.Add(e.estimateSealDelay(run))
+		tr.SpanAt("seal", in.Submit, sealAt.Sub(in.Submit))
 		for _, p := range cr.Proposed {
-			e.Store.SealAt(p.Strict, sealAt)
+			if e.Store.SealAt(p.Strict, sealAt) {
+				e.Insights.NoteViewCreated()
+			} else {
+				// The artifact vanished between materialize and seal (e.g.
+				// abandoned or expired under an aggressive TTL): drop any
+				// half-built state rather than leave the signature wedged.
+				e.Store.Abandon(p.Strict)
+				tr.Event("view.abandoned", "sig="+p.Strict.Short()+" reason=seal-failed")
+			}
 			e.Insights.ReleaseViewLock(p.Strict, in.ID)
-			e.Insights.NoteViewCreated()
 		}
 	}
+	e.mBuilt.Add(float64(len(cr.Proposed)))
+	e.mReused.Add(float64(len(cr.Matched)))
 	for range cr.Matched {
 		e.Insights.NoteViewReused()
 	}
 
 	return run, nil
+}
+
+// failJob settles a job that errored after compilation: any views it staged
+// (and the creation locks it holds) must be released so the next job touching
+// those signatures can build them — otherwise a single failed job orphans its
+// views for the rest of the run.
+func (e *Engine) failJob(cr *optimizer.CompileResult, jobID string, tr *obs.Trace) {
+	e.mJobsFailed.Inc()
+	for _, p := range cr.Proposed {
+		e.Store.Abandon(p.Strict)
+		e.Insights.ReleaseViewLock(p.Strict, jobID)
+		tr.Event("view.abandoned", "sig="+p.Strict.Short()+" reason=job-failed")
+	}
+}
+
+// traceStages appends one execute span per scheduled stage, in simulated
+// time: the stage's container-seconds of work collapsed onto the trace
+// cursor. Spool stages are labeled materialize.
+func (e *Engine) traceStages(tr *obs.Trace, stages []cluster.StageSpec) {
+	if tr == nil {
+		return
+	}
+	// Data-plane path: the job starts immediately. RunDay overlays the real
+	// cluster queue wait as a separate "queue:cluster" span.
+	tr.Span("queue", 0)
+	for i, st := range stages {
+		name := fmt.Sprintf("execute:stage-%02d", i)
+		if st.IsSpool {
+			name = fmt.Sprintf("materialize:stage-%02d", i)
+		}
+		tr.Span(name, time.Duration(st.Work*float64(time.Second)))
+	}
 }
 
 // estimateSealDelay approximates when the spooled subexpression's stage

@@ -16,6 +16,7 @@ import (
 
 	"cloudviews/internal/catalog"
 	"cloudviews/internal/data"
+	"cloudviews/internal/obs"
 	"cloudviews/internal/plan"
 	"cloudviews/internal/signature"
 )
@@ -47,9 +48,10 @@ type ViewStore interface {
 	// Fetch returns the view's table and logical scale multiplier. ok=false
 	// when the view does not exist, is unsealed, or has expired.
 	Fetch(strict signature.Sig) (t *data.Table, mult float64, ok bool)
-	// Materialize stores a freshly computed view. mult is the logical scale
-	// multiplier of the producing subexpression.
-	Materialize(strict signature.Sig, path string, t *data.Table, mult float64) error
+	// Materialize stores a freshly computed view. vc is the virtual cluster
+	// that owns the bytes; mult is the logical scale multiplier of the
+	// producing subexpression.
+	Materialize(strict signature.Sig, path, vc string, t *data.Table, mult float64) error
 }
 
 // ViewReadWork estimates the container-seconds needed to scan a materialized
@@ -167,8 +169,36 @@ type Executor struct {
 	// results to serial execution: partitioning is hash-based and outputs are
 	// reassembled in the serial emission order.
 	Parallelism int
+	// Metrics, when set, receives execution totals (cache hits, work,
+	// bytes read) once per Run.
+	Metrics *obs.Registry
 
 	res RunResult
+	// spoolTainted marks plan nodes whose subtree contains a Spool; those
+	// subtrees carry a materialization side effect and bypass the result
+	// cache entirely.
+	spoolTainted map[plan.Node]bool
+}
+
+// markSpoolTainted records every node whose subtree contains a Spool. A
+// cached replay of such a subtree would reproduce the accounting but skip the
+// view write, leaving a staged view that never materializes — so the Spool
+// and all its ancestors must always execute. Spool-free subtrees (including
+// the Spool's own child) stay cacheable, so a replayed build remains cheap.
+func markSpoolTainted(root plan.Node, out map[plan.Node]bool) bool {
+	tainted := false
+	if _, ok := root.(*plan.Spool); ok {
+		tainted = true
+	}
+	for _, c := range root.Children() {
+		if markSpoolTainted(c, out) {
+			tainted = true
+		}
+	}
+	if tainted {
+		out[root] = true
+	}
+	return tainted
 }
 
 type nodeResult struct {
@@ -185,6 +215,8 @@ func (ex *Executor) Run(root plan.Node) (*RunResult, error) {
 		ex.Ctx.Rand = data.NewRand(1)
 	}
 	ex.res = RunResult{}
+	ex.spoolTainted = make(map[plan.Node]bool)
+	markSpoolTainted(root, ex.spoolTainted)
 	r, err := ex.eval(root)
 	if err != nil {
 		return nil, err
@@ -193,6 +225,9 @@ func (ex *Executor) Run(root plan.Node) (*RunResult, error) {
 	for _, s := range ex.res.Stats {
 		ex.res.TotalWork += s.Work
 	}
+	ex.Metrics.Counter("cloudviews_exec_cache_hits_total").Add(float64(ex.res.CacheHits))
+	ex.Metrics.Counter("cloudviews_exec_work_seconds_total").Add(ex.res.TotalWork)
+	ex.Metrics.Counter("cloudviews_exec_read_bytes_total").Add(float64(ex.res.TotalRead))
 	return &ex.res, nil
 }
 
@@ -209,8 +244,11 @@ func logicalRows(t *data.Table, mult float64) int64 {
 }
 
 func (ex *Executor) eval(n plan.Node) (nodeResult, error) {
+	// Subtrees containing a Spool bypass the cache (see markSpoolTainted).
+	tainted := ex.spoolTainted[n]
+
 	// Result-cache lookup (strict signature identity ⇒ identical result).
-	if ex.Cache != nil && ex.SigMap != nil {
+	if !tainted && ex.Cache != nil && ex.SigMap != nil {
 		if sig, ok := ex.SigMap[n]; ok {
 			if entry, hit := ex.Cache.Get(sig); hit {
 				ex.res.CacheHits++
@@ -253,7 +291,7 @@ func (ex *Executor) eval(n plan.Node) (nodeResult, error) {
 	}
 
 	// Populate the cache with the subtree slice (first writer wins).
-	if ex.Cache != nil && ex.SigMap != nil {
+	if !tainted && ex.Cache != nil && ex.SigMap != nil {
 		if sig, ok := ex.SigMap[n]; ok {
 			sub := make([]NodeStat, len(ex.res.Stats)-statsStart)
 			copy(sub, ex.res.Stats[statsStart:])
@@ -690,7 +728,7 @@ func (ex *Executor) evalSpool(x *plan.Spool) (nodeResult, error) {
 	lb := logicalBytes(in.table, in.mult)
 	writeWork := float64(lb) * costWriteByte
 	if ex.Views != nil && x.StrictSig != "" {
-		if err := ex.Views.Materialize(signature.Sig(x.StrictSig), x.Path, in.table.Clone(), in.mult); err != nil {
+		if err := ex.Views.Materialize(signature.Sig(x.StrictSig), x.Path, x.VC, in.table.Clone(), in.mult); err != nil {
 			return nodeResult{}, fmt.Errorf("exec: materializing view: %w", err)
 		}
 	}

@@ -360,7 +360,7 @@ func (f *fakeStore) Fetch(s signature.Sig) (*data.Table, float64, bool) {
 	return v.t, v.mult, true
 }
 
-func (f *fakeStore) Materialize(s signature.Sig, path string, t *data.Table, mult float64) error {
+func (f *fakeStore) Materialize(s signature.Sig, path, vc string, t *data.Table, mult float64) error {
 	f.views[s] = &fakeView{t: t, mult: mult}
 	return nil
 }

@@ -123,6 +123,9 @@ type ProductionResult struct {
 	Cfg    ProductionConfig
 	Days   []DayPair
 	Table1 Table1
+	// Metrics is the CloudViews arm's final registry export (Prometheus
+	// text format, deterministic ordering).
+	Metrics string
 }
 
 type armResult struct {
@@ -136,6 +139,7 @@ type armResult struct {
 	vcs       map[string]bool
 	built     int
 	reused    int
+	metrics   string
 }
 
 // RunProduction executes the same generated workload twice — baseline and
@@ -150,7 +154,7 @@ func RunProduction(cfg ProductionConfig) (*ProductionResult, error) {
 		return nil, fmt.Errorf("cloudviews arm: %w", err)
 	}
 
-	res := &ProductionResult{Cfg: cfg}
+	res := &ProductionResult{Cfg: cfg, Metrics: cv.metrics}
 	for i := range base.days {
 		res.Days = append(res.Days, DayPair{Date: base.days[i].Date, Base: base.days[i], CV: cv.days[i]})
 	}
@@ -292,5 +296,6 @@ func runArm(cfg ProductionConfig, enable bool) (*armResult, error) {
 		arm.pipelines[j.Pipeline] = true
 		arm.vcs[j.VC] = true
 	}
+	arm.metrics = eng.Metrics.ExportString()
 	return arm, nil
 }

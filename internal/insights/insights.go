@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"cloudviews/internal/obs"
 	"cloudviews/internal/signature"
 )
 
@@ -60,6 +61,11 @@ type Service struct {
 	reused  int64
 	fetches int64
 	hits    int64
+
+	// metrics, when wired via SetMetrics; nil-safe no-ops otherwise.
+	mFetches    *obs.Counter
+	mWarmHits   *obs.Counter
+	mContention *obs.Counter
 }
 
 // NewService creates an enabled service with no annotations.
@@ -72,6 +78,16 @@ func NewService() *Service {
 		clusterEnabled: make(map[string]bool),
 		vcEnabled:      make(map[string]bool),
 	}
+}
+
+// SetMetrics registers the service's counters with a registry. Call before
+// serving traffic.
+func (s *Service) SetMetrics(r *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mFetches = r.Counter("cloudviews_insights_fetches_total")
+	s.mWarmHits = r.Counter("cloudviews_insights_warm_hits_total")
+	s.mContention = r.Counter("cloudviews_insights_lock_contention_total")
 }
 
 // ---------------------------------------------------------------------------
@@ -108,15 +124,33 @@ func (s *Service) Enabled(cluster, vc string, jobOptIn bool) bool {
 // ---------------------------------------------------------------------------
 // Annotation serving.
 
+// sortAnnotations ranks annotations for serving: Utility descending, with
+// the recurring signature and VC as tiebreakers. The sort must be stable and
+// fully ordered — with a bare sort.Slice on Utility, equal-utility
+// annotations served in map-iteration order, so a per-job view cap could
+// pick different views run to run.
+func sortAnnotations(anns []Annotation) []Annotation {
+	sorted := append([]Annotation(nil), anns...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Utility != b.Utility {
+			return a.Utility > b.Utility
+		}
+		if a.Recurring != b.Recurring {
+			return a.Recurring < b.Recurring
+		}
+		return a.VC < b.VC
+	})
+	return sorted
+}
+
 // PublishAnnotations replaces the annotations for a tag. Called by the
 // periodic workload-analysis job ("these tagged signatures are then polled by
 // insights service and stored").
 func (s *Service) PublishAnnotations(tag signature.Tag, anns []Annotation) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sorted := append([]Annotation(nil), anns...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Utility > sorted[j].Utility })
-	s.byTag[tag] = sorted
+	s.byTag[tag] = sortAnnotations(anns)
 	delete(s.warm, tag) // cache invalidated on republish
 }
 
@@ -139,9 +173,7 @@ func (s *Service) ReplaceAllAnnotations(all map[signature.Tag][]Annotation) {
 	defer s.mu.Unlock()
 	s.byTag = make(map[signature.Tag][]Annotation, len(all))
 	for tag, anns := range all {
-		sorted := append([]Annotation(nil), anns...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Utility > sorted[j].Utility })
-		s.byTag[tag] = sorted
+		s.byTag[tag] = sortAnnotations(anns)
 	}
 	s.warm = make(map[signature.Tag]bool)
 }
@@ -153,9 +185,11 @@ func (s *Service) FetchAnnotations(tag signature.Tag) ([]Annotation, time.Durati
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.fetches++
+	s.mFetches.Inc()
 	lat := RoundTripLatency
 	if s.warm[tag] {
 		s.hits++
+		s.mWarmHits.Inc()
 		lat = time.Millisecond
 	} else {
 		s.warm[tag] = true
@@ -213,6 +247,9 @@ func (s *Service) AcquireViewLock(strict signature.Sig, jobID string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if holder, held := s.locks[strict]; held {
+		if holder != jobID {
+			s.mContention.Inc()
+		}
 		return holder == jobID
 	}
 	s.locks[strict] = jobID

@@ -176,3 +176,55 @@ func TestReplaceAllAnnotationsDropsStaleTags(t *testing.T) {
 		t.Errorf("replaced annotations not utility-ranked: %+v", anns)
 	}
 }
+
+// TestAnnotationOrderDeterministicUnderTies is the regression test for the
+// nondeterministic ranking bug: equal-utility annotations were ordered by a
+// non-stable sort on Utility alone, so a per-job view cap could pick
+// different views run to run. Publishing the same tied set in 100 different
+// input permutations must always serve one canonical order.
+func TestAnnotationOrderDeterministicUnderTies(t *testing.T) {
+	tied := []insights.Annotation{
+		{Recurring: "rec-d", VC: "vc2", Utility: 5},
+		{Recurring: "rec-b", VC: "vc1", Utility: 5},
+		{Recurring: "rec-a", VC: "vc2", Utility: 5},
+		{Recurring: "rec-c", VC: "vc1", Utility: 9},
+		{Recurring: "rec-a", VC: "vc1", Utility: 5},
+	}
+	var want []insights.Annotation
+	for trial := 0; trial < 100; trial++ {
+		// Deterministic pseudo-shuffle: a different rotation + swap pattern
+		// per trial, covering many input permutations without math/rand.
+		in := append([]insights.Annotation(nil), tied...)
+		rot := trial % len(in)
+		in = append(in[rot:], in[:rot]...)
+		if trial%2 == 1 {
+			in[0], in[len(in)-1] = in[len(in)-1], in[0]
+		}
+
+		s := insights.NewService()
+		s.PublishAnnotations("tag1", in)
+		got, _ := s.FetchAnnotations("tag1")
+		if trial == 0 {
+			want = got
+			if want[0].Recurring != "rec-c" {
+				t.Fatalf("highest utility must rank first, got %+v", want[0])
+			}
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: position %d = %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+
+	// ReplaceAllAnnotations must rank identically to PublishAnnotations.
+	s := insights.NewService()
+	s.ReplaceAllAnnotations(map[signature.Tag][]insights.Annotation{"tag1": tied})
+	got, _ := s.FetchAnnotations("tag1")
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ReplaceAllAnnotations order diverges at %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing float64. A nil *Counter no-ops, so
+// callers cache counters once and bump them unconditionally.
+type Counter struct {
+	bits uint64
+}
+
+// Add increments the counter by v.
+func (c *Counter) Add(v float64) {
+	if c == nil {
+		return
+	}
+	for {
+		old := atomic.LoadUint64(&c.bits)
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(&c.bits, old, next) {
+			return
+		}
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(atomic.LoadUint64(&c.bits))
+}
+
+// Gauge is a float64 that can move in either direction.
+type Gauge struct {
+	bits uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	atomic.StoreUint64(&g.bits, math.Float64bits(v))
+}
+
+// Add moves the gauge by v (negative deltas are fine).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := atomic.LoadUint64(&g.bits)
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(&g.bits, old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(atomic.LoadUint64(&g.bits))
+}
+
+// Histogram counts observations into fixed upper-bound buckets plus +Inf,
+// tracking sum and count for the Prometheus _bucket/_sum/_count triple.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // sorted upper bounds, +Inf implicit
+	counts  []uint64  // len(bounds)+1, last is the +Inf bucket
+	sum     float64
+	samples uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.samples++
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.samples
+}
+
+// Registry holds named metrics. A nil *Registry hands out nil metrics, so a
+// disabled observability layer costs one predictable branch per bump. Metric
+// names follow Prometheus conventions; a name may carry a label suffix like
+// `cloudviews_view_bytes{vc="tenant1"}`, in which case the family name (the
+// part before '{') groups series under one # TYPE line in the export.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Returns nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given upper bounds on first use (bounds are ignored on later calls).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		sorted := append([]float64(nil), bounds...)
+		sort.Float64s(sorted)
+		h = &Histogram{bounds: sorted, counts: make([]uint64, len(sorted)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// family strips a {label} suffix to get the metric family name.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Export writes every metric in Prometheus text exposition format. Output is
+// sorted by family then series name, so identical metric state always
+// exports identical bytes — the property the golden tests pin.
+func (r *Registry) Export(w io.Writer) error {
+	_, err := io.WriteString(w, r.ExportString())
+	return err
+}
+
+// ExportString is Export into a string ("" on a nil registry).
+func (r *Registry) ExportString() string {
+	if r == nil {
+		return ""
+	}
+	type series struct {
+		name string
+		text string
+	}
+	type fam struct {
+		name   string
+		kind   string
+		series []series
+	}
+	r.mu.Lock()
+	fams := make(map[string]*fam)
+	get := func(name, kind string) *fam {
+		f, ok := fams[name]
+		if !ok {
+			f = &fam{name: name, kind: kind}
+			fams[name] = f
+		}
+		return f
+	}
+	for name, c := range r.counters {
+		f := get(family(name), "counter")
+		f.series = append(f.series, series{name, name + " " + formatFloat(c.Value())})
+	}
+	for name, g := range r.gauges {
+		f := get(family(name), "gauge")
+		f.series = append(f.series, series{name, name + " " + formatFloat(g.Value())})
+	}
+	for name, h := range r.histograms {
+		f := get(family(name), "histogram")
+		h.mu.Lock()
+		var cum uint64
+		for i, bound := range h.bounds {
+			cum += h.counts[i]
+			le := formatFloat(bound)
+			f.series = append(f.series, series{
+				name + "_bucket_" + le,
+				name + `_bucket{le="` + le + `"} ` + strconv.FormatUint(cum, 10),
+			})
+		}
+		cum += h.counts[len(h.bounds)]
+		f.series = append(f.series, series{
+			name + "_bucket_inf",
+			name + `_bucket{le="+Inf"} ` + strconv.FormatUint(cum, 10),
+		})
+		f.series = append(f.series, series{name + "_sum", name + "_sum " + formatFloat(h.sum)})
+		f.series = append(f.series, series{name + "_count", name + "_count " + strconv.FormatUint(h.samples, 10)})
+		h.mu.Unlock()
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, n := range names {
+		f := fams[n]
+		b.WriteString("# TYPE " + f.name + " " + f.kind + "\n")
+		// Histogram series keep registration order (bucket/sum/count);
+		// counter and gauge series sort by full series name.
+		if f.kind != "histogram" {
+			sort.Slice(f.series, func(i, j int) bool { return f.series[i].name < f.series[j].name })
+		}
+		for _, s := range f.series {
+			b.WriteString(s.text)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,10 +1,12 @@
 package optimizer
 
 import (
+	"fmt"
 	"time"
 
 	"cloudviews/internal/exec"
 	"cloudviews/internal/insights"
+	"cloudviews/internal/obs"
 	"cloudviews/internal/plan"
 	"cloudviews/internal/signature"
 	"cloudviews/internal/stats"
@@ -21,6 +23,9 @@ type Optimizer struct {
 	Insights *insights.Service
 	// MaxViewsPerJob is the user control bounding spools per job (0 = 4).
 	MaxViewsPerJob int
+	// Trace, when set, receives the compile-phase spans and every
+	// view-reuse decision (matched, rejected + reason, proposed).
+	Trace *obs.Trace
 }
 
 // ProposedView describes a spool the optimizer inserted.
@@ -83,11 +88,16 @@ func (o *Optimizer) Compile(root plan.Node, opts CompileOptions) *CompileResult 
 
 	enabled := o.Insights != nil && o.Insights.Enabled(opts.Cluster, opts.VC, opts.OptIn)
 	res.ReuseEnabled = enabled
+	if !enabled {
+		o.Trace.Event("reuse.disabled", "controls disabled CloudViews for this job")
+	}
 
 	var annSet map[signature.Sig]insights.Annotation
 	if enabled {
 		anns, lat := o.Insights.FetchAnnotations(res.Tag)
 		res.CompileLatency += lat
+		o.Trace.Span("insights", lat)
+		o.Trace.Event("insights.annotations", fmt.Sprintf("count=%d tag=%s", len(anns), signature.Sig(res.Tag).Short()))
 		annSet = make(map[signature.Sig]insights.Annotation, len(anns))
 		for _, a := range anns {
 			annSet[a.Recurring] = a
@@ -101,6 +111,7 @@ func (o *Optimizer) Compile(root plan.Node, opts CompileOptions) *CompileResult 
 		// Follow-up optimization: bottom-up enumeration for building views.
 		p = o.buildViews(p, opts, annSet, res)
 	}
+	o.Trace.Span("optimize", 0)
 
 	// Final signature maps over the rewritten plan.
 	res.SigMap = make(map[plan.Node]signature.Sig)
@@ -134,24 +145,33 @@ func (o *Optimizer) matchViews(root plan.Node, res *CompileResult) plan.Node {
 	rec = func(n plan.Node) plan.Node {
 		s, ok := info[n]
 		if ok && s.Eligibility == signature.EligibleOK && o.Store != nil {
-			if view, exists := o.Store.Lookup(s.Strict); exists && o.Store.Available(s.Strict) {
-				if o.viewWins(s, view) {
-					res.Matched = append(res.Matched, MatchedView{
-						Strict:     s.Strict,
-						Recurring:  s.Recurring,
-						ReplacedOp: n.OpName(),
-						Rows:       view.Rows,
-						Bytes:      view.Bytes,
-					})
-					return &plan.ViewScan{
-						StrictSig:    string(s.Strict),
-						RecurringSig: string(s.Recurring),
-						Path:         view.Path,
-						Out:          n.Schema(),
-						Rows:         view.Rows,
-						Bytes:        view.Bytes,
-						ReplacedOp:   n.OpName(),
+			if view, exists := o.Store.Lookup(s.Strict); exists {
+				// State before Available: Available lazily evicts expired
+				// entries, so it must not run before the reason is read.
+				state := o.Store.State(s.Strict)
+				if o.Store.Available(s.Strict) {
+					if o.viewWins(s, view) {
+						o.Trace.Event("view.matched", fmt.Sprintf("sig=%s op=%s rows=%d", s.Strict.Short(), n.OpName(), view.Rows))
+						res.Matched = append(res.Matched, MatchedView{
+							Strict:     s.Strict,
+							Recurring:  s.Recurring,
+							ReplacedOp: n.OpName(),
+							Rows:       view.Rows,
+							Bytes:      view.Bytes,
+						})
+						return &plan.ViewScan{
+							StrictSig:    string(s.Strict),
+							RecurringSig: string(s.Recurring),
+							Path:         view.Path,
+							Out:          n.Schema(),
+							Rows:         view.Rows,
+							Bytes:        view.Bytes,
+							ReplacedOp:   n.OpName(),
+						}
 					}
+					o.Trace.Event("view.rejected", fmt.Sprintf("sig=%s reason=cost", s.Strict.Short()))
+				} else {
+					o.Trace.Event("view.rejected", fmt.Sprintf("sig=%s reason=%s", s.Strict.Short(), state))
 				}
 			}
 		}
@@ -223,13 +243,15 @@ func (o *Optimizer) buildViews(root plan.Node, opts CompileOptions, annSet map[s
 			return n
 		}
 		if !o.Insights.AcquireViewLock(s.Strict, opts.JobID) {
+			o.Trace.Event("view.rejected", fmt.Sprintf("sig=%s reason=lock-held", s.Strict.Short()))
 			return n
 		}
 		path := storage.PathFor(opts.VC, s.Strict)
 		o.Store.Stage(s.Strict, s.Recurring, path, opts.VC)
 		built++
+		o.Trace.Event("view.proposed", fmt.Sprintf("sig=%s path=%s", s.Strict.Short(), path))
 		res.Proposed = append(res.Proposed, ProposedView{Strict: s.Strict, Recurring: s.Recurring, Path: path})
-		return &plan.Spool{Child: n, StrictSig: string(s.Strict), Path: path}
+		return &plan.Spool{Child: n, StrictSig: string(s.Strict), Path: path, VC: opts.VC}
 	})
 }
 

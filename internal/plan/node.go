@@ -206,6 +206,8 @@ type Spool struct {
 	// it into the output path per the paper's architecture.
 	StrictSig string
 	Path      string
+	// VC is the virtual cluster charged for the artifact's bytes.
+	VC string
 }
 
 // ViewScan reads a previously materialized view instead of recomputing the

@@ -30,7 +30,7 @@ func seedView(t *testing.T) (*storage.Store, *data.Table) {
 			data.String_(regions[rng.Intn(3)]),
 		})
 	}
-	if err := store.Materialize("view-1", "p", tb, 1); err != nil {
+	if err := store.Materialize("view-1", "p", "vc", tb, 1); err != nil {
 		t.Fatal(err)
 	}
 	store.Seal("view-1")
@@ -132,7 +132,7 @@ func TestScaledViewEstimates(t *testing.T) {
 	for i := 0; i < 1000; i++ {
 		tb.Append(data.Row{data.Int(int64(i))})
 	}
-	_ = store.Materialize("big", "p", tb, 1000) // logical 1M rows
+	_ = store.Materialize("big", "p", "vc", tb, 1000) // logical 1M rows
 	store.Seal("big")
 	sv, err := sampling.NewStore().SampleView(store, "big", 50)
 	if err != nil {

@@ -5,6 +5,10 @@
 // after a fixed TTL (one week in production), and simply recreated whenever
 // the underlying shared datasets are bulk-updated (their strict signatures
 // change, so the old artifacts stop matching and age out).
+//
+// Expiry is lazy: an expired entry is treated as absent by every accessor
+// and evicted opportunistically the next time its signature is touched, so
+// a signature never stays blocked between TTL expiry and the next GC().
 package storage
 
 import (
@@ -14,6 +18,7 @@ import (
 	"time"
 
 	"cloudviews/internal/data"
+	"cloudviews/internal/obs"
 	"cloudviews/internal/signature"
 )
 
@@ -59,9 +64,17 @@ type Store struct {
 	pending map[signature.Sig]*View
 
 	// counters
-	created int64
-	expired int64
-	purged  int64
+	created   int64
+	expired   int64
+	purged    int64
+	abandoned int64
+
+	// metrics, when wired via SetMetrics; all nil-safe no-ops otherwise.
+	metrics    *obs.Registry
+	mCreated   *obs.Counter
+	mExpired   *obs.Counter
+	mPurged    *obs.Counter
+	mAbandoned *obs.Counter
 }
 
 // NewStore creates a store with the default TTL. The clock function supplies
@@ -83,31 +96,75 @@ func (s *Store) SetTTL(ttl time.Duration) {
 	s.ttl = ttl
 }
 
+// SetMetrics registers the store's lifecycle counters and per-VC byte gauges
+// with a registry. Call before serving traffic.
+func (s *Store) SetMetrics(r *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = r
+	s.mCreated = r.Counter("cloudviews_views_created_total")
+	s.mExpired = r.Counter("cloudviews_views_expired_total")
+	s.mPurged = r.Counter("cloudviews_views_purged_total")
+	s.mAbandoned = r.Counter("cloudviews_views_abandoned_total")
+}
+
+// noteBytesLocked refreshes the per-VC byte gauge. Caller holds s.mu.
+func (s *Store) noteBytesLocked(vc string) {
+	if s.metrics == nil {
+		return
+	}
+	s.metrics.Gauge(`cloudviews_view_bytes{vc="` + vc + `"}`).Set(float64(s.byVC[vc]))
+}
+
+// expiredLocked reports whether v is past its TTL at the given instant.
+func expiredLocked(v *View, now time.Time) bool {
+	return now.After(v.ExpiresAt)
+}
+
+// evictExpiredLocked removes an expired view and settles its accounting.
+// Caller holds the write lock and has already determined v is expired.
+func (s *Store) evictExpiredLocked(strict signature.Sig, v *View) {
+	s.byVC[v.VC] -= v.Bytes
+	delete(s.views, strict)
+	s.expired++
+	s.mExpired.Inc()
+	s.noteBytesLocked(v.VC)
+}
+
 // Stage registers the metadata for a view about to be materialized by a job.
 // The optimizer calls this when it inserts a Spool; the executor later calls
-// Materialize with the bytes, and the job manager calls Seal.
+// Materialize with the bytes, and the job manager calls Seal. An expired
+// entry under the same signature is evicted, not an obstacle: the signature
+// becomes buildable again the moment its TTL passes.
 func (s *Store) Stage(strict, recurring signature.Sig, path, vc string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, exists := s.views[strict]; exists {
-		return
+	if v, exists := s.views[strict]; exists {
+		if !expiredLocked(v, s.now()) {
+			return
+		}
+		s.evictExpiredLocked(strict, v)
 	}
 	s.pending[strict] = &View{Strict: strict, Recurring: recurring, Path: path, VC: vc}
 }
 
 // Materialize stores the bytes of a staged view. Implements exec.ViewStore.
-// Unstaged signatures get a bare view record (tests and extensions use this
-// path directly).
-func (s *Store) Materialize(strict signature.Sig, path string, t *data.Table, mult float64) error {
+// Unstaged signatures get a bare view record attributed to vc (tests and
+// extensions use this path directly); staged views keep the VC they were
+// staged with.
+func (s *Store) Materialize(strict signature.Sig, path, vc string, t *data.Table, mult float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, exists := s.views[strict]; exists {
-		// Lost race with another job: keep the first artifact.
-		return nil
+	if v, exists := s.views[strict]; exists {
+		if !expiredLocked(v, s.now()) {
+			// Lost race with another job: keep the first artifact.
+			return nil
+		}
+		s.evictExpiredLocked(strict, v)
 	}
 	v, ok := s.pending[strict]
 	if !ok {
-		v = &View{Strict: strict, Path: path}
+		v = &View{Strict: strict, Path: path, VC: vc}
 	}
 	delete(s.pending, strict)
 	now := s.now()
@@ -120,6 +177,8 @@ func (s *Store) Materialize(strict signature.Sig, path string, t *data.Table, mu
 	s.views[strict] = v
 	s.byVC[v.VC] += v.Bytes
 	s.created++
+	s.mCreated.Inc()
+	s.noteBytesLocked(v.VC)
 	return nil
 }
 
@@ -131,6 +190,7 @@ func (s *Store) Seal(strict signature.Sig) bool {
 
 // SealAt marks a view readable from t onward — the early-sealing point, when
 // the producing subexpression's stage finishes (before its whole job does).
+// Returns false if the view is unknown or already expired.
 func (s *Store) SealAt(strict signature.Sig, t time.Time) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -138,8 +198,37 @@ func (s *Store) SealAt(strict signature.Sig, t time.Time) bool {
 	if !ok {
 		return false
 	}
+	if expiredLocked(v, s.now()) {
+		s.evictExpiredLocked(strict, v)
+		return false
+	}
 	v.Sealed = true
 	v.SealedAt = t
+	return true
+}
+
+// Abandon discards a staged or materialized-but-unsealed view whose
+// producing job failed, so the signature does not stay in-flight forever.
+// Sealed (readable) views are never abandoned. Returns true if an entry was
+// removed.
+func (s *Store) Abandon(strict signature.Sig) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.pending[strict]; ok {
+		delete(s.pending, strict)
+		s.abandoned++
+		s.mAbandoned.Inc()
+		return true
+	}
+	v, ok := s.views[strict]
+	if !ok || v.Sealed {
+		return false
+	}
+	s.byVC[v.VC] -= v.Bytes
+	delete(s.views, strict)
+	s.abandoned++
+	s.mAbandoned.Inc()
+	s.noteBytesLocked(v.VC)
 	return true
 }
 
@@ -148,15 +237,22 @@ func (s *Store) Fetch(strict signature.Sig) (*data.Table, float64, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	v, ok := s.views[strict]
-	if !ok || !v.Sealed || s.now().Before(v.SealedAt) || s.now().After(v.ExpiresAt) {
+	if !ok {
+		return nil, 0, false
+	}
+	if expiredLocked(v, s.now()) {
+		s.evictExpiredLocked(strict, v)
+		return nil, 0, false
+	}
+	if !v.Sealed || s.now().Before(v.SealedAt) {
 		return nil, 0, false
 	}
 	v.Reads++
 	return v.Table, v.Mult, true
 }
 
-// Lookup returns view metadata regardless of sealing, for the optimizer's
-// matching phase and for tests.
+// Lookup returns view metadata regardless of sealing or expiry, for the
+// optimizer's matching phase, inspection tools, and tests.
 func (s *Store) Lookup(strict signature.Sig) (*View, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -170,25 +266,84 @@ func (s *Store) Lookup(strict signature.Sig) (*View, bool) {
 }
 
 // Available reports whether a sealed, unexpired view exists — the check the
-// optimizer's top-down matching performs.
+// optimizer's top-down matching performs. Reads take the shared lock; only
+// an actually-expired entry escalates to the write lock to evict.
 func (s *Store) Available(strict signature.Sig) bool {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	v, ok := s.views[strict]
-	return ok && v.Sealed && !s.now().Before(v.SealedAt) && !s.now().After(v.ExpiresAt)
+	if !ok {
+		s.mu.RUnlock()
+		return false
+	}
+	now := s.now()
+	if !expiredLocked(v, now) {
+		avail := v.Sealed && !now.Before(v.SealedAt)
+		s.mu.RUnlock()
+		return avail
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	if v, ok := s.views[strict]; ok && expiredLocked(v, s.now()) {
+		s.evictExpiredLocked(strict, v)
+	}
+	s.mu.Unlock()
+	return false
 }
 
 // InFlight reports whether a view is staged, or materialized but not yet
 // readable (unsealed, or sealed at a future instant): a second concurrent job
-// should neither rebuild nor reuse it.
+// should neither rebuild nor reuse it. Expired entries do not count as
+// in-flight and are evicted.
 func (s *Store) InFlight(strict signature.Sig) bool {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	if _, ok := s.pending[strict]; ok {
+		s.mu.RUnlock()
 		return true
 	}
 	v, ok := s.views[strict]
-	return ok && (!v.Sealed || s.now().Before(v.SealedAt))
+	if !ok {
+		s.mu.RUnlock()
+		return false
+	}
+	now := s.now()
+	if !expiredLocked(v, now) {
+		inflight := !v.Sealed || now.Before(v.SealedAt)
+		s.mu.RUnlock()
+		return inflight
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	if v, ok := s.views[strict]; ok && expiredLocked(v, s.now()) {
+		s.evictExpiredLocked(strict, v)
+	}
+	s.mu.Unlock()
+	return false
+}
+
+// State describes a signature's lifecycle position for trace events:
+// "absent", "pending", "unsealed", "sealing" (sealed at a future instant),
+// "live", or "expired".
+func (s *Store) State(strict signature.Sig) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.pending[strict]; ok {
+		return "pending"
+	}
+	v, ok := s.views[strict]
+	if !ok {
+		return "absent"
+	}
+	now := s.now()
+	switch {
+	case expiredLocked(v, now):
+		return "expired"
+	case !v.Sealed:
+		return "unsealed"
+	case now.Before(v.SealedAt):
+		return "sealing"
+	default:
+		return "live"
+	}
 }
 
 // GC removes expired views and returns how many were evicted.
@@ -198,10 +353,8 @@ func (s *Store) GC() int {
 	now := s.now()
 	n := 0
 	for sig, v := range s.views {
-		if now.After(v.ExpiresAt) {
-			s.byVC[v.VC] -= v.Bytes
-			delete(s.views, sig)
-			s.expired++
+		if expiredLocked(v, now) {
+			s.evictExpiredLocked(sig, v)
 			n++
 		}
 	}
@@ -221,6 +374,8 @@ func (s *Store) Purge(strict signature.Sig) bool {
 	s.byVC[v.VC] -= v.Bytes
 	delete(s.views, strict)
 	s.purged++
+	s.mPurged.Inc()
+	s.noteBytesLocked(v.VC)
 	return true
 }
 
@@ -234,47 +389,77 @@ func (s *Store) PurgeVC(vc string) int {
 			s.byVC[v.VC] -= v.Bytes
 			delete(s.views, sig)
 			s.purged++
+			s.mPurged.Inc()
+			n++
+		}
+	}
+	s.noteBytesLocked(vc)
+	return n
+}
+
+// UsedBytes returns the logical bytes stored for a VC, excluding expired
+// views that have not been evicted yet.
+func (s *Store) UsedBytes(vc string) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	used := s.byVC[vc]
+	now := s.now()
+	for _, v := range s.views {
+		if v.VC == vc && expiredLocked(v, now) {
+			used -= v.Bytes
+		}
+	}
+	return used
+}
+
+// Count returns the number of live (unexpired) views.
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	now := s.now()
+	n := 0
+	for _, v := range s.views {
+		if !expiredLocked(v, now) {
 			n++
 		}
 	}
 	return n
 }
 
-// UsedBytes returns the logical bytes stored for a VC.
-func (s *Store) UsedBytes(vc string) int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.byVC[vc]
-}
-
-// Count returns the number of live views.
-func (s *Store) Count() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.views)
-}
-
 // Stats summarizes store activity.
 type Stats struct {
-	Live    int
-	Created int64
-	Expired int64
-	Purged  int64
+	Live      int
+	Created   int64
+	Expired   int64
+	Purged    int64
+	Abandoned int64
 }
 
-// Snapshot returns store counters.
+// Snapshot returns store counters. Live excludes expired-but-unevicted views.
 func (s *Store) Snapshot() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return Stats{Live: len(s.views), Created: s.created, Expired: s.expired, Purged: s.purged}
+	now := s.now()
+	live := 0
+	for _, v := range s.views {
+		if !expiredLocked(v, now) {
+			live++
+		}
+	}
+	return Stats{Live: live, Created: s.created, Expired: s.expired, Purged: s.purged, Abandoned: s.abandoned}
 }
 
-// Views lists live view metadata sorted by path, for inspection tools.
+// Views lists live (unexpired) view metadata sorted by path, for inspection
+// tools.
 func (s *Store) Views() []*View {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	now := s.now()
 	out := make([]*View, 0, len(s.views))
 	for _, v := range s.views {
+		if expiredLocked(v, now) {
+			continue
+		}
 		cp := *v
 		out = append(out, &cp)
 	}

@@ -1,6 +1,9 @@
 package storage_test
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -27,7 +30,7 @@ func TestStageMaterializeSealFetch(t *testing.T) {
 	if !s.InFlight("sig1") {
 		t.Error("staged view must be in flight")
 	}
-	if err := s.Materialize("sig1", "p/sig1", table(), 2); err != nil {
+	if err := s.Materialize("sig1", "p/sig1", "vc1", table(), 2); err != nil {
 		t.Fatal(err)
 	}
 	if s.Available("sig1") {
@@ -63,7 +66,7 @@ func TestExpiry(t *testing.T) {
 	now := time.Unix(0, 0)
 	s := storage.NewStore(func() time.Time { return now })
 	s.Stage("sig1", "rec1", "p", "vc")
-	_ = s.Materialize("sig1", "p", table(), 1)
+	_ = s.Materialize("sig1", "p", "vc", table(), 1)
 	s.Seal("sig1")
 
 	now = now.Add(storage.DefaultTTL - time.Hour)
@@ -77,11 +80,13 @@ func TestExpiry(t *testing.T) {
 	if _, _, ok := s.Fetch("sig1"); ok {
 		t.Error("expired view must not fetch")
 	}
-	if n := s.GC(); n != 1 {
-		t.Errorf("GC evicted %d, want 1", n)
+	// Available/Fetch above already lazily evicted the expired entry, so GC
+	// has nothing left to do.
+	if n := s.GC(); n != 0 {
+		t.Errorf("GC evicted %d, want 0 after lazy eviction", n)
 	}
 	if s.UsedBytes("vc") != 0 {
-		t.Error("GC must release storage accounting")
+		t.Error("eviction must release storage accounting")
 	}
 	st := s.Snapshot()
 	if st.Expired != 1 || st.Live != 0 || st.Created != 1 {
@@ -93,9 +98,9 @@ func TestMaterializeRaceKeepsFirst(t *testing.T) {
 	now := time.Unix(0, 0)
 	s := storage.NewStore(func() time.Time { return now })
 	first := table()
-	_ = s.Materialize("sig1", "p", first, 1)
+	_ = s.Materialize("sig1", "p", "vc", first, 1)
 	second := data.NewTable(first.Schema)
-	_ = s.Materialize("sig1", "p", second, 1)
+	_ = s.Materialize("sig1", "p", "vc", second, 1)
 	s.Seal("sig1")
 	tb, _, _ := s.Fetch("sig1")
 	if tb.NumRows() != 2 {
@@ -108,11 +113,11 @@ func TestPurge(t *testing.T) {
 	s := storage.NewStore(func() time.Time { return now })
 	for _, sig := range []signature.Sig{"a", "b", "c"} {
 		s.Stage(sig, "r"+sig, "p/"+string(sig), "vc1")
-		_ = s.Materialize(sig, "p/"+string(sig), table(), 1)
+		_ = s.Materialize(sig, "p/"+string(sig), "vc1", table(), 1)
 		s.Seal(sig)
 	}
 	s.Stage("d", "rd", "p/d", "vc2")
-	_ = s.Materialize("d", "p/d", table(), 1)
+	_ = s.Materialize("d", "p/d", "vc2", table(), 1)
 	s.Seal("d")
 
 	if !s.Purge("a") {
@@ -136,7 +141,7 @@ func TestSetTTL(t *testing.T) {
 	now := time.Unix(0, 0)
 	s := storage.NewStore(func() time.Time { return now })
 	s.SetTTL(time.Minute)
-	_ = s.Materialize("x", "p", table(), 1)
+	_ = s.Materialize("x", "p", "vc", table(), 1)
 	s.Seal("x")
 	now = now.Add(2 * time.Minute)
 	if s.Available("x") {
@@ -146,8 +151,8 @@ func TestSetTTL(t *testing.T) {
 
 func TestViewsListing(t *testing.T) {
 	s := storage.NewStore(func() time.Time { return time.Unix(0, 0) })
-	_ = s.Materialize("b", "p/2", table(), 1)
-	_ = s.Materialize("a", "p/1", table(), 1)
+	_ = s.Materialize("b", "p/2", "vc", table(), 1)
+	_ = s.Materialize("a", "p/1", "vc", table(), 1)
 	vs := s.Views()
 	if len(vs) != 2 || vs[0].Path != "p/1" {
 		t.Errorf("views = %+v", vs)
@@ -158,5 +163,231 @@ func TestPathFor(t *testing.T) {
 	p := storage.PathFor("vc1", "abcdefghijklmnopqrstuv")
 	if p != "cloudviews/vc1/abcdefghijkl.ss" {
 		t.Errorf("path = %q", p)
+	}
+}
+
+// TestExpiredViewRestagedWithoutGC is the regression test for the lifecycle
+// bug where an expired-but-not-GC'd view permanently blocked its signature:
+// Stage/Materialize early-returned on the stale entry, so the view could
+// neither be reused nor rebuilt until someone called GC().
+func TestExpiredViewRestagedWithoutGC(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := storage.NewStore(func() time.Time { return now })
+	s.Stage("sig1", "rec1", "p/sig1", "vc1")
+	_ = s.Materialize("sig1", "p/sig1", "vc1", table(), 1)
+	s.Seal("sig1")
+	if !s.Available("sig1") {
+		t.Fatal("fresh view must be available")
+	}
+
+	// TTL passes; deliberately no GC() call.
+	now = now.Add(storage.DefaultTTL + time.Hour)
+
+	// The whole build cycle must work again against the stale entry.
+	s.Stage("sig1", "rec1", "p/sig1", "vc1")
+	if !s.InFlight("sig1") {
+		t.Fatal("re-stage over an expired entry must leave the signature in flight")
+	}
+	if err := s.Materialize("sig1", "p/sig1", "vc1", table(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Seal("sig1") {
+		t.Fatal("re-seal failed")
+	}
+	if !s.Available("sig1") {
+		t.Error("rebuilt view must be available without any GC call")
+	}
+	if _, _, ok := s.Fetch("sig1"); !ok {
+		t.Error("rebuilt view must fetch")
+	}
+	st := s.Snapshot()
+	if st.Created != 2 || st.Expired != 1 || st.Live != 1 {
+		t.Errorf("snapshot after transparent rebuild: %+v", st)
+	}
+	if want := table().ByteSize(); s.UsedBytes("vc1") != want {
+		t.Errorf("vc1 bytes = %d, want %d (old artifact must not double-count)", s.UsedBytes("vc1"), want)
+	}
+}
+
+// TestMaterializeUnstagedVCAccounting is the regression test for the
+// direct-materialize path creating a View with an empty VC and corrupting
+// byVC[""] accounting.
+func TestMaterializeUnstagedVCAccounting(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := storage.NewStore(func() time.Time { return now })
+	if err := s.Materialize("sig1", "p/sig1", "tenant9", table(), 2); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Lookup("sig1")
+	if !ok || v.VC != "tenant9" {
+		t.Fatalf("unstaged materialize lost the VC: %+v", v)
+	}
+	if s.UsedBytes("tenant9") != v.Bytes {
+		t.Errorf("tenant9 bytes = %d, want %d", s.UsedBytes("tenant9"), v.Bytes)
+	}
+	if s.UsedBytes("") != 0 {
+		t.Errorf(`byVC[""] = %d, must stay untouched`, s.UsedBytes(""))
+	}
+	if !s.Purge("sig1") {
+		t.Fatal("purge failed")
+	}
+	if s.UsedBytes("tenant9") != 0 {
+		t.Error("purge must settle the owning VC's accounting")
+	}
+}
+
+// TestLiveAccessorsExpiryAware pins that Count/Snapshot().Live/Views/
+// UsedBytes exclude expired-but-unevicted entries.
+func TestLiveAccessorsExpiryAware(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := storage.NewStore(func() time.Time { return now })
+	_ = s.Materialize("old", "p/old", "vc1", table(), 1)
+	s.Seal("old")
+	now = now.Add(storage.DefaultTTL / 2)
+	_ = s.Materialize("new", "p/new", "vc1", table(), 1)
+	s.Seal("new")
+	now = now.Add(storage.DefaultTTL/2 + time.Hour) // "old" expired, "new" alive
+
+	if got := s.Count(); got != 1 {
+		t.Errorf("Count = %d, want 1 (expired view still cached)", got)
+	}
+	if st := s.Snapshot(); st.Live != 1 {
+		t.Errorf("Snapshot().Live = %d, want 1", st.Live)
+	}
+	vs := s.Views()
+	if len(vs) != 1 || vs[0].Strict != "new" {
+		t.Errorf("Views() = %+v, want only the live view", vs)
+	}
+	if want := table().ByteSize(); s.UsedBytes("vc1") != want {
+		t.Errorf("UsedBytes = %d, want %d (expired bytes excluded)", s.UsedBytes("vc1"), want)
+	}
+}
+
+func TestAbandon(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := storage.NewStore(func() time.Time { return now })
+
+	// Abandoning a staged-only view clears the pending slot.
+	s.Stage("a", "ra", "p/a", "vc1")
+	if !s.Abandon("a") {
+		t.Fatal("abandon of a pending view failed")
+	}
+	if s.InFlight("a") {
+		t.Error("abandoned pending view must not stay in flight")
+	}
+
+	// Abandoning a materialized-but-unsealed view releases the bytes.
+	s.Stage("b", "rb", "p/b", "vc1")
+	_ = s.Materialize("b", "p/b", "vc1", table(), 1)
+	if !s.Abandon("b") {
+		t.Fatal("abandon of an unsealed view failed")
+	}
+	if s.InFlight("b") || s.Available("b") {
+		t.Error("abandoned unsealed view must vanish")
+	}
+	if s.UsedBytes("vc1") != 0 {
+		t.Errorf("vc1 bytes = %d after abandon, want 0", s.UsedBytes("vc1"))
+	}
+
+	// Sealed views are readable artifacts and must never be abandoned.
+	s.Stage("c", "rc", "p/c", "vc1")
+	_ = s.Materialize("c", "p/c", "vc1", table(), 1)
+	s.Seal("c")
+	if s.Abandon("c") {
+		t.Error("abandon must refuse sealed views")
+	}
+	if st := s.Snapshot(); st.Abandoned != 2 || st.Live != 1 {
+		t.Errorf("snapshot: %+v", st)
+	}
+}
+
+func TestState(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := storage.NewStore(func() time.Time { return now })
+	if got := s.State("x"); got != "absent" {
+		t.Errorf("state = %q, want absent", got)
+	}
+	s.Stage("x", "rx", "p/x", "vc")
+	if got := s.State("x"); got != "pending" {
+		t.Errorf("state = %q, want pending", got)
+	}
+	_ = s.Materialize("x", "p/x", "vc", table(), 1)
+	if got := s.State("x"); got != "unsealed" {
+		t.Errorf("state = %q, want unsealed", got)
+	}
+	s.SealAt("x", now.Add(time.Hour))
+	if got := s.State("x"); got != "sealing" {
+		t.Errorf("state = %q, want sealing", got)
+	}
+	now = now.Add(2 * time.Hour)
+	if got := s.State("x"); got != "live" {
+		t.Errorf("state = %q, want live", got)
+	}
+	now = now.Add(storage.DefaultTTL)
+	if got := s.State("x"); got != "expired" {
+		t.Errorf("state = %q, want expired", got)
+	}
+}
+
+// TestStoreConcurrentLifecycle races every store operation — Stage,
+// Materialize, Seal, Fetch, Available, InFlight, GC, Purge, Abandon — over a
+// shared signature space while the simulated clock advances, then checks the
+// accounting invariants. Run under -race this is the store's data-race guard.
+func TestStoreConcurrentLifecycle(t *testing.T) {
+	var clock atomic.Int64 // unix nanos
+	s := storage.NewStore(func() time.Time { return time.Unix(0, clock.Load()) })
+	s.SetTTL(500 * time.Millisecond)
+
+	vcs := []string{"vc1", "vc2", "vc3"}
+	const workers, rounds, sigs = 8, 300, 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				sig := signature.Sig(fmt.Sprintf("sig-%d", (w*rounds+i)%sigs))
+				vc := vcs[(w+i)%len(vcs)]
+				switch i % 8 {
+				case 0:
+					s.Stage(sig, "r"+sig, "p/"+string(sig), vc)
+				case 1:
+					_ = s.Materialize(sig, "p/"+string(sig), vc, table(), 1)
+				case 2:
+					s.Seal(sig)
+				case 3:
+					s.Fetch(sig)
+					s.Available(sig)
+					s.InFlight(sig)
+				case 4:
+					clock.Add(int64(50 * time.Millisecond))
+				case 5:
+					s.GC()
+				case 6:
+					s.Purge(sig)
+				case 7:
+					s.Abandon(sig)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for _, vc := range append(vcs, "") {
+		if got := s.UsedBytes(vc); got < 0 {
+			t.Errorf("byVC[%q] = %d, negative accounting", vc, got)
+		}
+	}
+	st := s.Snapshot()
+	if st.Created < 0 || st.Expired < 0 || st.Purged < 0 || st.Abandoned < 0 || st.Live < 0 {
+		t.Errorf("negative counters: %+v", st)
+	}
+	if st.Live > int(st.Created) {
+		t.Errorf("live %d exceeds created %d", st.Live, st.Created)
+	}
+	// Every created view is still live or left through exactly one of the
+	// exit paths; lazy eviction must not double-count.
+	if exits := st.Expired + st.Purged; int64(st.Live)+exits > st.Created {
+		t.Errorf("lifecycle leak: live=%d expired=%d purged=%d created=%d", st.Live, st.Expired, st.Purged, st.Created)
 	}
 }
