@@ -211,6 +211,14 @@ func NewSystem(cfg Config) (*System, error) {
 		Selection:            cfg.Selection,
 		DisableObservability: cfg.DisableObservability,
 	})
+	if eng.Metrics != nil {
+		// Repository metrics are wired at the System layer (not inside
+		// core.NewEngine) so purely simulated-time tools keep a
+		// deterministic metrics export; the wall timer enables the
+		// merge/query duration histograms.
+		eng.Repo.SetMetrics(eng.Metrics)
+		eng.Repo.SetTimer(func() int64 { return time.Now().UnixNano() })
+	}
 	return &System{
 		engine:  eng,
 		cfg:     cfg,

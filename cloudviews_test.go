@@ -209,3 +209,42 @@ func TestParamsThroughFacade(t *testing.T) {
 		t.Error("unbound parameter must fail")
 	}
 }
+
+// TestRepoMetricsWiredAtSystemLayer verifies that NewSystem registers the
+// workload repository's metric families (the wiring lives here, not in
+// core.NewEngine, so purely simulated-time tools keep their exports stable)
+// and that the wall timer makes the query/merge histograms observe.
+func TestRepoMetricsWiredAtSystemLayer(t *testing.T) {
+	sys := demoSystem(t)
+	if _, err := sys.SubmitScript(cloudviews.Job{
+		VC:     "vc1",
+		Script: `r = SELECT Region FROM Events; OUTPUT r TO "out/m";`,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Engine().Repo.GroupByRecurring(cloudviews.Epoch, cloudviews.Epoch.AddDate(0, 0, 1))
+	out := sys.Metrics().ExportString()
+	for _, fam := range []string{
+		"cloudviews_repo_buckets 1",
+		"cloudviews_repo_jobs_total 1",
+		"cloudviews_repo_bucket_records_max 1",
+		"cloudviews_repo_subexprs_total",
+		"cloudviews_repo_queries_total 1",
+		"cloudviews_repo_merged_buckets_total 1",
+		"cloudviews_repo_merge_seconds_count 1",
+		"cloudviews_repo_query_seconds_count 1",
+	} {
+		if !strings.Contains(out, fam) {
+			t.Errorf("metrics export missing %q", fam)
+		}
+	}
+	// Observability off: the repository must run metric-free (nil-safe).
+	off, err := cloudviews.NewSystem(cloudviews.Config{ClusterName: "off", DisableObservability: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off.Engine().Repo.GroupByRecurring(cloudviews.Epoch, cloudviews.Epoch.AddDate(0, 0, 1))
+	if off.Metrics() != nil {
+		t.Error("metrics registry must be nil when observability is disabled")
+	}
+}

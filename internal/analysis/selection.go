@@ -150,6 +150,9 @@ func SelectViews(repo *repository.Repo, from, to time.Time, cfg SelectionConfig)
 // Groups where every instance's occurrences land together are the §4
 // schedule-aware rejection case ("jobs that get scheduled at the same time
 // cannot benefit from such reuse").
+// The repository pins GroupStat occurrence order (submit time, then strict
+// signature, then job ID), so Submits is ascending and the scan below is
+// deterministic across the sharded and naive aggregation paths.
 func anyInstanceReusable(g *repository.GroupStat, window time.Duration) bool {
 	earliest := make(map[signature.Sig]time.Time)
 	for i, strict := range g.SubmitStrict {

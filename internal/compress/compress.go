@@ -68,6 +68,9 @@ func Compress(repo *repository.Repo, from, to time.Time, opts Options) *Result {
 	}
 	templates := make(map[signature.Sig]*tmplInfo)
 	weight := make(map[signature.Sig]float64) // max observed subtree work per subexpr
+	// JobsBetween returns records in insertion order (a documented contract
+	// of the sharded repository), so the example job picked for each
+	// template — its first occurrence — is deterministic.
 	for _, j := range repo.JobsBetween(from, to) {
 		ti, ok := templates[j.Template]
 		if !ok {

@@ -11,6 +11,7 @@ import (
 	"cloudviews/internal/insights"
 	"cloudviews/internal/optimizer"
 	"cloudviews/internal/plan"
+	"cloudviews/internal/repository"
 	"cloudviews/internal/signature"
 	"cloudviews/internal/sqlparser"
 	"cloudviews/internal/stats"
@@ -88,6 +89,19 @@ func (e *Engine) RunDay(day int, jobs []workload.JobInput) (DayMetrics, error) {
 		rec.InputBytes = run.Exec.InputBytes
 		rec.DataReadBytes = run.Exec.TotalRead
 		rec.QueueLen = o.QueueLenAtStart
+		// The repository owns its own copy of the record (deep-copied at Add),
+		// so the scheduling outcome must be applied through its API.
+		e.Repo.SetOutcome(rec.JobID, repository.Outcome{
+			Start:         rec.Start,
+			End:           rec.End,
+			LatencySec:    rec.LatencySec,
+			ProcessingSec: rec.ProcessingSec,
+			BonusSec:      rec.BonusSec,
+			Containers:    rec.Containers,
+			InputBytes:    rec.InputBytes,
+			DataReadBytes: rec.DataReadBytes,
+			QueueLen:      rec.QueueLen,
+		})
 		if o.QueueWait > 0 {
 			run.Trace.SpanAt("queue:cluster", o.Start.Add(-o.QueueWait), o.QueueWait)
 		}

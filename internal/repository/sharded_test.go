@@ -1,0 +1,283 @@
+package repository_test
+
+// Tests for the sharded, incrementally aggregated repository: the pinned
+// deterministic GroupStat ordering, defensive copies on the read path, the
+// SetOutcome lifecycle, and a seeded property test that every windowed query
+// of the indexed store is identical to the retained naive fold.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"cloudviews/internal/repository"
+	"cloudviews/internal/signature"
+)
+
+// TestGroupStatPinnedOrdering verifies the documented deterministic order of
+// the per-occurrence slices — submit time, then strict signature, then job
+// ID — regardless of insertion order, and that VCs is sorted.
+func TestGroupStatPinnedOrdering(t *testing.T) {
+	r := repository.New()
+	mk := func(id, vc string, submit time.Time, strict string) *repository.JobRecord {
+		return &repository.JobRecord{
+			JobID: id, Cluster: "c1", VC: vc, Pipeline: "p",
+			Submit: submit,
+			Subexprs: []repository.SubexprRecord{
+				{JobID: id, Op: "Filter", Strict: signature.Sig(strict), Recurring: "rec",
+					Work: 1, Parent: -1, Eligible: signature.EligibleOK},
+			},
+		}
+	}
+	// Inserted deliberately out of pinned order, across two day buckets.
+	r.Add(mk("j3", "vcB", t0.AddDate(0, 0, 1), "s2"))
+	r.Add(mk("j1", "vcA", t0.Add(time.Hour), "s9"))
+	r.Add(mk("j4", "vcA", t0.Add(time.Hour), "s1")) // same submit as j1, earlier strict
+	r.Add(mk("j2", "vcB", t0, "s5"))
+	r.Add(mk("j0", "vcC", t0.Add(time.Hour), "s1")) // ties with j4 on (submit, strict)
+
+	g := r.GroupByRecurring(t0, t0.AddDate(0, 0, 2))["rec"]
+	if g == nil {
+		t.Fatal("missing group")
+	}
+	wantJobs := []string{"j2", "j0", "j4", "j1", "j3"}
+	if !reflect.DeepEqual(g.Jobs, wantJobs) {
+		t.Errorf("Jobs = %v, want %v", g.Jobs, wantJobs)
+	}
+	wantStrict := []signature.Sig{"s5", "s1", "s1", "s9", "s2"}
+	if !reflect.DeepEqual(g.SubmitStrict, wantStrict) {
+		t.Errorf("SubmitStrict = %v, want %v", g.SubmitStrict, wantStrict)
+	}
+	for i := 1; i < len(g.Submits); i++ {
+		if g.Submits[i].Before(g.Submits[i-1]) {
+			t.Errorf("Submits not ascending at %d: %v", i, g.Submits)
+		}
+	}
+	wantVCs := []string{"vcA", "vcB", "vcC"}
+	if !reflect.DeepEqual(g.VCs, wantVCs) {
+		t.Errorf("VCs = %v, want %v", g.VCs, wantVCs)
+	}
+}
+
+// TestReturnedRecordsAreCopies verifies that mutating records returned by
+// Jobs/JobsBetween cannot corrupt the repository's aggregates. Run under
+// -race this is also a regression test for shared-pointer data races: readers
+// hammer the windowed queries while a writer scribbles over returned records.
+func TestReturnedRecordsAreCopies(t *testing.T) {
+	r := repository.New()
+	for i := 0; i < 8; i++ {
+		r.Add(mkJob(fmt.Sprintf("j%d", i), "vc1", "p", t0.Add(time.Duration(i)*time.Hour), "r", "x"))
+	}
+	from, to := t0, t0.AddDate(0, 0, 1)
+	before := r.GroupByRecurring(from, to)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				for _, j := range r.Jobs() {
+					j.VC = "corrupted"
+					j.Submit = j.Submit.AddDate(1, 0, 0)
+					for k := range j.Subexprs {
+						j.Subexprs[k].Work = -1
+						j.Subexprs[k].Recurring = "corrupted"
+						if len(j.Subexprs[k].InputDatasets) > 0 {
+							j.Subexprs[k].InputDatasets[0] = "corrupted"
+						}
+					}
+				}
+				for _, j := range r.JobsBetween(from, to) {
+					j.Subexprs = nil
+					j.Pipeline = "corrupted"
+				}
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.GroupByRecurring(from, to)
+				r.DatasetConsumers(from, to, "c1")
+				r.JoinExecutions(from, to, "c1")
+			}
+		}()
+	}
+	wg.Wait()
+
+	after := r.GroupByRecurring(from, to)
+	if !reflect.DeepEqual(before, after) {
+		t.Error("aggregates changed after mutating returned records")
+	}
+	if _, ok := after["corrupted"]; ok {
+		t.Error("mutation of a returned record leaked into the store")
+	}
+	if after["r-join"].AvgWork != 20 {
+		t.Errorf("AvgWork = %g, want 20", after["r-join"].AvgWork)
+	}
+}
+
+// TestSetOutcome verifies post-Add outcome application: the owned record is
+// updated, the caller's original is untouched by the repo, and derived join
+// executions see the new Start/End.
+func TestSetOutcome(t *testing.T) {
+	r := repository.New()
+	orig := mkJob("j1", "vc1", "p", t0, "r", "a")
+	r.Add(orig)
+	// Warm the cached join list, then invalidate it via SetOutcome.
+	if execs := r.JoinExecutions(t0, t0.Add(time.Hour), ""); len(execs) != 1 {
+		t.Fatalf("executions = %d", len(execs))
+	}
+	start, end := t0.Add(time.Minute), t0.Add(10*time.Minute)
+	if !r.SetOutcome("j1", repository.Outcome{Start: start, End: end, LatencySec: 540, Containers: 7}) {
+		t.Fatal("SetOutcome returned false for a known job")
+	}
+	if r.SetOutcome("nope", repository.Outcome{}) {
+		t.Error("SetOutcome must return false for an unknown job")
+	}
+	got := r.Jobs()[0]
+	if !got.Start.Equal(start) || !got.End.Equal(end) || got.LatencySec != 540 || got.Containers != 7 {
+		t.Errorf("outcome not applied: %+v", got)
+	}
+	if !orig.Start.Equal(t0) {
+		t.Error("caller's record must not be mutated by the repository")
+	}
+	execs := r.JoinExecutions(t0, t0.Add(time.Hour), "")
+	if len(execs) != 1 || !execs[0].Start.Equal(start) || !execs[0].End.Equal(end) {
+		t.Errorf("join executions must reflect the outcome: %+v", execs)
+	}
+}
+
+// randomRepo builds a repository plus the list of inserted records from a
+// seeded source: jobs spread over ~10 day buckets with colliding submit
+// times, shared recurring signatures across buckets, and interleaved
+// SetOutcome calls.
+func randomRepo(rng *rand.Rand, n int) *repository.Repo {
+	r := repository.New()
+	clusters := []string{"c1", "c2"}
+	vcs := []string{"vc1", "vc2", "vc3"}
+	pipes := []string{"pA", "pB", "pC", "pD"}
+	ops := []string{"Scan", "Filter", "Join", "Aggregate"}
+	datasets := []string{"A", "B", "C", "D", "E"}
+	for i := 0; i < n; i++ {
+		// Coarse offsets make duplicate submit times likely.
+		submit := t0.Add(time.Duration(rng.Intn(10*24)) * time.Hour)
+		id := fmt.Sprintf("j%03d", i)
+		j := &repository.JobRecord{
+			JobID:    id,
+			Cluster:  clusters[rng.Intn(len(clusters))],
+			VC:       vcs[rng.Intn(len(vcs))],
+			Pipeline: pipes[rng.Intn(len(pipes))],
+			Submit:   submit,
+			Start:    submit,
+			End:      submit.Add(time.Duration(1+rng.Intn(120)) * time.Minute),
+		}
+		for s := 0; s < 1+rng.Intn(4); s++ {
+			op := ops[rng.Intn(len(ops))]
+			sub := repository.SubexprRecord{
+				JobID:     id,
+				Op:        op,
+				Strict:    signature.Sig(fmt.Sprintf("strict-%d", rng.Intn(40))),
+				Recurring: signature.Sig(fmt.Sprintf("rec-%d", rng.Intn(12))),
+				Rows:      int64(rng.Intn(1000)),
+				Bytes:     int64(rng.Intn(100000)),
+				Work:      rng.Float64() * 50,
+				Height:    rng.Intn(6),
+				Parent:    -1,
+			}
+			if rng.Intn(2) == 0 {
+				sub.Eligible = signature.EligibleOK
+			}
+			if op == "Scan" || rng.Intn(3) == 0 {
+				for _, d := range datasets {
+					if rng.Intn(3) == 0 {
+						sub.InputDatasets = append(sub.InputDatasets, d)
+					}
+				}
+			}
+			if op == "Join" && rng.Intn(4) > 0 {
+				sub.JoinAlgo = "Hash Join"
+			}
+			j.Subexprs = append(j.Subexprs, sub)
+		}
+		r.Add(j)
+		if rng.Intn(3) == 0 {
+			// Outcome arrives later for a random earlier job.
+			victim := fmt.Sprintf("j%03d", rng.Intn(i+1))
+			st := t0.Add(time.Duration(rng.Intn(10*24)) * time.Hour)
+			r.SetOutcome(victim, repository.Outcome{
+				Start: st, End: st.Add(time.Duration(1+rng.Intn(90)) * time.Minute),
+				LatencySec: rng.Float64() * 1000, Containers: rng.Intn(50),
+			})
+		}
+	}
+	return r
+}
+
+// TestIndexedMatchesNaiveProperty is the oracle property test: for random
+// workloads and random [from, to) windows — empty, inverted, sub-day
+// single-bucket, boundary-straddling, and full-history — every windowed
+// query of the sharded store must be deep-equal (byte-identical field
+// values) to the retained naive fold.
+func TestIndexedMatchesNaiveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		r := randomRepo(rng, 40+rng.Intn(60))
+		windows := [][2]time.Time{
+			{t0, t0},                // empty window
+			{t0.Add(time.Hour), t0}, // inverted window
+			{t0.Add(time.Hour), t0.Add(2 * time.Hour)},                       // sub-day, single bucket
+			{t0, t0.AddDate(0, 0, 1)},                                        // exactly one full bucket
+			{t0.Add(12 * time.Hour), t0.AddDate(0, 0, 2).Add(6 * time.Hour)}, // straddles boundaries
+			{t0.AddDate(0, 0, -5), t0.AddDate(0, 0, 30)},                     // superset of history
+			{t0.AddDate(0, 0, 20), t0.AddDate(0, 0, 25)},                     // beyond history
+		}
+		for i := 0; i < 6; i++ {
+			a := t0.Add(time.Duration(rng.Intn(12*24*3600)) * time.Second)
+			b := t0.Add(time.Duration(rng.Intn(12*24*3600)) * time.Second)
+			windows = append(windows, [2]time.Time{a, b})
+		}
+		for wi, w := range windows {
+			from, to := w[0], w[1]
+			if got, want := r.JobsBetween(from, to), r.NaiveJobsBetween(from, to); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d window %d: JobsBetween mismatch (%d vs %d jobs)", trial, wi, len(got), len(want))
+			}
+			if got, want := r.GroupByRecurring(from, to), r.NaiveGroupByRecurring(from, to); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d window %d: GroupByRecurring mismatch\n got=%v\nwant=%v", trial, wi, got, want)
+			}
+			for _, cl := range []string{"", "c1", "c2", "nope"} {
+				if got, want := r.DatasetConsumers(from, to, cl), r.NaiveDatasetConsumers(from, to, cl); !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d window %d cluster %q: DatasetConsumers mismatch", trial, wi, cl)
+				}
+				if got, want := r.JoinExecutions(from, to, cl), r.NaiveJoinExecutions(from, to, cl); !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d window %d cluster %q: JoinExecutions mismatch (%d vs %d)", trial, wi, cl, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestPreEpochBuckets pins the floored day-bucket math for pre-1970 submit
+// times (integer division truncates toward zero; bucketing must floor).
+func TestPreEpochBuckets(t *testing.T) {
+	r := repository.New()
+	old := time.Date(1969, 12, 31, 23, 0, 0, 0, time.UTC)
+	r.Add(mkJob("j-old", "vc1", "p", old, "r", "o"))
+	r.Add(mkJob("j-new", "vc1", "p", t0, "r", "n"))
+	got := r.JobsBetween(old.Add(-time.Hour), old.Add(time.Hour))
+	if len(got) != 1 || got[0].JobID != "j-old" {
+		t.Fatalf("pre-epoch window returned %d jobs", len(got))
+	}
+	if !reflect.DeepEqual(
+		r.GroupByRecurring(old, t0.AddDate(0, 0, 1)),
+		r.NaiveGroupByRecurring(old, t0.AddDate(0, 0, 1)),
+	) {
+		t.Error("pre-epoch GroupByRecurring diverges from oracle")
+	}
+}

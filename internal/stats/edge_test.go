@@ -1,0 +1,86 @@
+package stats
+
+// Table-driven edge-case tests for the unexported percentile/summarize
+// helpers: empty series, single observation, p=1.0, and out-of-range p must
+// never index out of range or produce NaN.
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPercentileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"empty p0", nil, 0, 0},
+		{"empty p0.5", nil, 0.5, 0},
+		{"empty p1", []float64{}, 1, 0},
+		{"single p0", []float64{42}, 0, 42},
+		{"single p0.5", []float64{42}, 0.5, 42},
+		{"single p1", []float64{42}, 1, 42},
+		{"pair p1 is max", []float64{1, 9}, 1, 9},
+		{"pair p0 is min", []float64{9, 1}, 0, 1},
+		{"p above 1 clamps to max", []float64{1, 2, 3}, 1.7, 3},
+		{"negative p clamps to min", []float64{1, 2, 3}, -0.3, 1},
+		{"NaN p clamps to min", []float64{1, 2, 3}, math.NaN(), 1},
+		{"median of odd", []float64{3, 1, 2}, 0.5, 2},
+		{"p75 of four", []float64{4, 1, 3, 2}, 0.75, 3},
+		{"unsorted input", []float64{10, -5, 0}, 1, 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := percentile(tc.xs, tc.p)
+			if math.IsNaN(got) {
+				t.Fatalf("percentile(%v, %v) = NaN", tc.xs, tc.p)
+			}
+			if got != tc.want {
+				t.Errorf("percentile(%v, %v) = %v, want %v", tc.xs, tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	t.Run("empty series", func(t *testing.T) {
+		got := summarize(&series{})
+		if got != (Summary{}) {
+			t.Errorf("summarize(empty) = %+v, want zero Summary", got)
+		}
+		for name, v := range map[string]float64{
+			"AvgRows": got.AvgRows, "AvgBytes": got.AvgBytes, "AvgWork": got.AvgWork,
+			"P75Work": got.P75Work, "P75Latenc": got.P75Latenc,
+		} {
+			if math.IsNaN(v) {
+				t.Errorf("%s is NaN for an empty series", name)
+			}
+		}
+	})
+	t.Run("single observation", func(t *testing.T) {
+		s := &series{}
+		s.add(Observation{Rows: 10, Bytes: 100, Work: 5, Latency: 2})
+		got := summarize(s)
+		if got.Count != 1 || got.AvgRows != 10 || got.AvgBytes != 100 || got.AvgWork != 5 {
+			t.Errorf("averages wrong: %+v", got)
+		}
+		if got.P75Work != 5 || got.P75Rows != 10 || got.P75Bytes != 100 || got.P75Latenc != 2 {
+			t.Errorf("single-observation percentiles must equal the observation: %+v", got)
+		}
+	})
+	t.Run("ring buffer wrap", func(t *testing.T) {
+		s := &series{}
+		for i := 0; i < seriesCap+10; i++ {
+			s.add(Observation{Work: float64(i)})
+		}
+		got := summarize(s)
+		if got.Count != int64(seriesCap+10) {
+			t.Errorf("count = %d", got.Count)
+		}
+		if math.IsNaN(got.P75Work) || got.P75Work == 0 {
+			t.Errorf("P75Work = %v", got.P75Work)
+		}
+	})
+}

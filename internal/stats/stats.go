@@ -258,6 +258,10 @@ func (h *History) Len() int {
 }
 
 func summarize(s *series) Summary {
+	if s.count == 0 {
+		// An empty series must not produce NaN averages.
+		return Summary{}
+	}
 	n := float64(s.count)
 	sum := Summary{
 		Count:    s.count,
@@ -284,11 +288,18 @@ func summarize(s *series) Summary {
 	return sum
 }
 
-// percentile returns the p-quantile (0..1) of xs using nearest-rank on a
-// sorted copy.
+// percentile returns the p-quantile of xs using nearest-rank on a sorted
+// copy. p is clamped to [0, 1] (NaN is treated as 0); an empty series yields
+// 0, a single observation yields that observation for every p.
 func percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
+	}
+	if !(p > 0) { // also catches NaN
+		p = 0
+	}
+	if p > 1 {
+		p = 1
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)

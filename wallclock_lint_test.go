@@ -1,0 +1,60 @@
+package cloudviews
+
+// TestNoWallClockUnderInternal is a lint-style guard for the simulated-time
+// discipline: packages under internal/ must only consume the simulated clock
+// (repository windows, storage expiry, insights caches all reason about
+// simulated time), so a stray time.Now()/time.Since() is a determinism bug.
+// Genuinely wall-clock code must be listed in the allowlist below with a
+// reason; cmd/ and the root package (which injects the wall timer into the
+// repository's duration histograms) are out of scope.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// wallClockAllowlist maps internal/-relative file paths to the reason they
+// are allowed to read the wall clock. Currently empty: all simulated-time
+// code paths are clean, and new entries need an explicit justification here.
+var wallClockAllowlist = map[string]string{}
+
+func TestNoWallClockUnderInternal(t *testing.T) {
+	root := "internal"
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, _ := filepath.Rel(root, path)
+		if _, ok := wallClockAllowlist[filepath.ToSlash(rel)]; ok {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			trimmed := strings.TrimSpace(line)
+			if strings.HasPrefix(trimmed, "//") {
+				continue
+			}
+			// Strip trailing line comments so a mention in a comment does
+			// not trip the check.
+			if idx := strings.Index(trimmed, "//"); idx >= 0 {
+				trimmed = trimmed[:idx]
+			}
+			if strings.Contains(trimmed, "time.Now(") || strings.Contains(trimmed, "time.Since(") {
+				t.Errorf("%s:%d: wall-clock call in internal/ (add to wallClockAllowlist with a reason if intentional): %s",
+					path, i+1, strings.TrimSpace(line))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
