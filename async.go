@@ -8,6 +8,11 @@ import (
 	"cloudviews/internal/workload"
 )
 
+// ErrClosed is returned by SubmitScriptAsync (and joined into SubmitBatch
+// errors) once Close has been called. Synchronous APIs keep working on a
+// closed system; only the background submission pipeline shuts down.
+var ErrClosed = errors.New("cloudviews: system is closed")
+
 // Pending is the handle for an asynchronously submitted job.
 type Pending struct {
 	id   string
@@ -38,6 +43,9 @@ type vcWorker struct {
 	cond *sync.Cond
 	q    []*asyncTask
 	stop bool
+	// done is closed when loop exits; by then every task accepted by enqueue
+	// has completed (the loop drains the queue before returning).
+	done chan struct{}
 }
 
 type asyncTask struct {
@@ -46,20 +54,29 @@ type asyncTask struct {
 }
 
 func newVCWorker(sys *System) *vcWorker {
-	w := &vcWorker{sys: sys}
+	w := &vcWorker{sys: sys, done: make(chan struct{})}
 	w.cond = sync.NewCond(&w.mu)
 	go w.loop()
 	return w
 }
 
-func (w *vcWorker) enqueue(t *asyncTask) {
+// enqueue accepts a task for FIFO execution. It returns false — and does not
+// take the task — once shutdown has begun, so a submission racing Close gets
+// ErrClosed instead of a Pending that might never complete.
+func (w *vcWorker) enqueue(t *asyncTask) bool {
 	w.mu.Lock()
+	if w.stop {
+		w.mu.Unlock()
+		return false
+	}
 	w.q = append(w.q, t)
 	w.mu.Unlock()
 	w.cond.Signal()
+	return true
 }
 
 func (w *vcWorker) loop() {
+	defer close(w.done)
 	for {
 		w.mu.Lock()
 		for len(w.q) == 0 && !w.stop {
@@ -95,7 +112,7 @@ func (s *System) workerFor(vc string) (*vcWorker, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, fmt.Errorf("cloudviews: system is closed")
+		return nil, ErrClosed
 	}
 	w, ok := s.workers[vc]
 	if !ok {
@@ -118,7 +135,10 @@ func (s *System) SubmitScriptAsync(job Job) (*Pending, error) {
 		return nil, err
 	}
 	p := &Pending{id: in.ID, done: make(chan struct{})}
-	w.enqueue(&asyncTask{in: in, p: p})
+	if !w.enqueue(&asyncTask{in: in, p: p}) {
+		// The worker began shutting down between workerFor and enqueue.
+		return nil, ErrClosed
+	}
 	return p, nil
 }
 
@@ -172,26 +192,35 @@ func (w *vcWorker) waitIdle() {
 	// A sentinel task is FIFO like any other: when it runs, everything
 	// enqueued before it has completed.
 	sentinel := &asyncTask{p: &Pending{done: make(chan struct{})}}
-	w.enqueue(sentinel)
+	if !w.enqueue(sentinel) {
+		// Shutdown already began; the loop drains its queue before exiting,
+		// so waiting for exit is the same idle guarantee.
+		<-w.done
+		return
+	}
 	<-sentinel.p.done
 }
 
 // Close stops the background submission workers after draining their
-// queues. Further SubmitScriptAsync/SubmitBatch calls fail; synchronous
-// APIs keep working. Close is idempotent.
+// queues, and does not return until every previously accepted job has
+// completed (the flush guarantee). Further SubmitScriptAsync/SubmitBatch
+// calls fail with ErrClosed; synchronous APIs keep working. Close is
+// idempotent, and concurrent Close calls all block until the drain is done.
 func (s *System) Close() {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
-	}
+	alreadyClosed := s.closed
 	s.closed = true
 	workers := make([]*vcWorker, 0, len(s.workers))
 	for _, w := range s.workers {
 		workers = append(workers, w)
 	}
 	s.mu.Unlock()
+	if !alreadyClosed {
+		for _, w := range workers {
+			w.shutdown()
+		}
+	}
 	for _, w := range workers {
-		w.shutdown()
+		<-w.done
 	}
 }

@@ -1,8 +1,10 @@
 package cloudviews_test
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -198,5 +200,80 @@ func TestCloseStopsAsync(t *testing.T) {
 	// Sync path still works after Close.
 	if _, err := sys.SubmitScript(cloudviews.Job{VC: "vc1", Script: fmt.Sprintf(asyncScript, 10)}); err != nil {
 		t.Errorf("sync submission after Close: %v", err)
+	}
+}
+
+// TestCloseRacesSubmitters: goroutines hammer SubmitScriptAsync while Close
+// runs concurrently. The shutdown contract: every accepted submission (a
+// non-error Pending) completes — and has completed by the time Close returns
+// (the flush guarantee) — and every rejected one fails with ErrClosed, never
+// a hung Pending or a silent drop.
+func TestCloseRacesSubmitters(t *testing.T) {
+	sys := demoSystem(t)
+
+	const workers = 8
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		accepted []*cloudviews.Pending
+		rejected atomic.Int64
+	)
+	// One submission lands before the race starts: the accepted-path
+	// assertions below can never be vacuous, however the Close race falls.
+	first, err := sys.SubmitScriptAsync(cloudviews.Job{VC: "vc0", Script: fmt.Sprintf(asyncScript, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted = append(accepted, first)
+
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 10; i++ {
+				p, err := sys.SubmitScriptAsync(cloudviews.Job{
+					VC:     fmt.Sprintf("vc%d", w%3),
+					Script: fmt.Sprintf(asyncScript, i%5),
+				})
+				if err != nil {
+					if !errors.Is(err, cloudviews.ErrClosed) {
+						t.Errorf("submission failed with %v, want ErrClosed", err)
+					}
+					rejected.Add(1)
+					continue
+				}
+				mu.Lock()
+				accepted = append(accepted, p)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	closed := make(chan struct{})
+	go func() {
+		<-start
+		sys.Close()
+		close(closed)
+	}()
+	close(start)
+	wg.Wait()
+	<-closed
+
+	// Close returned, so every accepted Pending must already be resolved.
+	for i, p := range accepted {
+		select {
+		case <-p.Done():
+		default:
+			t.Fatalf("pending %d (%s) not resolved after Close returned", i, p.ID())
+		}
+		if _, err := p.Wait(); err != nil {
+			t.Errorf("accepted job %s failed: %v", p.ID(), err)
+		}
+	}
+	t.Logf("accepted %d, rejected %d", len(accepted), rejected.Load())
+
+	if _, err := sys.SubmitScriptAsync(cloudviews.Job{VC: "vc1", Script: fmt.Sprintf(asyncScript, 1)}); !errors.Is(err, cloudviews.ErrClosed) {
+		t.Errorf("post-close submission error = %v, want ErrClosed", err)
 	}
 }

@@ -67,6 +67,7 @@ import (
 	"cloudviews/internal/cluster"
 	"cloudviews/internal/core"
 	"cloudviews/internal/data"
+	"cloudviews/internal/fault"
 	"cloudviews/internal/fixtures"
 	"cloudviews/internal/obs"
 	"cloudviews/internal/workload"
@@ -101,7 +102,18 @@ type (
 	// MetricsRegistry collects system counters/gauges/histograms and exports
 	// them in Prometheus text format.
 	MetricsRegistry = obs.Registry
+	// FaultConfig configures deterministic fault injection (seed, per-point
+	// rates, retry knobs). The zero value disables injection entirely.
+	FaultConfig = fault.Config
+	// FaultPoint names one injection site (see ParseFaultSpec for the
+	// accepted aliases).
+	FaultPoint = fault.Point
 )
+
+// ParseFaultSpec parses a compact fault specification like
+// "stage=0.1,read=0.05,seed=7" into a FaultConfig — the format the cvsim
+// -faults flag accepts.
+var ParseFaultSpec = fault.ParseSpec
 
 // Column kinds, re-exported for schema construction.
 const (
@@ -145,6 +157,11 @@ type Config struct {
 	// DisableObservability turns off per-job traces and the metrics
 	// registry (on by default; the overhead is a few percent).
 	DisableObservability bool
+	// Faults configures deterministic fault injection across the reuse
+	// pipeline (stage failures, bonus preemption, spool-write and view-read
+	// failures, job-level failures). The zero value disables it with zero
+	// overhead; faults are simulated-time only and never change job outputs.
+	Faults FaultConfig
 }
 
 // Job is one SCOPE-like script submission.
@@ -210,6 +227,7 @@ func NewSystem(cfg Config) (*System, error) {
 		MaxViewsPerJob:       cfg.MaxViewsPerJob,
 		Selection:            cfg.Selection,
 		DisableObservability: cfg.DisableObservability,
+		Faults:               cfg.Faults,
 	})
 	if eng.Metrics != nil {
 		// Repository metrics are wired at the System layer (not inside

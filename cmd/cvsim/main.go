@@ -6,9 +6,15 @@
 // Usage:
 //
 //	cvsim [-scale 0.25] [-days N] [-series] [-seed N] [-metrics]
+//	      [-faults SPEC] [-faultseed N]
 //
 // -scale 1.0 runs the full 619-pipeline, 21-VC deployment (minutes of CPU);
 // the default 0.25 keeps it under a minute while preserving the shapes.
+//
+// -faults injects deterministic failures into both arms identically. SPEC is
+// comma-separated point=rate pairs — stage, preempt, spool, read, job — plus
+// an optional seed, e.g. -faults "stage=0.05,read=0.02,seed=7". Same spec,
+// same schedule: reruns reproduce the exact fault placement.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"time"
 
 	"cloudviews/internal/experiments"
+	"cloudviews/internal/fault"
 )
 
 func main() {
@@ -26,6 +33,8 @@ func main() {
 	series := flag.Bool("series", false, "print the full Figure 6/7 daily series")
 	seed := flag.Uint64("seed", 0, "override workload seed")
 	metrics := flag.Bool("metrics", false, "print the CloudViews arm's system-metrics export")
+	faults := flag.String("faults", "", `fault spec, e.g. "stage=0.05,read=0.02,seed=7" (empty = no injection)`)
+	faultSeed := flag.Uint64("faultseed", 0, "override the fault-injection seed (0 = keep spec's seed)")
 	flag.Parse()
 
 	cfg := experiments.DefaultProduction()
@@ -38,6 +47,17 @@ func main() {
 	if *seed != 0 {
 		cfg.Profile.Seed = *seed
 	}
+	if *faults != "" {
+		fcfg, err := fault.ParseSpec(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cvsim: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		if *faultSeed != 0 {
+			fcfg.Seed = *faultSeed
+		}
+		cfg.Faults = fcfg
+	}
 
 	fmt.Printf("cvsim: %d pipelines, %d VCs, %d days (scale %.2f)\n",
 		cfg.Profile.Pipelines, cfg.Profile.VCs, cfg.Days, *scale)
@@ -48,6 +68,20 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("completed in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	if cfg.Faults.Enabled() {
+		var jr, sr, bp, rf int
+		var fd float64
+		for _, d := range res.Days {
+			jr += d.CV.JobRetries
+			sr += d.CV.StageRetries
+			bp += d.CV.BonusPreemptions
+			rf += d.CV.ReuseFallbacks
+			fd += d.CV.FaultDelaySec
+		}
+		fmt.Printf("faults (%s): %d job retries, %d stage retries, %d preemptions, %d reuse fallbacks, %.0fs recovery delay\n\n",
+			cfg.Faults.Spec(), jr, sr, bp, rf, fd)
+	}
 
 	fmt.Println(experiments.RenderTable1(res.Table1))
 	if *series {

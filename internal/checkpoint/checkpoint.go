@@ -183,6 +183,7 @@ func Recover(root plan.Node, signer *signature.Signer, store *storage.Store) (pl
 					Rows:         v.Rows,
 					Bytes:        v.Bytes,
 					ReplacedOp:   n.OpName(),
+					Fallback:     n,
 				}
 			}
 		}

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"time"
 
+	"cloudviews/internal/fault"
 	"cloudviews/internal/obs"
 )
 
@@ -37,6 +38,9 @@ type JobSpec struct {
 	Submit  time.Time
 	Stages  []StageSpec
 	Compile time.Duration // compile latency incl. insights round trips
+	// Attempt is the job-level retry attempt (1-based; 0 is treated as 1).
+	// It keys stage-fault decisions so a retried job re-rolls its faults.
+	Attempt int
 	// OnStart is invoked (if set) when the job is admitted, with the
 	// simulated start time — the engine uses it to seal views early.
 	OnStart func(start time.Time)
@@ -58,6 +62,15 @@ type Outcome struct {
 	Bonus           float64       // container-seconds on opportunistic containers
 	Containers      int           // container instances launched
 	TokensHeld      int
+	// StageRetries counts failed stage attempts that were retried.
+	StageRetries int
+	// BonusPreemptions counts stages whose bonus containers were preempted
+	// mid-stage and whose lost work re-ran on guaranteed tokens.
+	BonusPreemptions int
+	// FaultDelay is the critical-path time added by stage retries, backoff,
+	// and preemption recovery — the job's latency minus what the same
+	// schedule would have cost fault-free.
+	FaultDelay time.Duration
 
 	// bonusPeak is the peak bonus-container concurrency, held against
 	// cluster capacity for the job's duration.
@@ -86,18 +99,49 @@ type Simulator struct {
 	cfg      Config
 	vcTokens map[string]int
 
+	// faults, when non-nil, injects stage failures and bonus preemptions;
+	// fcfg carries the retry policy. The nil case runs the exact fault-free
+	// schedule (identical arithmetic, identical order).
+	faults *fault.Injector
+	fcfg   fault.Config
+
 	// metrics, when wired via SetMetrics; nil-safe no-ops otherwise.
-	mGuaranteed *obs.Counter
-	mBonus      *obs.Counter
-	hQueueLen   *obs.Histogram
+	registry     *obs.Registry
+	mGuaranteed  *obs.Counter
+	mBonus       *obs.Counter
+	hQueueLen    *obs.Histogram
+	mStageRetry  *obs.Counter
+	mPreemptions *obs.Counter
 }
 
 // SetMetrics registers the simulator's scheduling metrics with a registry.
 // Call before the first Run.
 func (s *Simulator) SetMetrics(r *obs.Registry) {
+	s.registry = r
 	s.mGuaranteed = r.Counter("cloudviews_cluster_guaranteed_seconds_total")
 	s.mBonus = r.Counter("cloudviews_cluster_bonus_seconds_total")
 	s.hQueueLen = r.Histogram("cloudviews_cluster_queue_length", []float64{0, 1, 2, 4, 8, 16, 32, 64})
+	s.faultMetrics()
+}
+
+// SetFaults wires a fault injector and its retry policy. A nil injector
+// keeps the fault-free fast path. Call before the first Run; SetMetrics and
+// SetFaults may be called in either order.
+func (s *Simulator) SetFaults(inj *fault.Injector, cfg fault.Config) {
+	s.faults = inj
+	s.fcfg = cfg.WithDefaults()
+	s.faultMetrics()
+}
+
+// faultMetrics creates the retry/preemption counter families, but only once
+// both a registry and an injector exist — fault-free runs must export exactly
+// the seed metric set.
+func (s *Simulator) faultMetrics() {
+	if s.registry == nil || s.faults == nil {
+		return
+	}
+	s.mStageRetry = s.registry.Counter("cloudviews_stage_retries_total")
+	s.mPreemptions = s.registry.Counter("cloudviews_bonus_preemptions_total")
 }
 
 // New creates a simulator. Unknown VCs referenced by jobs get a default token
@@ -220,7 +264,11 @@ func (s *Simulator) Run(jobs []JobSpec) ([]Outcome, error) {
 				bonusAvail = 0
 			}
 			rj := &runningJob{spec: head, tokens: need}
-			rj.outcome = s.execute(head, now, need, bonusAvail)
+			if s.faults != nil {
+				rj.outcome = s.executeFaulted(head, now, need, bonusAvail)
+			} else {
+				rj.outcome = s.execute(head, now, need, bonusAvail)
+			}
 			clusterInUse += rj.outcome.bonusPeak
 			if head.OnStart != nil {
 				head.OnStart(now.Add(head.Compile))
@@ -270,6 +318,12 @@ func (s *Simulator) Run(jobs []JobSpec) ([]Outcome, error) {
 		s.mGuaranteed.Add(o.Processing - o.Bonus)
 		s.mBonus.Add(o.Bonus)
 		s.hQueueLen.Observe(float64(o.QueueLenAtStart))
+		if o.StageRetries > 0 {
+			s.mStageRetry.Add(float64(o.StageRetries))
+		}
+		if o.BonusPreemptions > 0 {
+			s.mPreemptions.Add(float64(o.BonusPreemptions))
+		}
 	}
 	return outcomes, nil
 }
@@ -366,5 +420,151 @@ func (s *Simulator) execute(spec *JobSpec, now time.Time, tokens, bonusAvail int
 		Containers:      containers,
 		TokensHeld:      tokens,
 		bonusPeak:       bonusPeak,
+	}
+}
+
+// stageKey builds the deterministic decision key for one stage attempt. It
+// includes the job-level attempt so a retried (recompiled) job re-rolls its
+// stage faults rather than hitting the identical schedule again.
+func stageKey(spec *JobSpec, stage, attempt int) string {
+	ja := spec.Attempt
+	if ja < 1 {
+		ja = 1
+	}
+	return fmt.Sprintf("%s/j%d/s%02d/a%d", spec.ID, ja, stage, attempt)
+}
+
+// executeFaulted is execute with stage failures and bonus preemptions woven
+// in. Failure model per stage:
+//
+//   - Stage failure: the attempt runs to its halfway point, the container is
+//     lost, and the scheduler retries after capped exponential backoff. The
+//     half attempt's work is charged (resources were really consumed). At
+//     most MaxStageAttempts per stage and StageRetryBudget retries per job;
+//     past either bound the attempt is never failed (the job manager has
+//     escalated to reliable resources), so stages always complete.
+//   - Bonus preemption: at the stage's halfway point the opportunistic
+//     containers are reclaimed; the work they contributed to the first half
+//     is discarded and re-run, together with the second half, on guaranteed
+//     tokens only. Lost work is charged as both processing and bonus.
+//
+// A fault-free stage computes the exact same duration expression as execute,
+// so a zero-rate injector reproduces the fault-free schedule bit for bit.
+func (s *Simulator) executeFaulted(spec *JobSpec, now time.Time, tokens, bonusAvail int) Outcome {
+	start := now.Add(spec.Compile)
+	n := len(spec.Stages)
+	finish := make([]time.Duration, n)      // finish offset from start
+	finishClean := make([]time.Duration, n) // same schedule without faults
+	var processing, bonus float64
+	containers := 0
+	bonusPeak := 0
+	stageRetries := 0
+	preemptions := 0
+	budget := s.fcfg.StageRetryBudget
+
+	for i, st := range spec.Stages {
+		var ready, readyClean time.Duration
+		for _, d := range st.Deps {
+			if d >= 0 && d < n {
+				if finish[d] > ready {
+					ready = finish[d]
+				}
+				if finishClean[d] > readyClean {
+					readyClean = finishClean[d]
+				}
+			}
+		}
+		alloc := st.Width
+		if alloc < 1 {
+			alloc = 1
+		}
+		b := 0
+		if alloc > tokens {
+			b = alloc - tokens
+			if b > bonusAvail {
+				b = bonusAvail
+			}
+			alloc = tokens + b
+		}
+		if b > bonusPeak {
+			bonusPeak = b
+		}
+		w := st.Width
+		if w < 1 {
+			w = 1
+		}
+
+		cleanDur := time.Duration(st.Work/float64(alloc)*float64(time.Second)) + s.cfg.StageStartup
+		var stageDur time.Duration
+		for attempt := 1; ; attempt++ {
+			key := stageKey(spec, i, attempt)
+			if attempt < s.fcfg.MaxStageAttempts && budget > 0 &&
+				s.faults.Should(fault.StageFail, key) {
+				// The attempt dies halfway through: its containers' work so
+				// far is wasted but was consumed, and the retry waits out the
+				// backoff before relaunching.
+				half := time.Duration(st.Work/2/float64(alloc)*float64(time.Second)) + s.cfg.StageStartup
+				stageDur += half + s.fcfg.Backoff(attempt)
+				processing += st.Work / 2
+				bonus += st.Work / 2 * float64(b) / float64(alloc)
+				containers += w
+				stageRetries++
+				budget--
+				continue
+			}
+			if b > 0 && s.faults.Should(fault.BonusPreempt, key) {
+				// Preempted at the halfway point: the bonus containers'
+				// first-half contribution is lost and re-run, with the second
+				// half, on guaranteed tokens alone.
+				lost := st.Work / 2 * float64(b) / float64(alloc)
+				t1 := time.Duration(st.Work / 2 / float64(alloc) * float64(time.Second))
+				t2 := time.Duration((st.Work/2 + lost) / float64(tokens) * float64(time.Second))
+				stageDur += t1 + t2 + s.cfg.StageStartup
+				processing += st.Work + lost
+				bonus += lost
+				preemptions++
+			} else {
+				stageDur += time.Duration(st.Work/float64(alloc)*float64(time.Second)) + s.cfg.StageStartup
+				processing += st.Work
+				bonus += st.Work * float64(b) / float64(alloc)
+			}
+			break
+		}
+		finish[i] = ready + stageDur
+		finishClean[i] = readyClean + cleanDur
+		containers += w
+	}
+
+	var critical, criticalClean time.Duration
+	for i, st := range spec.Stages {
+		if st.IsSpool {
+			continue
+		}
+		if finish[i] > critical {
+			critical = finish[i]
+		}
+		if finishClean[i] > criticalClean {
+			criticalClean = finishClean[i]
+		}
+	}
+	end := start.Add(critical)
+
+	return Outcome{
+		ID:               spec.ID,
+		VC:               spec.VC,
+		Submit:           spec.Submit,
+		Start:            start,
+		End:              end,
+		QueueWait:        start.Sub(spec.Submit) - spec.Compile,
+		Latency:          end.Sub(spec.Submit),
+		QueueLenAtStart:  spec.queueLenAtSubmit,
+		Processing:       processing,
+		Bonus:            bonus,
+		Containers:       containers,
+		TokensHeld:       tokens,
+		StageRetries:     stageRetries,
+		BonusPreemptions: preemptions,
+		FaultDelay:       critical - criticalClean,
+		bonusPeak:        bonusPeak,
 	}
 }

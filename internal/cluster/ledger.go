@@ -12,31 +12,71 @@ import (
 // later drains the batch. Drain returns specs in canonical (Submit, ID)
 // order, so the schedule produced from a ledger is byte-identical no matter
 // which interleaving the workers happened to run in.
+//
+// Jobs that fail and are retried post one completion per attempt, and under
+// concurrency the attempts can arrive out of order. The ledger keeps only the
+// highest attempt per job ID: a newer attempt supersedes the recorded spec in
+// place, a straggling completion for an already-superseded attempt is
+// silently dropped (its work must not double-count), and two completions for
+// the same attempt remain a loud error.
 type Ledger struct {
 	mu    sync.Mutex
 	specs []JobSpec
-	seen  map[string]bool
+	// index locates a job's undrained spec in specs; attempt remembers the
+	// highest attempt recorded per ID (including drained batches); drained
+	// marks IDs whose spec already left via Drain, for which any further
+	// completion is an error (the schedule has been simulated).
+	index   map[string]int
+	attempt map[string]int
+	drained map[string]bool
 }
 
 // NewLedger creates an empty completion ledger.
 func NewLedger() *Ledger {
-	return &Ledger{seen: make(map[string]bool)}
+	return &Ledger{
+		index:   make(map[string]int),
+		attempt: make(map[string]int),
+		drained: make(map[string]bool),
+	}
 }
 
-// Complete records one finished job. Safe for concurrent use; events may
-// arrive in any order. Posting the same job ID twice is an error (it would
-// double-count the job's work in the schedule).
+// attemptOf normalizes the 1-based attempt number (0 means 1).
+func attemptOf(spec *JobSpec) int {
+	if spec.Attempt < 1 {
+		return 1
+	}
+	return spec.Attempt
+}
+
+// Complete records one finished job attempt. Safe for concurrent use; events
+// may arrive in any order, including a retry's completion before the failed
+// attempt's straggler.
 func (l *Ledger) Complete(spec JobSpec) error {
 	if spec.ID == "" {
 		return fmt.Errorf("cluster: completion event with empty job ID")
 	}
+	a := attemptOf(&spec)
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.seen[spec.ID] {
-		return fmt.Errorf("cluster: duplicate completion event for job %s", spec.ID)
+	if l.drained[spec.ID] {
+		return fmt.Errorf("cluster: completion event for job %s after its batch was drained", spec.ID)
 	}
-	l.seen[spec.ID] = true
-	l.specs = append(l.specs, spec)
+	prev, known := l.attempt[spec.ID]
+	switch {
+	case !known:
+		l.attempt[spec.ID] = a
+		l.index[spec.ID] = len(l.specs)
+		l.specs = append(l.specs, spec)
+	case a > prev:
+		// Newer attempt supersedes in place: exactly one spec per job ID ever
+		// reaches the scheduler, so a retried job's work counts once.
+		l.attempt[spec.ID] = a
+		l.specs[l.index[spec.ID]] = spec
+	case a < prev:
+		// Straggler from a superseded attempt — drop it silently.
+	default:
+		return fmt.Errorf("cluster: duplicate completion event for job %s attempt %d", spec.ID, a)
+	}
 	return nil
 }
 
@@ -49,11 +89,15 @@ func (l *Ledger) Pending() int {
 
 // Drain removes and returns all recorded events in canonical (Submit, ID)
 // order. The ledger is reusable afterwards; IDs from earlier batches remain
-// blocked so a straggling duplicate still fails loudly.
+// blocked so a straggling completion — any attempt — still fails loudly.
 func (l *Ledger) Drain() []JobSpec {
 	l.mu.Lock()
 	out := l.specs
 	l.specs = nil
+	for id := range l.index {
+		l.drained[id] = true
+		delete(l.index, id)
+	}
 	l.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool {
 		if !out[i].Submit.Equal(out[j].Submit) {

@@ -95,3 +95,87 @@ func TestLedgerRejectsDuplicates(t *testing.T) {
 		t.Error("empty job ID must be rejected")
 	}
 }
+
+// TestLedgerRetrySupersedes covers out-of-order completions from failed and
+// retried jobs: only the highest attempt's spec may reach the scheduler, no
+// matter the arrival order, so a superseded attempt never double-counts
+// processing or bonus seconds.
+func TestLedgerRetrySupersedes(t *testing.T) {
+	base := ledgerSpecs(1)[0]
+	a1, a2, a3 := base, base, base
+	a1.Attempt = 1
+	a2.Attempt = 2
+	a2.Stages = []StageSpec{{Work: 40, Width: 2}} // retried plan differs
+	a3.Attempt = 3
+	a3.Stages = []StageSpec{{Work: 60, Width: 2}}
+
+	orders := [][]JobSpec{
+		{a1, a2, a3}, // in order
+		{a3, a1, a2}, // retry lands first, stragglers after
+		{a2, a3, a1},
+	}
+	for oi, order := range orders {
+		led := NewLedger()
+		for _, spec := range order {
+			if err := led.Complete(spec); err != nil {
+				t.Fatalf("order %d: %v", oi, err)
+			}
+		}
+		if led.Pending() != 1 {
+			t.Fatalf("order %d: pending = %d, want 1 (one spec per job)", oi, led.Pending())
+		}
+		got := led.Drain()
+		if len(got) != 1 || got[0].Attempt != 3 || got[0].Stages[0].Work != 60 {
+			t.Fatalf("order %d: drained %+v, want attempt 3", oi, got)
+		}
+	}
+}
+
+func TestLedgerRetryWorkCountsOnce(t *testing.T) {
+	// Simulate the drained batch and check the superseded attempt's work is
+	// absent from the schedule totals.
+	base := ledgerSpecs(1)[0]
+	a1, a2 := base, base
+	a1.Attempt = 1
+	a1.Stages = []StageSpec{{Work: 1000, Width: 1}}
+	a2.Attempt = 2
+	a2.Stages = []StageSpec{{Work: 30, Width: 1}}
+
+	led := NewLedger()
+	if err := led.Complete(a2); err != nil { // retry arrives first
+		t.Fatal(err)
+	}
+	if err := led.Complete(a1); err != nil { // straggler dropped silently
+		t.Fatal(err)
+	}
+	sim := New(Config{Capacity: 100, VCs: []VCConfig{{Name: base.VC, Tokens: 10}}})
+	outcomes, err := sim.RunLedger(led)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 1 {
+		t.Fatalf("outcomes = %d, want 1", len(outcomes))
+	}
+	if outcomes[0].Processing != 30 {
+		t.Fatalf("processing = %g, want 30 (superseded attempt must not count)", outcomes[0].Processing)
+	}
+}
+
+func TestLedgerRetryDuplicateAndPostDrain(t *testing.T) {
+	base := ledgerSpecs(1)[0]
+	a2 := base
+	a2.Attempt = 2
+	led := NewLedger()
+	if err := led.Complete(a2); err != nil {
+		t.Fatal(err)
+	}
+	if err := led.Complete(a2); err == nil {
+		t.Error("same attempt posted twice must be rejected")
+	}
+	led.Drain()
+	a3 := base
+	a3.Attempt = 3
+	if err := led.Complete(a3); err == nil {
+		t.Error("completion after the job's batch drained must be rejected")
+	}
+}

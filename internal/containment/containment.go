@@ -369,6 +369,12 @@ func Rewrite(root plan.Node, signer *signature.Signer, ix *Index, store *storage
 								Rows:         v.Rows,
 								Bytes:        v.Bytes,
 								ReplacedOp:   "Filter(contained)",
+								// The view stands for its own subexpression,
+								// which equals f.Child filtered by the view's
+								// predicate; recomputing f.Child (a superset)
+								// is safe because the residual filter above
+								// re-applies the query's predicate.
+								Fallback: f.Child,
 							},
 						}
 					}

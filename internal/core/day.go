@@ -35,6 +35,13 @@ type DayMetrics struct {
 	ViewsBuilt    int
 	ViewsReused   int
 
+	// Fault/recovery totals (zero on fault-free runs).
+	JobRetries       int
+	StageRetries     int
+	BonusPreemptions int
+	FaultDelaySec    float64
+	ReuseFallbacks   int
+
 	// MedianLatencyImprovementInput: per-job latencies for median statistics.
 	JobLatencies []float64
 }
@@ -56,11 +63,14 @@ func (e *Engine) RunDay(day int, jobs []workload.JobInput) (DayMetrics, error) {
 		}
 		runs = append(runs, run)
 		specs = append(specs, cluster.JobSpec{
-			ID:      in.ID,
-			VC:      in.VC,
-			Submit:  in.Submit,
-			Stages:  run.Stages,
-			Compile: run.Compile.CompileLatency,
+			ID:     in.ID,
+			VC:     in.VC,
+			Submit: in.Submit,
+			Stages: run.Stages,
+			// Time lost to failed job attempts is charged like compile
+			// latency: it delays the job's start without consuming tokens.
+			Compile: run.Compile.CompileLatency + run.RetryDelay,
+			Attempt: run.Attempts,
 		})
 	}
 
@@ -89,18 +99,30 @@ func (e *Engine) RunDay(day int, jobs []workload.JobInput) (DayMetrics, error) {
 		rec.InputBytes = run.Exec.InputBytes
 		rec.DataReadBytes = run.Exec.TotalRead
 		rec.QueueLen = o.QueueLenAtStart
+		rec.Attempts = run.Attempts
+		rec.StageRetries = o.StageRetries
+		rec.BonusPreemptions = o.BonusPreemptions
+		// FaultDelay covers the cluster schedule's retry/preemption cost plus
+		// the data plane's job-retry delay.
+		rec.FaultDelaySec = o.FaultDelay.Seconds() + run.RetryDelay.Seconds()
+		rec.ReuseFallbacks = run.Exec.ReuseFallbacks
 		// The repository owns its own copy of the record (deep-copied at Add),
 		// so the scheduling outcome must be applied through its API.
 		e.Repo.SetOutcome(rec.JobID, repository.Outcome{
-			Start:         rec.Start,
-			End:           rec.End,
-			LatencySec:    rec.LatencySec,
-			ProcessingSec: rec.ProcessingSec,
-			BonusSec:      rec.BonusSec,
-			Containers:    rec.Containers,
-			InputBytes:    rec.InputBytes,
-			DataReadBytes: rec.DataReadBytes,
-			QueueLen:      rec.QueueLen,
+			Start:            rec.Start,
+			End:              rec.End,
+			LatencySec:       rec.LatencySec,
+			ProcessingSec:    rec.ProcessingSec,
+			BonusSec:         rec.BonusSec,
+			Containers:       rec.Containers,
+			InputBytes:       rec.InputBytes,
+			DataReadBytes:    rec.DataReadBytes,
+			QueueLen:         rec.QueueLen,
+			Attempts:         rec.Attempts,
+			StageRetries:     rec.StageRetries,
+			BonusPreemptions: rec.BonusPreemptions,
+			FaultDelaySec:    rec.FaultDelaySec,
+			ReuseFallbacks:   rec.ReuseFallbacks,
 		})
 		if o.QueueWait > 0 {
 			run.Trace.SpanAt("queue:cluster", o.Start.Add(-o.QueueWait), o.QueueWait)
@@ -122,6 +144,13 @@ func (e *Engine) RunDay(day int, jobs []workload.JobInput) (DayMetrics, error) {
 		m.QueueLen += int64(rec.QueueLen)
 		m.ViewsBuilt += rec.ViewsBuilt
 		m.ViewsReused += rec.ViewsReused
+		if rec.Attempts > 1 {
+			m.JobRetries += rec.Attempts - 1
+		}
+		m.StageRetries += rec.StageRetries
+		m.BonusPreemptions += rec.BonusPreemptions
+		m.FaultDelaySec += rec.FaultDelaySec
+		m.ReuseFallbacks += rec.ReuseFallbacks
 		m.JobLatencies = append(m.JobLatencies, rec.LatencySec)
 	}
 

@@ -16,6 +16,7 @@ import (
 	"cloudviews/internal/cluster"
 	"cloudviews/internal/data"
 	"cloudviews/internal/exec"
+	"cloudviews/internal/fault"
 	"cloudviews/internal/fixtures"
 	"cloudviews/internal/insights"
 	"cloudviews/internal/obs"
@@ -40,6 +41,10 @@ type Config struct {
 	MaxViewsPerJob int
 	// Selection tunes the feedback loop's view selection.
 	Selection analysis.SelectionConfig
+	// Faults configures deterministic fault injection across the pipeline
+	// (cluster stages, spool writes, view reads, whole-job crashes). The
+	// zero value disables injection entirely at zero cost.
+	Faults fault.Config
 	// DisableObservability turns off per-job traces and the metrics
 	// registry (benchmark baseline; production keeps them on).
 	DisableObservability bool
@@ -83,6 +88,12 @@ type Engine struct {
 	clock   time.Time
 
 	rng *data.Rand
+
+	// faults is nil unless Config.Faults enables at least one point; faultCfg
+	// carries the retry policy (always defaulted, even when faults are off,
+	// so genuine view unavailability still recovers consistently).
+	faults   *fault.Injector
+	faultCfg fault.Config
 }
 
 // NewEngine builds an engine over the given catalog.
@@ -101,7 +112,10 @@ func NewEngine(cfg Config) *Engine {
 		clock:          fixtures.Epoch,
 		cache:          exec.NewCache(),
 		rng:            data.NewRand(99),
+		faults:         fault.New(cfg.Faults),
+		faultCfg:       cfg.Faults.WithDefaults(),
 	}
+	e.Sim.SetFaults(e.faults, e.faultCfg)
 	e.Store = storage.NewStore(e.Clock)
 	if cfg.ViewTTL > 0 {
 		e.Store.SetTTL(cfg.ViewTTL)
@@ -117,6 +131,7 @@ func NewEngine(cfg Config) *Engine {
 		e.mBuilt = e.Metrics.Counter("cloudviews_views_built_total")
 		e.mReused = e.Metrics.Counter("cloudviews_views_reused_total")
 		e.mCompileSec = e.Metrics.Counter("cloudviews_compile_seconds_total")
+		e.faults.SetMetrics(e.Metrics)
 	}
 	return e
 }
@@ -200,6 +215,11 @@ type JobRun struct {
 	Proposed []optimizer.ProposedView
 	// Trace is the job's observability record (nil when disabled).
 	Trace *obs.Trace
+	// Attempts is how many times the job ran (1 without faults); RetryDelay
+	// is the simulated time lost to failed attempts (recompiles + backoff),
+	// charged onto the cluster schedule as extra pre-start latency.
+	Attempts   int
+	RetryDelay time.Duration
 }
 
 // CompileAndExecute runs the data plane for one job: parse → bind → optimize
@@ -235,44 +255,83 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 	tr.Span("bind", 0)
 	root := outs[0]
 
-	opt := &optimizer.Optimizer{
-		Signer:         signer,
-		Est:            e.Est,
-		History:        e.History,
-		Store:          e.Store,
-		Insights:       e.Insights,
-		MaxViewsPerJob: e.maxViewsPerJob,
-		Trace:          tr,
+	// Job-level retry loop: an injected job crash (container/job-manager
+	// loss) abandons everything the attempt staged, waits out the backoff in
+	// simulated time, and RECOMPILES — so a retried producer whose target
+	// view sealed meanwhile (built by a concurrent job) comes back as a
+	// consumer. The final attempt is never crashed: injection alone can
+	// never fail a job permanently.
+	maxAttempts := 1
+	if e.faults.Enabled(fault.JobFail) {
+		maxAttempts = e.faultCfg.MaxJobAttempts
 	}
-	cr := opt.Compile(root, optimizer.CompileOptions{
-		JobID:   in.ID,
-		Cluster: in.Cluster,
-		VC:      in.VC,
-		OptIn:   in.OptIn,
-	})
-	e.mCompileSec.Add(cr.CompileLatency.Seconds())
+	var cr *optimizer.CompileResult
+	var res *exec.RunResult
+	var retryDelay time.Duration
+	attempt := 1
+	for {
+		opt := &optimizer.Optimizer{
+			Signer:         signer,
+			Est:            e.Est,
+			History:        e.History,
+			Store:          e.Store,
+			Insights:       e.Insights,
+			MaxViewsPerJob: e.maxViewsPerJob,
+			Trace:          tr,
+		}
+		cr = opt.Compile(root, optimizer.CompileOptions{
+			JobID:   in.ID,
+			Cluster: in.Cluster,
+			VC:      in.VC,
+			OptIn:   in.OptIn,
+		})
+		e.mCompileSec.Add(cr.CompileLatency.Seconds())
 
-	ex := &exec.Executor{
-		Catalog: e.Catalog,
-		Views:   e.Store,
-		Cache:   e.resultCache(),
-		// The result cache is keyed by PHYSICAL signatures: a plan that
-		// reuses a view must not replay the accounting of the plan that
-		// computed the subexpression.
-		SigMap:  signer.Physical(cr.Plan),
-		Metrics: e.Metrics,
-		// NowNanos comes from the job's own submit time, not the shared
-		// clock: a job's answer must not depend on which other jobs were
-		// in flight when it ran.
-		Ctx: &plan.EvalContext{
-			NowNanos: in.Submit.UnixNano(),
-			Rand:     e.rng.Fork(hashString(in.ID)),
-		},
-	}
-	res, err := ex.Run(cr.Plan)
-	if err != nil {
-		e.failJob(cr, in.ID, tr)
-		return nil, fmt.Errorf("job %s: exec: %w", in.ID, err)
+		ex := &exec.Executor{
+			Catalog: e.Catalog,
+			Views:   e.Store,
+			Cache:   e.resultCache(),
+			// The result cache is keyed by PHYSICAL signatures: a plan that
+			// reuses a view must not replay the accounting of the plan that
+			// computed the subexpression.
+			SigMap:  signer.Physical(cr.Plan),
+			Metrics: e.Metrics,
+			Faults:  e.faults,
+			// The attempt is part of the injection key so a retried job
+			// re-rolls its spool/read faults instead of replaying them.
+			JobID: fmt.Sprintf("%s/a%d", in.ID, attempt),
+			Trace: tr,
+			// NowNanos comes from the job's own submit time, not the shared
+			// clock: a job's answer must not depend on which other jobs were
+			// in flight when it ran.
+			Ctx: &plan.EvalContext{
+				NowNanos: in.Submit.UnixNano(),
+				Rand:     e.rng.Fork(hashString(in.ID)),
+			},
+		}
+		var err error
+		res, err = ex.Run(cr.Plan)
+		if err != nil {
+			e.failJob(cr, in.ID, tr)
+			return nil, fmt.Errorf("job %s: exec: %w", in.ID, err)
+		}
+
+		if attempt < maxAttempts &&
+			e.faults.Should(fault.JobFail, fmt.Sprintf("%s/a%d", in.ID, attempt)) {
+			// The attempt's staged views are torn down and its locks released
+			// exactly as on a permanent failure — but the failed-jobs counter
+			// stays untouched (the job is not done yet).
+			e.releaseStaged(cr, in.ID, tr, "job-retry")
+			backoff := e.faultCfg.Backoff(attempt)
+			retryDelay += cr.CompileLatency + backoff
+			tr.Event("job.retry", fmt.Sprintf("attempt=%d backoff=%s", attempt, backoff))
+			// The retry recompiles at the post-backoff instant: views sealed
+			// in the meantime become visible to it.
+			e.advanceClock(in.Submit.Add(retryDelay))
+			attempt++
+			continue
+		}
+		break
 	}
 
 	// Data cooking: OUTPUT to "dataset:<name>" publishes a new version of a
@@ -285,7 +344,10 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 		}
 	}
 
-	run := &JobRun{Input: in, Compile: cr, Exec: res, Proposed: cr.Proposed, Trace: tr}
+	run := &JobRun{
+		Input: in, Compile: cr, Exec: res, Proposed: cr.Proposed, Trace: tr,
+		Attempts: attempt, RetryDelay: retryDelay,
+	}
 	run.Output = res.Table
 	run.Stages = e.buildStageSpecs(cr, res)
 	e.traceStages(tr, run.Stages)
@@ -299,9 +361,9 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 
 	// Early sealing: the view becomes readable when the producing stage
 	// finishes, which we approximate as a fraction of the job's estimated
-	// runtime after submission.
+	// runtime after submission (plus any time lost to job retries).
 	if len(cr.Proposed) > 0 {
-		sealAt := in.Submit.Add(e.estimateSealDelay(run))
+		sealAt := in.Submit.Add(retryDelay + e.estimateSealDelay(run))
 		tr.SpanAt("seal", in.Submit, sealAt.Sub(in.Submit))
 		for _, p := range cr.Proposed {
 			if e.Store.SealAt(p.Strict, sealAt) {
@@ -331,10 +393,18 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 // views for the rest of the run.
 func (e *Engine) failJob(cr *optimizer.CompileResult, jobID string, tr *obs.Trace) {
 	e.mJobsFailed.Inc()
+	e.releaseStaged(cr, jobID, tr, "job-failed")
+}
+
+// releaseStaged abandons EVERY view a compilation staged and releases every
+// creation lock it holds. It runs on all failure paths — permanent failure
+// and injected retry alike — so no signature is left wedged regardless of how
+// many views one job was building.
+func (e *Engine) releaseStaged(cr *optimizer.CompileResult, jobID string, tr *obs.Trace, reason string) {
 	for _, p := range cr.Proposed {
 		e.Store.Abandon(p.Strict)
 		e.Insights.ReleaseViewLock(p.Strict, jobID)
-		tr.Event("view.abandoned", "sig="+p.Strict.Short()+" reason=job-failed")
+		tr.Event("view.abandoned", "sig="+p.Strict.Short()+" reason="+reason)
 	}
 }
 

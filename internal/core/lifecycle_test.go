@@ -12,6 +12,11 @@ import (
 	"cloudviews/internal/core"
 	"cloudviews/internal/data"
 	"cloudviews/internal/fixtures"
+	"cloudviews/internal/insights"
+	"cloudviews/internal/optimizer"
+	"cloudviews/internal/plan"
+	"cloudviews/internal/signature"
+	"cloudviews/internal/sqlparser"
 	"cloudviews/internal/workload"
 )
 
@@ -302,5 +307,116 @@ func TestWorkloadDriftStopsMaterialization(t *testing.T) {
 	}
 	if len(run.Compile.Proposed) != 0 {
 		t.Errorf("drifted subexpression still materialized: %d spools", len(run.Compile.Proposed))
+	}
+}
+
+// twoBranchBody has two independent recurring branches, so one job can stage
+// TWO views at once — the shape that catches a failJob that only cleans up
+// the first staged view.
+const twoBranchBody = `a = SELECT * FROM Events WHERE Value > 40;
+b = SELECT Region, COUNT(*) AS n FROM a GROUP BY Region;
+c = SELECT * FROM Events WHERE Value < 20;
+d = SELECT Region, COUNT(*) AS n FROM c GROUP BY Region;
+r = SELECT * FROM b UNION ALL SELECT * FROM d;
+`
+
+// TestFailJobAbandonsEveryStagedView: a job that stages multiple views and
+// then fails (here: publishing to an undefined cooked dataset) must abandon
+// every staged view and release every creation lock — otherwise the failed
+// job wedges those signatures for all later producers.
+func TestFailJobAbandonsEveryStagedView(t *testing.T) {
+	eng, cat := miniWorld(t)
+	clock := fixtures.Epoch
+	okScript := twoBranchBody + `OUTPUT r TO "out/two";`
+	badScript := twoBranchBody + `OUTPUT r TO "dataset:Nope";`
+
+	submitScript := func(id, script string) (*core.JobRun, error) {
+		run, err := eng.CompileAndExecute(workload.JobInput{
+			ID: id, Cluster: "mini", VC: "vc1", Pipeline: "p", Runtime: "r1",
+			Script: script, Submit: clock, OptIn: true,
+		})
+		clock = clock.Add(time.Minute)
+		return run, err
+	}
+
+	// Annotate both branch aggregates directly (bypassing nightly selection,
+	// which would collapse them into one big-sub candidate): the compiler
+	// looks up annotations by the job tag and proposes a spool per annotated
+	// recurring signature, so the failing job stages TWO views.
+	signer := &signature.Signer{EngineVersion: "mini/r1"}
+	planFor := func(script string) plan.Node {
+		t.Helper()
+		parsed, err := sqlparser.Parse(script)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binder := &plan.Binder{Catalog: cat}
+		outs, err := binder.BindScript(parsed)
+		if err != nil || len(outs) != 1 {
+			t.Fatalf("bind: %v (%d outputs)", err, len(outs))
+		}
+		// The compiler tags and signs the rewritten plan, not the raw binding.
+		return optimizer.Rewrite(plan.CloneNode(outs[0]))
+	}
+	annotate := func(script string) (signature.Tag, []insights.Annotation) {
+		t.Helper()
+		p := planFor(script)
+		var anns []insights.Annotation
+		for _, sub := range signer.Subexpressions(p) {
+			if sub.Op != "Aggregate" || sub.Eligibility != signature.EligibleOK {
+				continue
+			}
+			anns = append(anns, insights.Annotation{
+				Recurring:     sub.Recurring,
+				VC:            "vc1",
+				ExpectedRows:  3,
+				ExpectedBytes: 1 << 20,
+				ExpectedWork:  100,
+				Utility:       100,
+			})
+		}
+		tag := signer.JobTag(p)
+		eng.Insights.PublishAnnotations(tag, anns)
+		return tag, anns
+	}
+	_, anns := annotate(badScript)
+	tagOK, _ := annotate(okScript)
+	if len(anns) != 2 {
+		t.Fatalf("need 2 branch annotations to stage multiple views, got %d", len(anns))
+	}
+
+	// The failing job stages all annotated views, executes, then dies
+	// publishing its cooked output.
+	if _, err := submitScript("multi-fail", badScript); err == nil ||
+		!strings.Contains(err.Error(), "publishing cooked dataset") {
+		t.Fatalf("expected publish failure, got %v", err)
+	}
+
+	if n := eng.Insights.LockCount(); n != 0 {
+		t.Errorf("failed job left %d view-creation locks held", n)
+	}
+	if n := eng.Store.PendingViews(); n != 0 {
+		t.Errorf("failed job left %d staged views pending", n)
+	}
+	if n := eng.Store.Count(); n != 0 {
+		t.Errorf("failed job sealed %d views", n)
+	}
+	if err := eng.Store.AuditBytes(); err != nil {
+		t.Errorf("byte accounting inconsistent after failure: %v", err)
+	}
+	if b := eng.Store.UsedBytes("vc1"); b != 0 {
+		t.Errorf("abandoned views still charge %d bytes", b)
+	}
+
+	// Every signature the failed job touched must be rebuildable: the next
+	// producer acquires all the locks and stages all the views.
+	rebuild, err := submitScript("rebuilder", okScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annsOK, _ := eng.Insights.FetchAnnotations(tagOK)
+	if len(rebuild.Compile.Proposed) != len(annsOK) {
+		t.Fatalf("rebuilder proposed %d of %d views — a lock or artifact is wedged",
+			len(rebuild.Compile.Proposed), len(annsOK))
 	}
 }

@@ -16,6 +16,7 @@ import (
 
 	"cloudviews/internal/catalog"
 	"cloudviews/internal/data"
+	"cloudviews/internal/fault"
 	"cloudviews/internal/obs"
 	"cloudviews/internal/plan"
 	"cloudviews/internal/signature"
@@ -97,6 +98,14 @@ type RunResult struct {
 	SpoolWork float64
 	// CacheHits counts subexpressions served from the executor result cache.
 	CacheHits int
+	// ReuseFallbacks counts ViewScans whose artifact could not be read
+	// (genuinely missing or fault-injected) and were transparently recomputed
+	// from their Fallback subexpression.
+	ReuseFallbacks int
+	// SpoolWriteFailures counts Spool materializations that failed
+	// (fault-injected); the job continues and the staged view is left for the
+	// engine to abandon.
+	SpoolWriteFailures int
 }
 
 // CacheEntry memoizes the result of a subexpression for replay across
@@ -172,6 +181,13 @@ type Executor struct {
 	// Metrics, when set, receives execution totals (cache hits, work,
 	// bytes read) once per Run.
 	Metrics *obs.Registry
+	// Faults, when non-nil, injects spool-write and view-read failures. JobID
+	// keys the injection decisions so the fault schedule is a pure function
+	// of (seed, job, signature) regardless of execution interleaving.
+	Faults *fault.Injector
+	JobID  string
+	// Trace, when set, receives fault/recovery events (nil-safe).
+	Trace *obs.Trace
 
 	res RunResult
 	// spoolTainted marks plan nodes whose subtree contains a Spool; those
@@ -228,6 +244,11 @@ func (ex *Executor) Run(root plan.Node) (*RunResult, error) {
 	ex.Metrics.Counter("cloudviews_exec_cache_hits_total").Add(float64(ex.res.CacheHits))
 	ex.Metrics.Counter("cloudviews_exec_work_seconds_total").Add(ex.res.TotalWork)
 	ex.Metrics.Counter("cloudviews_exec_read_bytes_total").Add(float64(ex.res.TotalRead))
+	// Fault-related families are created only when they fire, so the metrics
+	// export stays byte-identical to seed on fault-free runs.
+	if ex.res.ReuseFallbacks > 0 {
+		ex.Metrics.Counter("cloudviews_reuse_fallbacks_total").Add(float64(ex.res.ReuseFallbacks))
+	}
 	return &ex.res, nil
 }
 
@@ -245,7 +266,13 @@ func logicalRows(t *data.Table, mult float64) int64 {
 
 func (ex *Executor) eval(n plan.Node) (nodeResult, error) {
 	// Subtrees containing a Spool bypass the cache (see markSpoolTainted).
+	// So do ViewScans while view-read faults are enabled: a cached replay
+	// would skip the read entirely and the injection decision (keyed per
+	// job and signature) must get a chance to fire.
 	tainted := ex.spoolTainted[n]
+	if _, isView := n.(*plan.ViewScan); isView && ex.Faults.Enabled(fault.ViewRead) {
+		tainted = true
+	}
 
 	// Result-cache lookup (strict signature identity ⇒ identical result).
 	if !tainted && ex.Cache != nil && ex.SigMap != nil {
@@ -284,10 +311,18 @@ func (ex *Executor) eval(n plan.Node) (nodeResult, error) {
 
 	statsStart := len(ex.res.Stats)
 	inputStart, viewStart, readStart := ex.res.InputBytes, ex.res.ViewBytes, ex.res.TotalRead
+	fallbackStart := ex.res.ReuseFallbacks
 
 	r, err := ex.evalNode(n)
 	if err != nil {
 		return nodeResult{}, err
+	}
+
+	// A fallback inside this subtree means its recorded accounting reflects
+	// recomputation, not a view read — caching it would replay fault costs
+	// into healthy jobs, so skip the Put for the whole ancestor chain.
+	if ex.res.ReuseFallbacks != fallbackStart {
+		tainted = true
 	}
 
 	// Populate the cache with the subtree slice (first writer wins).
@@ -378,9 +413,29 @@ func (ex *Executor) evalViewScan(x *plan.ViewScan) (nodeResult, error) {
 	if ex.Views == nil {
 		return nodeResult{}, fmt.Errorf("exec: ViewScan without a view store")
 	}
-	t, mult, ok := ex.Views.Fetch(signature.Sig(x.StrictSig))
+	sig := signature.Sig(x.StrictSig)
+	injected := ex.Faults.Enabled(fault.ViewRead) &&
+		ex.Faults.Should(fault.ViewRead, ex.JobID+"|"+x.StrictSig)
+	var t *data.Table
+	var mult float64
+	ok := false
+	if !injected {
+		t, mult, ok = ex.Views.Fetch(sig)
+	}
 	if !ok {
-		return nodeResult{}, fmt.Errorf("exec: view %s unavailable", signature.Sig(x.StrictSig).Short())
+		// The artifact is unreadable — injected corruption or genuinely gone
+		// (e.g. expired between compile and execute). Reuse must never fail
+		// a job: transparently recompute the replaced subexpression instead.
+		if x.Fallback != nil {
+			reason := "unavailable"
+			if injected {
+				reason = "injected"
+			}
+			ex.Trace.Event("view.fallback", fmt.Sprintf("sig=%s reason=%s", sig.Short(), reason))
+			ex.res.ReuseFallbacks++
+			return ex.eval(x.Fallback)
+		}
+		return nodeResult{}, fmt.Errorf("exec: view %s unavailable", sig.Short())
 	}
 	lb := logicalBytes(t, mult)
 	work := float64(logicalRows(t, mult))*costScanRow + float64(lb)*costReadByte
@@ -728,7 +783,15 @@ func (ex *Executor) evalSpool(x *plan.Spool) (nodeResult, error) {
 	lb := logicalBytes(in.table, in.mult)
 	writeWork := float64(lb) * costWriteByte
 	if ex.Views != nil && x.StrictSig != "" {
-		if err := ex.Views.Materialize(signature.Sig(x.StrictSig), x.Path, x.VC, in.table.Clone(), in.mult); err != nil {
+		if ex.Faults.Enabled(fault.SpoolWrite) &&
+			ex.Faults.Should(fault.SpoolWrite, ex.JobID+"|"+x.StrictSig) {
+			// Injected materialization failure: the write was attempted (its
+			// work is still charged) but the artifact never lands. The job
+			// carries on — only the view is lost; the engine abandons the
+			// staged signature when it sees the failure count.
+			ex.Trace.Event("spool.write.failed", fmt.Sprintf("sig=%s reason=injected", signature.Sig(x.StrictSig).Short()))
+			ex.res.SpoolWriteFailures++
+		} else if err := ex.Views.Materialize(signature.Sig(x.StrictSig), x.Path, x.VC, in.table.Clone(), in.mult); err != nil {
 			return nodeResult{}, fmt.Errorf("exec: materializing view: %w", err)
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"cloudviews/internal/catalog"
 	"cloudviews/internal/cluster"
 	"cloudviews/internal/core"
+	"cloudviews/internal/fault"
 	"cloudviews/internal/fixtures"
 	"cloudviews/internal/workload"
 )
@@ -33,6 +34,10 @@ type ProductionConfig struct {
 	Capacity  int
 	VCTokens  int
 	Selection analysis.SelectionConfig
+	// Faults injects deterministic failures into BOTH arms identically
+	// (same seed, same rates), so the A/B comparison stays fair under
+	// chaos. The zero value disables injection.
+	Faults fault.Config
 }
 
 // DeploymentProfile mirrors the paper's production deployment shape: 21
@@ -241,6 +246,7 @@ func runArm(cfg ProductionConfig, enable bool) (*armResult, error) {
 		Catalog:     cat,
 		ClusterCfg:  cluster.Config{Capacity: cfg.Capacity, VCs: vcCfgs},
 		Selection:   cfg.Selection,
+		Faults:      cfg.Faults,
 	})
 
 	arm := &armResult{

@@ -1,0 +1,358 @@
+// Package fault is the deterministic fault-injection framework behind the
+// chaos-testing story of the reproduction. The paper's core operational
+// lesson is that computation reuse must be safe to run inline in customer
+// jobs: containers fail, bonus resources get preempted, and view artifacts
+// break, and none of that may fail (or meaningfully slow) a job beyond the
+// no-reuse baseline. This package makes those failures reproducible.
+//
+// Design constraints, in order:
+//
+//   - Deterministic: an injection decision is a pure function of
+//     (seed, point, key) — a splitmix-style hash mapped to [0,1) and compared
+//     against the point's configured rate. No shared RNG stream exists, so
+//     decisions are independent of goroutine interleaving and the same seed
+//     replays the exact same fault schedule.
+//   - Simulated time only: the injector never reads the wall clock; retry
+//     backoff is computed in simulated time by the call sites.
+//   - Free when disabled: a nil *Injector no-ops every method behind a single
+//     nil check, and call sites only build decision keys after that check, so
+//     the default (fault-free) path allocates nothing and computes nothing.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"cloudviews/internal/obs"
+)
+
+// Point names one fault-injection site in the pipeline.
+type Point string
+
+// The injection sites wired through the stack.
+const (
+	// StageFail fails one attempt of a cluster stage (container/stage
+	// failure); the scheduler retries with capped exponential backoff.
+	StageFail Point = "cluster.stage.fail"
+	// BonusPreempt preempts a stage's opportunistic (bonus) containers
+	// mid-stage; their work is discarded and re-run on guaranteed tokens.
+	BonusPreempt Point = "cluster.bonus.preempt"
+	// SpoolWrite fails the materialization write of a staged view; the job
+	// continues and the artifact is abandoned (consumers never see it).
+	SpoolWrite Point = "storage.spool.write"
+	// ViewRead fails the read of a sealed view artifact; the executor
+	// transparently recomputes the subexpression instead.
+	ViewRead Point = "storage.view.read"
+	// JobFail crashes a job attempt after execution (container/job-manager
+	// loss); the engine abandons staged views, releases locks, and retries
+	// with a full recompile.
+	JobFail Point = "core.job.fail"
+)
+
+// Points lists every injection site in a stable order.
+var Points = []Point{StageFail, BonusPreempt, SpoolWrite, ViewRead, JobFail}
+
+// specAliases maps the short names accepted by ParseSpec (and the cvsim
+// -faults flag) to points.
+var specAliases = map[string]Point{
+	"stage":   StageFail,
+	"preempt": BonusPreempt,
+	"spool":   SpoolWrite,
+	"read":    ViewRead,
+	"job":     JobFail,
+}
+
+// Retry-policy defaults. They are deliberately small so that even a rate-1.0
+// chaos mix converges in bounded simulated time.
+const (
+	DefaultMaxStageAttempts = 4
+	DefaultStageRetryBudget = 8
+	DefaultMaxJobAttempts   = 3
+	DefaultRetryBackoff     = 2 * time.Second
+	DefaultRetryBackoffCap  = 30 * time.Second
+)
+
+// Config configures fault injection and the recovery policy around it. The
+// zero value disables everything.
+type Config struct {
+	// Seed keys the deterministic decision hash. Zero is a valid seed.
+	Seed uint64
+	// Rates maps each injection point to its per-decision probability in
+	// [0, 1]. Absent or non-positive rates disable the point.
+	Rates map[Point]float64
+
+	// MaxStageAttempts bounds attempts per cluster stage (default 4); the
+	// final attempt is never failed, so stages always complete.
+	MaxStageAttempts int
+	// StageRetryBudget bounds total stage retries per job (default 8),
+	// modeling the job manager escalating to reliable resources once a job
+	// has been hit too often.
+	StageRetryBudget int
+	// MaxJobAttempts bounds whole-job attempts (default 3); the final
+	// attempt is never crashed, so injected faults cannot permanently fail a
+	// job.
+	MaxJobAttempts int
+	// RetryBackoff / RetryBackoffCap shape the capped exponential backoff
+	// (in simulated time) charged between retries.
+	RetryBackoff    time.Duration
+	RetryBackoffCap time.Duration
+}
+
+// Enabled reports whether any point has a positive rate.
+func (c Config) Enabled() bool {
+	for _, r := range c.Rates {
+		if r > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// WithDefaults returns c with zero policy fields replaced by the defaults.
+func (c Config) WithDefaults() Config {
+	if c.MaxStageAttempts <= 0 {
+		c.MaxStageAttempts = DefaultMaxStageAttempts
+	}
+	if c.StageRetryBudget <= 0 {
+		c.StageRetryBudget = DefaultStageRetryBudget
+	}
+	if c.MaxJobAttempts <= 0 {
+		c.MaxJobAttempts = DefaultMaxJobAttempts
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = DefaultRetryBackoff
+	}
+	if c.RetryBackoffCap <= 0 {
+		c.RetryBackoffCap = DefaultRetryBackoffCap
+	}
+	return c
+}
+
+// Backoff returns the capped exponential backoff after the given failed
+// attempt (1-based): backoff * 2^(attempt-1), clamped to the cap.
+func (c Config) Backoff(attempt int) time.Duration {
+	c = c.WithDefaults()
+	d := c.RetryBackoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= c.RetryBackoffCap {
+			return c.RetryBackoffCap
+		}
+	}
+	if d > c.RetryBackoffCap {
+		return c.RetryBackoffCap
+	}
+	return d
+}
+
+// ParseSpec parses a comma-separated rate spec like
+// "stage=0.05,preempt=0.2,spool=0.1,read=0.1,job=0.02". Keys may be the
+// short aliases above or full point names; values are probabilities in
+// [0, 1]. An empty spec yields a disabled config.
+func ParseSpec(spec string) (Config, error) {
+	cfg := Config{}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return cfg, nil
+	}
+	cfg.Rates = make(map[Point]float64)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return Config{}, fmt.Errorf("fault: bad spec entry %q (want point=rate)", part)
+		}
+		key := strings.TrimSpace(kv[0])
+		if key == "seed" {
+			seed, err := strconv.ParseUint(strings.TrimSpace(kv[1]), 10, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("fault: bad seed %q", kv[1])
+			}
+			cfg.Seed = seed
+			continue
+		}
+		p, ok := specAliases[key]
+		if !ok {
+			p = Point(key)
+			found := false
+			for _, known := range Points {
+				if p == known {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return Config{}, fmt.Errorf("fault: unknown point %q", key)
+			}
+		}
+		rate, err := strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return Config{}, fmt.Errorf("fault: bad rate %q for %s (want 0..1)", kv[1], p)
+		}
+		cfg.Rates[p] = rate
+	}
+	return cfg, nil
+}
+
+// Spec renders the rates back into ParseSpec form (alias keys, sorted), for
+// echoing the active configuration.
+func (c Config) Spec() string {
+	byPoint := make(map[Point]string, len(specAliases))
+	for alias, p := range specAliases {
+		byPoint[p] = alias
+	}
+	var parts []string
+	for p, r := range c.Rates {
+		if r <= 0 {
+			continue
+		}
+		name := byPoint[p]
+		if name == "" {
+			name = string(p)
+		}
+		parts = append(parts, name+"="+strconv.FormatFloat(r, 'g', -1, 64))
+	}
+	sort.Strings(parts)
+	if c.Seed != 0 {
+		parts = append(parts, "seed="+strconv.FormatUint(c.Seed, 10))
+	}
+	return strings.Join(parts, ",")
+}
+
+// InjectedError marks an error as an injected fault, so recovery code can
+// distinguish chaos from genuine bugs.
+type InjectedError struct {
+	Point Point
+	Key   string
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("fault: injected %s at %q", e.Point, e.Key)
+}
+
+// Injector makes injection decisions. All methods are safe on a nil receiver
+// (they report "no fault"), safe for concurrent use, and read no mutable
+// shared state on the decision path.
+type Injector struct {
+	seed   uint64
+	rates  map[Point]float64
+	counts map[Point]*atomic.Int64
+
+	// metrics, when wired via SetMetrics; nil-safe no-ops otherwise.
+	mTotal  *obs.Counter
+	mPoints map[Point]*obs.Counter
+}
+
+// New builds an injector for the config, or returns nil when every rate is
+// zero — so the disabled case is a nil receiver everywhere downstream.
+func New(cfg Config) *Injector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	inj := &Injector{
+		seed:   cfg.Seed,
+		rates:  make(map[Point]float64, len(cfg.Rates)),
+		counts: make(map[Point]*atomic.Int64, len(Points)),
+	}
+	for p, r := range cfg.Rates {
+		if r > 0 {
+			inj.rates[p] = r
+		}
+	}
+	for _, p := range Points {
+		inj.counts[p] = &atomic.Int64{}
+	}
+	return inj
+}
+
+// SetMetrics registers cloudviews_faults_injected_total (plus one labeled
+// series per point) with a registry. Call before serving traffic; metric
+// families are only created when faults are enabled, keeping the default
+// export byte-identical to a fault-free build.
+func (i *Injector) SetMetrics(r *obs.Registry) {
+	if i == nil || r == nil {
+		return
+	}
+	i.mTotal = r.Counter("cloudviews_faults_injected_total")
+	i.mPoints = make(map[Point]*obs.Counter, len(i.rates))
+	for p := range i.rates {
+		i.mPoints[p] = r.Counter(`cloudviews_faults_injected_point_total{point="` + string(p) + `"}`)
+	}
+}
+
+// Enabled reports whether the point has a positive rate.
+func (i *Injector) Enabled(p Point) bool {
+	return i != nil && i.rates[p] > 0
+}
+
+// Should decides whether to inject a fault at point p for the given decision
+// key. The key must uniquely identify the decision (job ID, stage index,
+// attempt number, signature...) so that retries re-roll and concurrent
+// interleavings cannot change the schedule.
+func (i *Injector) Should(p Point, key string) bool {
+	if i == nil {
+		return false
+	}
+	rate, ok := i.rates[p]
+	if !ok || rate <= 0 {
+		return false
+	}
+	if i.roll(p, key) >= rate {
+		return false
+	}
+	i.counts[p].Add(1)
+	i.mTotal.Inc()
+	i.mPoints[p].Inc()
+	return true
+}
+
+// Err returns the typed error for an injected fault at (p, key).
+func (i *Injector) Err(p Point, key string) error {
+	return &InjectedError{Point: p, Key: key}
+}
+
+// Count returns how many faults have been injected at a point.
+func (i *Injector) Count(p Point) int64 {
+	if i == nil {
+		return 0
+	}
+	return i.counts[p].Load()
+}
+
+// Total returns how many faults have been injected across all points.
+func (i *Injector) Total() int64 {
+	if i == nil {
+		return 0
+	}
+	var n int64
+	for _, c := range i.counts {
+		n += c.Load()
+	}
+	return n
+}
+
+// roll maps (seed, point, key) to a uniform value in [0, 1) via FNV-1a over
+// the inputs followed by a splitmix64 finalizer (FNV alone avalanches poorly
+// on short inputs).
+func (i *Injector) roll(p Point, key string) float64 {
+	h := i.seed ^ 0xcbf29ce484222325
+	for _, c := range []byte(p) {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	h = (h ^ 0x1f) * 1099511628211
+	for _, c := range []byte(key) {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	return float64(h>>11) / float64(1<<53)
+}

@@ -276,6 +276,15 @@ func (s *Service) LockHolder(strict signature.Sig) (string, bool) {
 	return h, ok
 }
 
+// LockCount returns the number of view-creation locks currently held. After
+// a workload settles it must be zero: a leftover lock means some failure path
+// skipped ReleaseViewLock and wedged the signature for every later producer.
+func (s *Service) LockCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.locks)
+}
+
 // ---------------------------------------------------------------------------
 // Usage metrics.
 

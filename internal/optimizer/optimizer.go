@@ -167,6 +167,7 @@ func (o *Optimizer) matchViews(root plan.Node, res *CompileResult) plan.Node {
 							Rows:         view.Rows,
 							Bytes:        view.Bytes,
 							ReplacedOp:   n.OpName(),
+							Fallback:     n,
 						}
 					}
 					o.Trace.Event("view.rejected", fmt.Sprintf("sig=%s reason=cost", s.Strict.Short()))

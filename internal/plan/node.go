@@ -228,6 +228,12 @@ type ViewScan struct {
 	// ReplacedOp names the root operator of the replaced subexpression, kept
 	// for telemetry (e.g., the Figure 9 join analysis).
 	ReplacedOp string
+	// Fallback is the replaced subexpression, kept out-of-band so the
+	// executor can transparently recompute it when the view artifact cannot
+	// be read (reuse must never fail a job). It is deliberately NOT a child:
+	// Children() excludes it, so signatures, plan formatting, and stage
+	// construction are unchanged by carrying it.
+	Fallback Node
 }
 
 func (s *Scan) Schema() data.Schema { return s.Out }

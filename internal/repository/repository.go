@@ -94,6 +94,16 @@ type JobRecord struct {
 	ViewsBuilt    int
 	ViewsReused   int
 
+	// Failure/recovery outcomes (zero on fault-free runs): job attempts
+	// consumed (1 = first try succeeded), cluster stage retries, bonus
+	// preemptions, critical-path seconds lost to faults, and view reads that
+	// fell back to recomputation.
+	Attempts         int
+	StageRetries     int
+	BonusPreemptions int
+	FaultDelaySec    float64
+	ReuseFallbacks   int
+
 	Subexprs []SubexprRecord
 }
 
@@ -109,6 +119,13 @@ type Outcome struct {
 	InputBytes    int64
 	DataReadBytes int64
 	QueueLen      int
+
+	// Failure/recovery results; see the matching JobRecord fields.
+	Attempts         int
+	StageRetries     int
+	BonusPreemptions int
+	FaultDelaySec    float64
+	ReuseFallbacks   int
 }
 
 const secondsPerDay = 86400
@@ -462,6 +479,11 @@ func (r *Repo) SetOutcome(jobID string, o Outcome) bool {
 	rec.InputBytes = o.InputBytes
 	rec.DataReadBytes = o.DataReadBytes
 	rec.QueueLen = o.QueueLen
+	rec.Attempts = o.Attempts
+	rec.StageRetries = o.StageRetries
+	rec.BonusPreemptions = o.BonusPreemptions
+	rec.FaultDelaySec = o.FaultDelaySec
+	rec.ReuseFallbacks = o.ReuseFallbacks
 	if b := r.byDay[dayOf(rec.Submit)]; b != nil {
 		b.pmu.Lock()
 		b.joinsValid = false

@@ -248,7 +248,11 @@ func (s *Store) Fetch(strict signature.Sig) (*data.Table, float64, bool) {
 		return nil, 0, false
 	}
 	v.Reads++
-	return v.Table, v.Mult, true
+	// Defensive copy: the stored table is the single artifact every future
+	// consumer reads. Handing out the live pointer would let one consumer's
+	// in-place mutation (e.g. an executor operator scribbling on rows)
+	// silently corrupt every later reuse of the view.
+	return v.Table.Clone(), v.Mult, true
 }
 
 // Lookup returns view metadata regardless of sealing or expiry, for the
@@ -410,6 +414,39 @@ func (s *Store) UsedBytes(vc string) int64 {
 		}
 	}
 	return used
+}
+
+// PendingViews returns the number of signatures staged by the optimizer but
+// never materialized or abandoned. After a workload settles it must be zero:
+// a leftover entry means some failure path forgot to call Abandon.
+func (s *Store) PendingViews() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pending)
+}
+
+// AuditBytes cross-checks the per-VC byte ledger against the resident view
+// set, returning an error naming the first inconsistency. The chaos suite
+// calls this after every fault mix to prove that abandon/expiry paths settle
+// the books exactly.
+func (s *Store) AuditBytes() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	actual := make(map[string]int64)
+	for _, v := range s.views {
+		actual[v.VC] += v.Bytes
+	}
+	for vc, want := range s.byVC {
+		if actual[vc] != want {
+			return fmt.Errorf("storage: byte ledger for VC %q is %d but resident views hold %d", vc, want, actual[vc])
+		}
+	}
+	for vc, got := range actual {
+		if _, ok := s.byVC[vc]; !ok && got != 0 {
+			return fmt.Errorf("storage: VC %q holds %d bytes with no ledger entry", vc, got)
+		}
+	}
+	return nil
 }
 
 // Count returns the number of live (unexpired) views.

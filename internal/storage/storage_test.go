@@ -391,3 +391,67 @@ func TestStoreConcurrentLifecycle(t *testing.T) {
 		t.Errorf("lifecycle leak: live=%d expired=%d purged=%d created=%d", st.Live, st.Expired, st.Purged, st.Created)
 	}
 }
+
+func TestFetchReturnsDefensiveCopy(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := storage.NewStore(func() time.Time { return now })
+	s.Stage("sig1", "rec1", "p/sig1", "vc1")
+	if err := s.Materialize("sig1", "p/sig1", "vc1", table(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Seal("sig1") {
+		t.Fatal("seal failed")
+	}
+	first, _, ok := s.Fetch("sig1")
+	if !ok {
+		t.Fatal("fetch failed")
+	}
+	want := first.Fingerprint()
+	// A consumer scribbling on its fetched copy must not corrupt the stored
+	// artifact that every later reuse reads.
+	first.Rows[0][0] = data.Int(999)
+	second, _, ok := s.Fetch("sig1")
+	if !ok {
+		t.Fatal("re-fetch failed")
+	}
+	if got := second.Fingerprint(); got != want {
+		t.Fatalf("stored view mutated through fetched pointer:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestAuditBytesAndPendingViews(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := storage.NewStore(func() time.Time { return now })
+	if err := s.AuditBytes(); err != nil {
+		t.Fatalf("empty store fails audit: %v", err)
+	}
+	s.Stage("sig1", "rec1", "p/sig1", "vc1")
+	if s.PendingViews() != 1 {
+		t.Fatalf("pending = %d, want 1", s.PendingViews())
+	}
+	if err := s.Materialize("sig1", "p/sig1", "vc1", table(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if s.PendingViews() != 0 {
+		t.Fatalf("pending after materialize = %d, want 0", s.PendingViews())
+	}
+	s.Seal("sig1")
+	s.Stage("sig2", "rec2", "p/sig2", "vc2")
+	if err := s.AuditBytes(); err != nil {
+		t.Fatalf("audit after materialize: %v", err)
+	}
+	s.Abandon("sig2")
+	if s.PendingViews() != 0 {
+		t.Fatalf("pending after abandon = %d, want 0", s.PendingViews())
+	}
+	// Sealed views are never abandoned; the ledger keeps carrying them.
+	if s.Abandon("sig1") {
+		t.Fatal("abandoning a sealed view must fail")
+	}
+	if err := s.AuditBytes(); err != nil {
+		t.Fatalf("audit after abandon: %v", err)
+	}
+	if s.UsedBytes("vc2") != 0 {
+		t.Fatalf("vc2 bytes after abandon = %d", s.UsedBytes("vc2"))
+	}
+}
