@@ -415,7 +415,9 @@ func BenchmarkConcurrentSubmit(b *testing.B) {
 }
 
 // BenchmarkConcurrentSubmitNoTrace is the observability-off baseline; the
-// delta against BenchmarkConcurrentSubmit is the tracing+metrics overhead
+// delta against BenchmarkConcurrentSubmit is the tracing+metrics+telemetry
+// overhead — per-job traces, registry bumps, and the critical-path
+// attribution the telemetry collector runs on every submission
 // (budget: <5%).
 func BenchmarkConcurrentSubmitNoTrace(b *testing.B) {
 	for _, workers := range []int{1, 4, 16} {

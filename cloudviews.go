@@ -70,6 +70,7 @@ import (
 	"cloudviews/internal/fault"
 	"cloudviews/internal/fixtures"
 	"cloudviews/internal/obs"
+	"cloudviews/internal/telemetry"
 	"cloudviews/internal/workload"
 )
 
@@ -108,6 +109,17 @@ type (
 	// FaultPoint names one injection site (see ParseFaultSpec for the
 	// accepted aliases).
 	FaultPoint = fault.Point
+	// SLOConfig tunes the telemetry watchdog thresholds (storage budget,
+	// hit-rate drop, queue growth, fault spikes). The zero value stays
+	// silent on healthy runs.
+	SLOConfig = telemetry.SLOConfig
+	// SLOAlert is one deterministic watchdog finding, surfaced on
+	// DayMetrics.Alerts and the telemetry snapshot.
+	SLOAlert = telemetry.Alert
+	// RunTelemetry is an immutable snapshot of the telemetry pipeline:
+	// day-cadence series, per-day critical-path breakdowns, and the alert
+	// log. Feed it to a telemetry.Report for rendering.
+	RunTelemetry = telemetry.RunTelemetry
 )
 
 // ParseFaultSpec parses a compact fault specification like
@@ -162,6 +174,8 @@ type Config struct {
 	// failures, job-level failures). The zero value disables it with zero
 	// overhead; faults are simulated-time only and never change job outputs.
 	Faults FaultConfig
+	// SLO tunes the telemetry watchdog (disabled along with observability).
+	SLO SLOConfig
 }
 
 // Job is one SCOPE-like script submission.
@@ -228,6 +242,7 @@ func NewSystem(cfg Config) (*System, error) {
 		Selection:            cfg.Selection,
 		DisableObservability: cfg.DisableObservability,
 		Faults:               cfg.Faults,
+		SLO:                  cfg.SLO,
 	})
 	if eng.Metrics != nil {
 		// Repository metrics are wired at the System layer (not inside
@@ -332,6 +347,11 @@ func (s *System) run(in workload.JobInput) (*JobResult, error) {
 // is disabled. ExportString() renders it in Prometheus text format with a
 // deterministic family and series order.
 func (s *System) Metrics() *MetricsRegistry { return s.engine.Metrics }
+
+// Telemetry snapshots the feedback-loop health pipeline (nil when
+// observability is disabled): day-cadence series, critical-path breakdowns,
+// and the SLO alert log.
+func (s *System) Telemetry() *RunTelemetry { return s.engine.Telemetry.Snapshot() }
 
 func planText(run *core.JobRun) string {
 	return core.FormatPlan(run.Compile.Plan)

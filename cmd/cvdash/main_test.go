@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cloudviews/internal/fault"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden summary")
+
+// TestSummaryGolden pins the cvdash text summary byte-for-byte so format
+// changes show up as reviewable diffs. Regenerate with:
+//
+//	go test ./cmd/cvdash -run Golden -update
+func TestSummaryGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 0.1, 3, 0, 0, fault.Config{}, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "summary_golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("summary drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestSummaryDeterministic guards the golden test itself: identical flags must
+// render identical bytes (the report walks several maps, so every listing
+// needs a total order).
+func TestSummaryDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a, 0.1, 2, 7, 0, fault.Config{}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, 0.1, 2, 7, 0, fault.Config{}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("summary is nondeterministic across runs")
+	}
+}
+
+// TestHTMLReport exercises the -o path: the HTML report must be written,
+// self-contained (inline style, no external references), and byte-identical
+// across runs with the same flags.
+func TestHTMLReport(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.html")
+	p2 := filepath.Join(dir, "b.html")
+	var sink bytes.Buffer
+	if err := run(&sink, 0.1, 2, 7, 0, fault.Config{}, p1); err != nil {
+		t.Fatal(err)
+	}
+	sink.Reset()
+	if err := run(&sink, 0.1, 2, 7, 0, fault.Config{}, p2); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("HTML report is nondeterministic across runs")
+	}
+	s := string(a)
+	for _, want := range []string{"<!doctype html>", "<style>", "arm: baseline", "arm: cloudviews", "polyline"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("HTML report missing %q", want)
+		}
+	}
+	for _, forbid := range []string{"http://", "https://", "<script"} {
+		if strings.Contains(s, forbid) {
+			t.Errorf("HTML report must be self-contained, found %q", forbid)
+		}
+	}
+}

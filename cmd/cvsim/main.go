@@ -6,7 +6,7 @@
 // Usage:
 //
 //	cvsim [-scale 0.25] [-days N] [-series] [-seed N] [-metrics]
-//	      [-faults SPEC] [-faultseed N]
+//	      [-metrics-both] [-report out.html] [-faults SPEC] [-faultseed N]
 //
 // -scale 1.0 runs the full 619-pipeline, 21-VC deployment (minutes of CPU);
 // the default 0.25 keeps it under a minute while preserving the shapes.
@@ -15,6 +15,10 @@
 // comma-separated point=rate pairs — stage, preempt, spool, read, job — plus
 // an optional seed, e.g. -faults "stage=0.05,read=0.02,seed=7". Same spec,
 // same schedule: reruns reproduce the exact fault placement.
+//
+// -report writes the self-contained cvdash HTML health report (both arms:
+// series sparklines, critical-path breakdowns, SLO alerts) to the given path.
+// Output is byte-identical for the same seed and flags.
 package main
 
 import (
@@ -33,6 +37,8 @@ func main() {
 	series := flag.Bool("series", false, "print the full Figure 6/7 daily series")
 	seed := flag.Uint64("seed", 0, "override workload seed")
 	metrics := flag.Bool("metrics", false, "print the CloudViews arm's system-metrics export")
+	metricsBoth := flag.Bool("metrics-both", false, "print BOTH arms' system-metrics exports side by side")
+	report := flag.String("report", "", "write the cvdash HTML health report to this path")
 	faults := flag.String("faults", "", `fault spec, e.g. "stage=0.05,read=0.02,seed=7" (empty = no injection)`)
 	faultSeed := flag.Uint64("faultseed", 0, "override the fault-injection seed (0 = keep spec's seed)")
 	flag.Parse()
@@ -83,6 +89,9 @@ func main() {
 			cfg.Faults.Spec(), jr, sr, bp, rf, fd)
 	}
 
+	baseVerdict, cvVerdict := res.Verdicts()
+	fmt.Printf("SLO verdicts: baseline %s, cloudviews %s\n\n", baseVerdict, cvVerdict)
+
 	fmt.Println(experiments.RenderTable1(res.Table1))
 	if *series {
 		fmt.Println(experiments.RenderFigure6(res))
@@ -91,8 +100,21 @@ func main() {
 		// Print first/last rows so the shape is visible without -series.
 		fmt.Println("(run with -series for the full Figure 6/7 daily series)")
 	}
-	if *metrics {
+	if *metrics && !*metricsBoth {
 		fmt.Println("\nSYSTEM METRICS (CloudViews arm, Prometheus text format)")
 		fmt.Print(res.Metrics)
+	}
+	if *metricsBoth {
+		fmt.Println("\nSYSTEM METRICS (baseline arm, Prometheus text format)")
+		fmt.Print(res.BaseMetrics)
+		fmt.Println("\nSYSTEM METRICS (CloudViews arm, Prometheus text format)")
+		fmt.Print(res.Metrics)
+	}
+	if *report != "" {
+		if err := os.WriteFile(*report, []byte(res.Report().RenderHTML()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "cvsim: -report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote health report to %s\n", *report)
 	}
 }

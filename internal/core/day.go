@@ -15,6 +15,7 @@ import (
 	"cloudviews/internal/signature"
 	"cloudviews/internal/sqlparser"
 	"cloudviews/internal/stats"
+	"cloudviews/internal/telemetry"
 	"cloudviews/internal/workload"
 )
 
@@ -44,6 +45,10 @@ type DayMetrics struct {
 
 	// MedianLatencyImprovementInput: per-job latencies for median statistics.
 	JobLatencies []float64
+
+	// Alerts are the SLO watchdog findings for this day, in deterministic
+	// firing order (empty on healthy days and when observability is off).
+	Alerts []telemetry.Alert
 }
 
 // RunDay executes one day's jobs end to end: data plane in submission order,
@@ -126,7 +131,14 @@ func (e *Engine) RunDay(day int, jobs []workload.JobInput) (DayMetrics, error) {
 		})
 		if o.QueueWait > 0 {
 			run.Trace.SpanAt("queue:cluster", o.Start.Add(-o.QueueWait), o.QueueWait)
+			// The data plane already observed this job (without the cluster
+			// queue, which only the schedule knows), so the queue time is
+			// charged onto the day's breakdown here.
+			e.Telemetry.AddQueueWait(day, rec.VC, o.QueueWait.Seconds())
 		}
+		// Cluster-side recovery cost (stage retries, preemptions); the data
+		// plane's own job-retry delay was already counted from the trace.
+		e.Telemetry.AddFaultLoss(day, rec.VC, o.FaultDelay.Seconds())
 
 		e.History.RecordJob(rec.Template, stats.Observation{
 			Rows:    0,
@@ -155,10 +167,52 @@ func (e *Engine) RunDay(day int, jobs []workload.JobInput) (DayMetrics, error) {
 	}
 
 	// End of day: advance the clock past the last completion and expire old
-	// views.
+	// views, then sample the telemetry series and run the SLO watchdog over
+	// the day's data.
 	e.SetClock(dayStart.AddDate(0, 0, 1))
 	e.Store.GC()
+	m.Alerts = e.sampleTelemetry(day, &m)
 	return m, nil
+}
+
+// sampleTelemetry takes the day-boundary sample: the full metrics-registry
+// snapshot plus derived per-day gauges from DayMetrics and the substrates,
+// then evaluates the watchdog and returns the day's alerts. No-op (nil) when
+// observability is disabled.
+func (e *Engine) sampleTelemetry(day int, m *DayMetrics) []telemetry.Alert {
+	if e.Telemetry == nil {
+		return nil
+	}
+	sample := make(map[string]float64, 64)
+	telemetry.SampleRegistry(e.Metrics, sample)
+
+	jobs := float64(m.Jobs)
+	sample[telemetry.SeriesJobs] = jobs
+	hitRate := 0.0
+	queueAvg := 0.0
+	if m.Jobs > 0 {
+		hitRate = float64(m.ViewsReused) / jobs
+		queueAvg = float64(m.QueueLen) / jobs
+	}
+	sample[telemetry.SeriesHitRate] = hitRate
+	sample[telemetry.SeriesLatencySec] = m.LatencySec
+	sample[telemetry.SeriesProcessingSec] = m.ProcessingSec
+	sample[telemetry.SeriesBonusSec] = m.BonusSec
+	sample[telemetry.SeriesQueueLenAvg] = queueAvg
+	sample[telemetry.SeriesViewsBuilt] = float64(m.ViewsBuilt)
+	sample[telemetry.SeriesViewsReused] = float64(m.ViewsReused)
+	sample[telemetry.SeriesFaultDelaySec] = m.FaultDelaySec
+	sample[telemetry.SeriesFaultRecoveries] = float64(m.JobRetries + m.StageRetries + m.BonusPreemptions + m.ReuseFallbacks)
+
+	// Substrate gauges that live outside the registry (the storage gauges in
+	// the registry are per-VC; these are the cluster-wide views).
+	stats := e.Store.Snapshot()
+	sample[telemetry.SeriesStoreLiveViews] = float64(stats.Live)
+	sample[telemetry.SeriesStorePending] = float64(e.Store.PendingViews())
+	sample[telemetry.SeriesRepoJobs] = float64(e.Repo.Len())
+	sample[telemetry.SeriesRepoSubexprs] = float64(e.Repo.SubexprCount())
+
+	return e.Telemetry.EndOfDay(day, sample)
 }
 
 // RunAnalysis executes the offline half of the feedback loop over the

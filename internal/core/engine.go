@@ -27,6 +27,7 @@ import (
 	"cloudviews/internal/sqlparser"
 	"cloudviews/internal/stats"
 	"cloudviews/internal/storage"
+	"cloudviews/internal/telemetry"
 	"cloudviews/internal/workload"
 )
 
@@ -45,8 +46,13 @@ type Config struct {
 	// (cluster stages, spool writes, view reads, whole-job crashes). The
 	// zero value disables injection entirely at zero cost.
 	Faults fault.Config
-	// DisableObservability turns off per-job traces and the metrics
-	// registry (benchmark baseline; production keeps them on).
+	// SLO tunes the telemetry watchdog thresholds (hit-rate regression,
+	// per-VC storage budget, queue growth, fault spikes). The zero value is
+	// a sane default that stays silent on healthy fault-free runs.
+	SLO telemetry.SLOConfig
+	// DisableObservability turns off per-job traces, the metrics registry,
+	// AND the telemetry collector (benchmark baseline; production keeps
+	// them on).
 	DisableObservability bool
 }
 
@@ -64,6 +70,11 @@ type Engine struct {
 	// Metrics is the system-wide registry every substrate reports into
 	// (nil when Config.DisableObservability is set; all consumers no-op).
 	Metrics *obs.Registry
+	// Telemetry is the feedback-loop health pipeline: per-job critical-path
+	// attribution, day-cadence series sampled from Metrics and the
+	// substrates, and SLO watchdog alerts (nil when observability is
+	// disabled; every method no-ops on nil).
+	Telemetry *telemetry.Collector
 
 	maxViewsPerJob int
 
@@ -132,8 +143,22 @@ func NewEngine(cfg Config) *Engine {
 		e.mReused = e.Metrics.Counter("cloudviews_views_reused_total")
 		e.mCompileSec = e.Metrics.Counter("cloudviews_compile_seconds_total")
 		e.faults.SetMetrics(e.Metrics)
+		e.Telemetry = telemetry.NewCollector(telemetry.Config{
+			Rules: telemetry.DefaultRules(cfg.SLO),
+		})
 	}
 	return e
+}
+
+// dayIndex floors a simulated instant to its day index relative to the
+// simulation epoch (negative before the epoch).
+func dayIndex(t time.Time) int {
+	d := t.Sub(fixtures.Epoch)
+	day := int(d / (24 * time.Hour))
+	if d < 0 && d%(24*time.Hour) != 0 {
+		day--
+	}
+	return day
 }
 
 // Clock returns the engine's simulated time. Safe for concurrent use.
@@ -324,7 +349,11 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 			e.releaseStaged(cr, in.ID, tr, "job-retry")
 			backoff := e.faultCfg.Backoff(attempt)
 			retryDelay += cr.CompileLatency + backoff
-			tr.Event("job.retry", fmt.Sprintf("attempt=%d backoff=%s", attempt, backoff))
+			// The event value is the simulated seconds this retry costs
+			// (recompile + backoff) — the telemetry analyzer's "time lost to
+			// fault recovery" input.
+			tr.EventV("job.retry", fmt.Sprintf("attempt=%d backoff=%s", attempt, backoff),
+				(cr.CompileLatency + backoff).Seconds())
 			// The retry recompiles at the post-backoff instant: views sealed
 			// in the meantime become visible to it.
 			e.advanceClock(in.Submit.Add(retryDelay))
@@ -383,6 +412,11 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 	for range cr.Matched {
 		e.Insights.NoteViewReused()
 	}
+
+	// Fold the job's critical-path attribution into the day/VC telemetry
+	// aggregates. The cluster queue overlay lands later (RunDay charges it
+	// via AddQueueWait), so this covers exactly the data-plane timeline.
+	e.Telemetry.ObserveJob(dayIndex(in.Submit), in.VC, tr)
 
 	return run, nil
 }

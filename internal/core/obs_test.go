@@ -115,6 +115,14 @@ func TestObservabilityDisabled(t *testing.T) {
 	if dark.Metrics != nil {
 		t.Error("DisableObservability must suppress the registry")
 	}
+	if dark.Telemetry != nil {
+		t.Error("DisableObservability must suppress the telemetry collector")
+	}
+	if m, err := dark.RunDay(0, nil); err != nil {
+		t.Fatal(err)
+	} else if m.Alerts != nil {
+		t.Error("disabled telemetry must surface no alerts")
+	}
 }
 
 // TestExpiredViewRebuiltWithoutGC is the engine-level regression test for

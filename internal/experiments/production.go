@@ -17,6 +17,7 @@ import (
 	"cloudviews/internal/core"
 	"cloudviews/internal/fault"
 	"cloudviews/internal/fixtures"
+	"cloudviews/internal/telemetry"
 	"cloudviews/internal/workload"
 )
 
@@ -38,6 +39,10 @@ type ProductionConfig struct {
 	// (same seed, same rates), so the A/B comparison stays fair under
 	// chaos. The zero value disables injection.
 	Faults fault.Config
+	// SLO tunes the telemetry watchdog applied to BOTH arms (same
+	// thresholds, so per-arm verdicts compare like for like). The zero
+	// value stays silent on healthy runs.
+	SLO telemetry.SLOConfig
 }
 
 // DeploymentProfile mirrors the paper's production deployment shape: 21
@@ -129,8 +134,39 @@ type ProductionResult struct {
 	Days   []DayPair
 	Table1 Table1
 	// Metrics is the CloudViews arm's final registry export (Prometheus
-	// text format, deterministic ordering).
-	Metrics string
+	// text format, deterministic ordering); BaseMetrics the baseline arm's.
+	Metrics     string
+	BaseMetrics string
+	// BaseTelemetry / CVTelemetry are the per-arm feedback-loop health
+	// snapshots (series, critical-path breakdowns, SLO alerts).
+	BaseTelemetry *telemetry.RunTelemetry
+	CVTelemetry   *telemetry.RunTelemetry
+}
+
+// Verdicts returns the per-arm SLO watchdog verdicts ("OK" or a REGRESSED
+// summary), baseline first.
+func (r *ProductionResult) Verdicts() (base, cv string) {
+	var baseAlerts, cvAlerts []telemetry.Alert
+	if r.BaseTelemetry != nil {
+		baseAlerts = r.BaseTelemetry.Alerts
+	}
+	if r.CVTelemetry != nil {
+		cvAlerts = r.CVTelemetry.Alerts
+	}
+	return telemetry.Verdict(baseAlerts), telemetry.Verdict(cvAlerts)
+}
+
+// Report assembles the two arms into a cvdash report document.
+func (r *ProductionResult) Report() *telemetry.Report {
+	title := fmt.Sprintf("CloudViews feedback-loop health — %d pipelines, %d VCs, %d days, seed %d",
+		r.Cfg.Profile.Pipelines, r.Cfg.Profile.VCs, r.Cfg.Days, r.Cfg.Profile.Seed)
+	return &telemetry.Report{
+		Title: title,
+		Arms: []telemetry.ArmReport{
+			{Name: "baseline", Telemetry: r.BaseTelemetry},
+			{Name: "cloudviews", Telemetry: r.CVTelemetry},
+		},
+	}
 }
 
 type armResult struct {
@@ -145,6 +181,7 @@ type armResult struct {
 	built     int
 	reused    int
 	metrics   string
+	tele      *telemetry.RunTelemetry
 }
 
 // RunProduction executes the same generated workload twice — baseline and
@@ -159,7 +196,13 @@ func RunProduction(cfg ProductionConfig) (*ProductionResult, error) {
 		return nil, fmt.Errorf("cloudviews arm: %w", err)
 	}
 
-	res := &ProductionResult{Cfg: cfg, Metrics: cv.metrics}
+	res := &ProductionResult{
+		Cfg:           cfg,
+		Metrics:       cv.metrics,
+		BaseMetrics:   base.metrics,
+		BaseTelemetry: base.tele,
+		CVTelemetry:   cv.tele,
+	}
 	for i := range base.days {
 		res.Days = append(res.Days, DayPair{Date: base.days[i].Date, Base: base.days[i], CV: cv.days[i]})
 	}
@@ -247,6 +290,7 @@ func runArm(cfg ProductionConfig, enable bool) (*armResult, error) {
 		ClusterCfg:  cluster.Config{Capacity: cfg.Capacity, VCs: vcCfgs},
 		Selection:   cfg.Selection,
 		Faults:      cfg.Faults,
+		SLO:         cfg.SLO,
 	})
 
 	arm := &armResult{
@@ -303,5 +347,6 @@ func runArm(cfg ProductionConfig, enable bool) (*armResult, error) {
 		arm.vcs[j.VC] = true
 	}
 	arm.metrics = eng.Metrics.ExportString()
+	arm.tele = eng.Telemetry.Snapshot()
 	return arm, nil
 }

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", want)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic = %v, want substring %q", r, want)
+		}
+	}()
+	f()
+}
+
+// TestHistogramReRegistrationGuards pins the registration contract: the same
+// name with the same bound set (any order) is idempotent; a different bound
+// set panics instead of silently handing back a histogram whose buckets mean
+// something else.
+func TestHistogramReRegistrationGuards(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("lat", []float64{1, 5, 10})
+
+	// Same bounds → same histogram.
+	if h2 := r.Histogram("lat", []float64{1, 5, 10}); h2 != h1 {
+		t.Error("same-bounds re-registration must return the original histogram")
+	}
+	// Bounds are normalized to sorted order, so registration order is
+	// irrelevant.
+	if h3 := r.Histogram("lat", []float64{10, 1, 5}); h3 != h1 {
+		t.Error("unsorted same-bounds re-registration must return the original histogram")
+	}
+	// Empty bounds are a pure lookup of an existing name.
+	if h4 := r.Histogram("lat", nil); h4 != h1 {
+		t.Error("empty-bounds lookup must return the original histogram")
+	}
+
+	mustPanic(t, "different bounds", func() { r.Histogram("lat", []float64{1, 5, 20}) })
+	mustPanic(t, "re-registered with 2 bounds", func() { r.Histogram("lat", []float64{1, 5}) })
+}
+
+func TestHistogramCreateGuards(t *testing.T) {
+	r := NewRegistry()
+	mustPanic(t, "no bounds", func() { r.Histogram("fresh", nil) })
+	mustPanic(t, "duplicate bound", func() { r.Histogram("dup", []float64{1, 5, 5}) })
+	// A nil registry stays nil-safe regardless of bounds.
+	var nilReg *Registry
+	if nilReg.Histogram("x", nil) != nil {
+		t.Error("nil registry must hand out nil histograms")
+	}
+}
+
+func TestHistogramUnsortedBoundsNormalized(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("norm", []float64{10, 1, 5})
+	h.Observe(3)
+	h.Observe(7)
+	out := r.ExportString()
+	// Buckets must export in ascending order with correct cumulative counts.
+	i1 := strings.Index(out, `norm_bucket{le="1"} 0`)
+	i5 := strings.Index(out, `norm_bucket{le="5"} 1`)
+	i10 := strings.Index(out, `norm_bucket{le="10"} 2`)
+	if i1 < 0 || i5 < 0 || i10 < 0 || !(i1 < i5 && i5 < i10) {
+		t.Errorf("bucket export wrong for normalized bounds:\n%s", out)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(2)
+	r.Gauge("g").Set(-1)
+	h := r.Histogram("h", []float64{1})
+	h.Observe(0.5)
+	h.Observe(3)
+	snap := r.Snapshot()
+	if snap["c"] != 2 || snap["g"] != -1 || snap["h_count"] != 2 || snap["h_sum"] != 3.5 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	var nilReg *Registry
+	if nilReg.Snapshot() != nil {
+		t.Error("nil registry snapshot must be nil")
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"io"
 	"math"
 	"sort"
@@ -162,21 +163,73 @@ func (r *Registry) Gauge(name string) *Gauge {
 }
 
 // Histogram returns the histogram registered under name, creating it with
-// the given upper bounds on first use (bounds are ignored on later calls).
+// the given upper bounds on first use. Bounds are normalized to sorted order,
+// so registration order within the slice does not matter — but re-registering
+// an existing name with a DIFFERENT bound set panics rather than silently
+// handing back the old histogram (the two call sites would disagree about
+// what the buckets mean). Empty and duplicate bound sets also panic.
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
+	}
+	sorted := append([]float64(nil), bounds...)
+	sort.Float64s(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q registered with duplicate bound %v", name, sorted[i]))
+		}
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h, ok := r.histograms[name]
 	if !ok {
-		sorted := append([]float64(nil), bounds...)
-		sort.Float64s(sorted)
+		if len(sorted) == 0 {
+			// Empty bounds are only legal as a lookup of an existing name.
+			panic(fmt.Sprintf("obs: histogram %q registered with no bounds (need at least one finite upper bound)", name))
+		}
 		h = &Histogram{bounds: sorted, counts: make([]uint64, len(sorted)+1)}
 		r.histograms[name] = h
+		return h
+	}
+	if len(sorted) == 0 {
+		return h // pure lookup
+	}
+	if len(h.bounds) != len(sorted) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with %d bounds, originally %d", name, len(sorted), len(h.bounds)))
+	}
+	for i, b := range sorted {
+		if h.bounds[i] != b {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds (%v vs existing %v)", name, sorted, h.bounds))
+		}
 	}
 	return h
+}
+
+// Snapshot returns the current value of every counter and gauge, plus the
+// _count and _sum of every histogram, as one flat name→value map. It is the
+// read path the telemetry sampling pipeline uses: a point-in-time view of the
+// registry that a time-series collector can diff day over day. Returns nil on
+// a nil registry.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := make(map[string]float64, len(r.counters)+len(r.gauges)+2*len(r.histograms))
+	for name, c := range r.counters {
+		snap[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		snap[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		h.mu.Lock()
+		snap[name+"_count"] = float64(h.samples)
+		snap[name+"_sum"] = h.sum
+		h.mu.Unlock()
+	}
+	return snap
 }
 
 // family strips a {label} suffix to get the metric family name.

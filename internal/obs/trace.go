@@ -36,6 +36,11 @@ type Event struct {
 	Detail string
 	At     time.Time
 	Seq    int
+	// Value carries an optional machine-readable quantity in seconds
+	// (estimated work saved by a matched view, backoff paid by a retry), so
+	// downstream analyzers never parse Detail strings. Zero when the event
+	// has no quantity; not rendered, so Render output is unchanged.
+	Value float64
 }
 
 // Trace accumulates the spans and decision events of one job. All methods
@@ -85,12 +90,18 @@ func (t *Trace) SpanAt(name string, at time.Time, d time.Duration) {
 
 // Event records a decision event at the current cursor.
 func (t *Trace) Event(kind, detail string) {
+	t.EventV(kind, detail, 0)
+}
+
+// EventV records a decision event carrying a numeric quantity (seconds) that
+// telemetry analyzers can aggregate without parsing the detail string.
+func (t *Trace) EventV(kind, detail string, value float64) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.events = append(t.events, Event{Kind: kind, Detail: detail, At: t.cursor, Seq: t.seq})
+	t.events = append(t.events, Event{Kind: kind, Detail: detail, At: t.cursor, Seq: t.seq, Value: value})
 	t.seq++
 }
 

@@ -150,8 +150,12 @@ func (o *Optimizer) matchViews(root plan.Node, res *CompileResult) plan.Node {
 				// entries, so it must not run before the reason is read.
 				state := o.Store.State(s.Strict)
 				if o.Store.Available(s.Strict) {
-					if o.viewWins(s, view) {
-						o.Trace.Event("view.matched", fmt.Sprintf("sig=%s op=%s rows=%d", s.Strict.Short(), n.OpName(), view.Rows))
+					if wins, saved := o.viewWins(s, view); wins {
+						// The event value carries the estimated container-
+						// seconds of recomputation the view avoids, so the
+						// telemetry critical-path analyzer can aggregate
+						// "time saved by reuse" without parsing details.
+						o.Trace.EventV("view.matched", fmt.Sprintf("sig=%s op=%s rows=%d", s.Strict.Short(), n.OpName(), view.Rows), saved)
 						res.Matched = append(res.Matched, MatchedView{
 							Strict:     s.Strict,
 							Recurring:  s.Recurring,
@@ -197,12 +201,13 @@ func (o *Optimizer) matchViews(root plan.Node, res *CompileResult) plan.Node {
 }
 
 // viewWins decides whether scanning the materialized view beats recomputing
-// the subexpression.
-func (o *Optimizer) viewWins(s signature.Subexpr, view *storage.View) bool {
+// the subexpression; saved is the estimated container-seconds of recompute
+// cost the view avoids (positive exactly when the view wins).
+func (o *Optimizer) viewWins(s signature.Subexpr, view *storage.View) (wins bool, saved float64) {
 	readCost := exec.ViewReadWork(view.Rows, view.Bytes)
 	if o.History != nil {
 		if sum, ok := o.History.Lookup(s.Recurring); ok && sum.AvgWork > 0 {
-			return readCost < sum.AvgWork
+			return readCost < sum.AvgWork, sum.AvgWork - readCost
 		}
 	}
 	// No history: fall back to the compile-time estimate of the subtree.
@@ -211,7 +216,7 @@ func (o *Optimizer) viewWins(s signature.Subexpr, view *storage.View) bool {
 	for _, e := range est {
 		total += e.Rows * 4.0e-6 // generic per-row cost
 	}
-	return readCost < total
+	return readCost < total, total - readCost
 }
 
 // buildViews inserts Spool operators (bottom-up) on selected subexpressions

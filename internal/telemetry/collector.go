@@ -1,0 +1,310 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+
+	"cloudviews/internal/obs"
+)
+
+// Canonical derived series names the engine samples at each day boundary, on
+// top of the raw obs.Registry snapshot. Watchdog rules reference these.
+const (
+	SeriesJobs            = "day_jobs"
+	SeriesHitRate         = "day_hit_rate"
+	SeriesLatencySec      = "day_latency_sec"
+	SeriesProcessingSec   = "day_processing_sec"
+	SeriesBonusSec        = "day_bonus_sec"
+	SeriesQueueLenAvg     = "day_queue_len_avg"
+	SeriesViewsBuilt      = "day_views_built"
+	SeriesViewsReused     = "day_views_reused"
+	SeriesFaultDelaySec   = "day_fault_delay_sec"
+	SeriesFaultRecoveries = "day_fault_recoveries"
+	SeriesStoreLiveViews  = "store_live_views"
+	SeriesStorePending    = "store_pending_views"
+	SeriesRepoJobs        = "repo_jobs"
+	SeriesRepoSubexprs    = "repo_subexprs"
+)
+
+// Config assembles a Collector.
+type Config struct {
+	// SeriesCap bounds each ring-buffer series (default 128 days — enough to
+	// retain the paper's two-month window with room to spare).
+	SeriesCap int
+	// Rules is the watchdog rule set (nil = DefaultRules of the zero
+	// SLOConfig).
+	Rules []Rule
+}
+
+// Collector is the feedback-loop health pipeline: per-job critical-path
+// aggregation (recorded at submission), day-cadence series sampling, and
+// watchdog evaluation at each simulated day boundary. All methods are safe
+// for concurrent use and no-op on a nil receiver, mirroring the obs layer's
+// nil-registry convention, so a disabled telemetry layer costs one branch.
+type Collector struct {
+	mu        sync.Mutex
+	seriesCap int
+	series    map[string]*Series
+	days      map[int]*DayAgg
+	watchdog  *Watchdog
+	alerts    []Alert
+}
+
+// DayAgg accumulates one simulated day's critical-path attribution.
+type DayAgg struct {
+	Day           int
+	Jobs          int
+	WallSec       float64
+	Phase         map[string]float64
+	ReuseSavedSec float64
+	FaultLossSec  float64
+	VCs           map[string]*VCAgg
+}
+
+// VCAgg is the per-VC slice of a day's attribution.
+type VCAgg struct {
+	Jobs          int
+	WallSec       float64
+	Phase         map[string]float64
+	ReuseSavedSec float64
+	FaultLossSec  float64
+}
+
+// NewCollector builds an empty collector.
+func NewCollector(cfg Config) *Collector {
+	if cfg.SeriesCap <= 0 {
+		cfg.SeriesCap = 128
+	}
+	rules := cfg.Rules
+	if rules == nil {
+		rules = DefaultRules(SLOConfig{})
+	}
+	return &Collector{
+		seriesCap: cfg.SeriesCap,
+		series:    make(map[string]*Series),
+		days:      make(map[int]*DayAgg),
+		watchdog:  NewWatchdog(rules),
+	}
+}
+
+// Rules exposes the active watchdog rule set (nil collector → nil).
+func (c *Collector) Rules() []Rule {
+	if c == nil {
+		return nil
+	}
+	return c.watchdog.Rules()
+}
+
+func (c *Collector) dayLocked(day int) *DayAgg {
+	d, ok := c.days[day]
+	if !ok {
+		d = &DayAgg{Day: day, Phase: make(map[string]float64), VCs: make(map[string]*VCAgg)}
+		c.days[day] = d
+	}
+	return d
+}
+
+func (d *DayAgg) vc(name string) *VCAgg {
+	v, ok := d.VCs[name]
+	if !ok {
+		v = &VCAgg{Phase: make(map[string]float64)}
+		d.VCs[name] = v
+	}
+	return v
+}
+
+// ObserveJob runs the critical-path analyzer over one finished job trace and
+// folds the attribution into the day/VC aggregates. Called from the data
+// plane on every submission, so it must stay cheap and race-clean.
+func (c *Collector) ObserveJob(day int, vc string, tr *obs.Trace) {
+	if c == nil || tr == nil {
+		return
+	}
+	bd := Analyze(tr)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.dayLocked(day)
+	v := d.vc(vc)
+	d.Jobs++
+	v.Jobs++
+	d.WallSec += bd.WallSec
+	v.WallSec += bd.WallSec
+	for phase, sec := range bd.Phase {
+		d.Phase[phase] += sec
+		v.Phase[phase] += sec
+	}
+	d.ReuseSavedSec += bd.ReuseSavedSec
+	v.ReuseSavedSec += bd.ReuseSavedSec
+	d.FaultLossSec += bd.FaultLossSec
+	v.FaultLossSec += bd.FaultLossSec
+}
+
+// AddQueueWait charges cluster-schedule queue time onto a day's breakdown.
+// The cluster queue span is overlaid on the trace AFTER the data plane has
+// observed the job, so the scheduler reports it here instead.
+func (c *Collector) AddQueueWait(day int, vc string, sec float64) {
+	c.addPhase(day, vc, "queue", sec)
+}
+
+// AddFaultLoss charges cluster-side fault recovery (stage retries, bonus
+// preemptions) onto a day's time-lost accounting.
+func (c *Collector) AddFaultLoss(day int, vc string, sec float64) {
+	if c == nil || sec == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.dayLocked(day)
+	d.FaultLossSec += sec
+	d.vc(vc).FaultLossSec += sec
+}
+
+func (c *Collector) addPhase(day int, vc, phase string, sec float64) {
+	if c == nil || sec == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.dayLocked(day)
+	d.Phase[phase] += sec
+	d.WallSec += sec
+	v := d.vc(vc)
+	v.Phase[phase] += sec
+	v.WallSec += sec
+}
+
+// EndOfDay samples one point per metric into the ring-buffer series (names
+// iterated in sorted order, so series creation order — and therefore every
+// rendering — is deterministic), evaluates the watchdog, records its alerts,
+// and returns the day's alerts.
+func (c *Collector) EndOfDay(day int, sample map[string]float64) []Alert {
+	if c == nil {
+		return nil
+	}
+	names := make([]string, 0, len(sample))
+	for name := range sample {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, name := range names {
+		s, ok := c.series[name]
+		if !ok {
+			s = NewSeries(name, c.seriesCap)
+			c.series[name] = s
+		}
+		s.Append(day, sample[name])
+	}
+	alerts := c.watchdog.Evaluate(day, c.series)
+	c.alerts = append(c.alerts, alerts...)
+	return alerts
+}
+
+// SampleRegistry merges a registry snapshot into a sample map (helper for
+// callers assembling the EndOfDay payload). Nil-safe on both sides.
+func SampleRegistry(r *obs.Registry, into map[string]float64) {
+	for name, v := range r.Snapshot() {
+		into[name] = v
+	}
+}
+
+// Alerts returns every alert recorded so far, in firing order.
+func (c *Collector) Alerts() []Alert {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Alert(nil), c.alerts...)
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot: the immutable view report renderers consume.
+
+// DaySnapshot is one day's aggregates with deterministic ordering.
+type DaySnapshot struct {
+	Day           int
+	Jobs          int
+	WallSec       float64
+	Phase         map[string]float64
+	ReuseSavedSec float64
+	FaultLossSec  float64
+	// VCNames is sorted; VCs is keyed by those names.
+	VCNames []string
+	VCs     map[string]VCAgg
+}
+
+// RunTelemetry is a complete, immutable copy of a collector's state: sorted
+// series, ordered days, and the alert log.
+type RunTelemetry struct {
+	Series []SeriesSnapshot // sorted by name
+	Days   []DaySnapshot    // sorted by day
+	Alerts []Alert          // firing order
+	Rules  []Rule           // active watchdog rules
+}
+
+// SeriesByName returns the named series snapshot, or nil.
+func (rt *RunTelemetry) SeriesByName(name string) *SeriesSnapshot {
+	if rt == nil {
+		return nil
+	}
+	for i := range rt.Series {
+		if rt.Series[i].Name == name {
+			return &rt.Series[i]
+		}
+	}
+	return nil
+}
+
+// Snapshot copies the collector state for rendering. Nil collector → nil.
+func (c *Collector) Snapshot() *RunTelemetry {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rt := &RunTelemetry{Rules: c.watchdog.Rules()}
+	names := make([]string, 0, len(c.series))
+	for name := range c.series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rt.Series = append(rt.Series, c.series[name].Snapshot())
+	}
+	days := make([]int, 0, len(c.days))
+	for day := range c.days {
+		days = append(days, day)
+	}
+	sort.Ints(days)
+	for _, day := range days {
+		d := c.days[day]
+		ds := DaySnapshot{
+			Day: d.Day, Jobs: d.Jobs, WallSec: d.WallSec,
+			Phase:         copyPhase(d.Phase),
+			ReuseSavedSec: d.ReuseSavedSec, FaultLossSec: d.FaultLossSec,
+			VCs: make(map[string]VCAgg, len(d.VCs)),
+		}
+		for vc, agg := range d.VCs {
+			ds.VCNames = append(ds.VCNames, vc)
+			ds.VCs[vc] = VCAgg{
+				Jobs: agg.Jobs, WallSec: agg.WallSec, Phase: copyPhase(agg.Phase),
+				ReuseSavedSec: agg.ReuseSavedSec, FaultLossSec: agg.FaultLossSec,
+			}
+		}
+		sort.Strings(ds.VCNames)
+		rt.Days = append(rt.Days, ds)
+	}
+	rt.Alerts = append([]Alert(nil), c.alerts...)
+	return rt
+}
+
+func copyPhase(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

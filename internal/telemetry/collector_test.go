@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"cloudviews/internal/fixtures"
+	"cloudviews/internal/obs"
+)
+
+func TestNilCollectorNoOps(t *testing.T) {
+	var c *Collector
+	c.ObserveJob(0, "vc", obs.NewTrace("j", fixtures.Epoch))
+	c.AddQueueWait(0, "vc", 1)
+	c.AddFaultLoss(0, "vc", 1)
+	if got := c.EndOfDay(0, map[string]float64{"x": 1}); got != nil {
+		t.Errorf("nil EndOfDay = %v", got)
+	}
+	if c.Snapshot() != nil || c.Alerts() != nil || c.Rules() != nil {
+		t.Error("nil collector accessors must return nil")
+	}
+}
+
+func jobTrace(saved float64) *obs.Trace {
+	tr := obs.NewTrace("j", fixtures.Epoch)
+	tr.Span("parse", time.Second)
+	tr.Span("execute:stage-00", 3*time.Second)
+	if saved > 0 {
+		tr.EventV("view.matched", "sig=x", saved)
+	}
+	return tr
+}
+
+func TestCollectorAggregation(t *testing.T) {
+	c := NewCollector(Config{})
+	c.ObserveJob(0, "vc-a", jobTrace(5))
+	c.ObserveJob(0, "vc-a", jobTrace(0))
+	c.ObserveJob(0, "vc-b", jobTrace(0))
+	c.AddQueueWait(0, "vc-a", 2.5)
+	c.AddFaultLoss(0, "vc-b", 1.5)
+
+	rt := c.Snapshot()
+	if len(rt.Days) != 1 {
+		t.Fatalf("days = %d", len(rt.Days))
+	}
+	d := rt.Days[0]
+	if d.Jobs != 3 {
+		t.Errorf("Jobs = %d, want 3", d.Jobs)
+	}
+	// 3 jobs × 4s wall + 2.5s queue charged on top.
+	if d.WallSec != 14.5 {
+		t.Errorf("WallSec = %v, want 14.5", d.WallSec)
+	}
+	if d.Phase["queue"] != 2.5 || d.Phase["execute"] != 9 || d.Phase["parse"] != 3 {
+		t.Errorf("Phase = %v", d.Phase)
+	}
+	if d.ReuseSavedSec != 5 || d.FaultLossSec != 1.5 {
+		t.Errorf("saved=%v lost=%v", d.ReuseSavedSec, d.FaultLossSec)
+	}
+	if !reflect.DeepEqual(d.VCNames, []string{"vc-a", "vc-b"}) {
+		t.Errorf("VCNames = %v", d.VCNames)
+	}
+	a := d.VCs["vc-a"]
+	if a.Jobs != 2 || a.WallSec != 10.5 || a.ReuseSavedSec != 5 {
+		t.Errorf("vc-a = %+v", a)
+	}
+	b := d.VCs["vc-b"]
+	if b.Jobs != 1 || b.FaultLossSec != 1.5 {
+		t.Errorf("vc-b = %+v", b)
+	}
+}
+
+func TestCollectorEndOfDayAndAlerts(t *testing.T) {
+	c := NewCollector(Config{Rules: []Rule{
+		{Name: "too-big", Metric: "x", Kind: Above, Threshold: 10, Severity: SevPage},
+	}})
+	if got := c.EndOfDay(0, map[string]float64{"x": 5, "y": 1}); len(got) != 0 {
+		t.Errorf("day 0 fired: %v", got)
+	}
+	alerts := c.EndOfDay(1, map[string]float64{"x": 50, "y": 2})
+	if len(alerts) != 1 || alerts[0].Rule != "too-big" || alerts[0].Day != 1 {
+		t.Fatalf("day 1 alerts = %v", alerts)
+	}
+	// The collector accumulates the alert log across days.
+	if all := c.Alerts(); len(all) != 1 || all[0].Rule != "too-big" {
+		t.Errorf("Alerts() = %v", all)
+	}
+	rt := c.Snapshot()
+	if len(rt.Alerts) != 1 {
+		t.Errorf("snapshot alerts = %v", rt.Alerts)
+	}
+	x := rt.SeriesByName("x")
+	if x == nil || x.Count != 2 || x.Last != 50 {
+		t.Errorf("series x = %+v", x)
+	}
+	if rt.SeriesByName("nope") != nil {
+		t.Error("SeriesByName on a missing name must return nil")
+	}
+}
+
+func TestCollectorSnapshotSorted(t *testing.T) {
+	c := NewCollector(Config{})
+	c.EndOfDay(0, map[string]float64{"zz": 1, "aa": 2, "mm": 3})
+	c.ObserveJob(2, "vc", jobTrace(0))
+	c.ObserveJob(1, "vc", jobTrace(0))
+	rt := c.Snapshot()
+	for i := 1; i < len(rt.Series); i++ {
+		if rt.Series[i-1].Name >= rt.Series[i].Name {
+			t.Fatalf("series not sorted: %v >= %v", rt.Series[i-1].Name, rt.Series[i].Name)
+		}
+	}
+	if len(rt.Days) != 2 || rt.Days[0].Day != 1 || rt.Days[1].Day != 2 {
+		t.Errorf("days not sorted: %+v", rt.Days)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector(Config{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			vc := fmt.Sprintf("vc-%d", g%3)
+			for i := 0; i < 50; i++ {
+				c.ObserveJob(0, vc, jobTrace(1))
+				c.AddQueueWait(0, vc, 0.5)
+				c.AddFaultLoss(0, vc, 0.25)
+			}
+		}(g)
+	}
+	wg.Wait()
+	rt := c.Snapshot()
+	d := rt.Days[0]
+	if d.Jobs != 8*50 {
+		t.Errorf("Jobs = %d, want %d", d.Jobs, 8*50)
+	}
+	if d.ReuseSavedSec != 400 {
+		t.Errorf("saved = %v, want 400", d.ReuseSavedSec)
+	}
+}
+
+func TestSampleRegistry(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(7)
+	r.Histogram("h", []float64{1, 10}).Observe(4)
+	into := map[string]float64{"pre": 1}
+	SampleRegistry(r, into)
+	if into["c"] != 3 || into["g"] != 7 || into["h_count"] != 1 || into["h_sum"] != 4 || into["pre"] != 1 {
+		t.Errorf("sample = %v", into)
+	}
+	// Nil registry merges nothing and must not panic.
+	SampleRegistry(nil, into)
+}

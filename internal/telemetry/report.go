@@ -1,0 +1,309 @@
+package telemetry
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+)
+
+// ArmReport is one experiment arm's telemetry for rendering.
+type ArmReport struct {
+	Name      string
+	Telemetry *RunTelemetry
+}
+
+// Report is the cvdash document: one arm for a plain run, two for an A/B
+// production window. Rendering is a pure function of the snapshot contents —
+// no wall-clock timestamps, no map iteration — so identical runs render
+// byte-identical text and HTML.
+type Report struct {
+	Title string
+	Arms  []ArmReport
+}
+
+// armAlerts is nil-safe access to an arm's alert log.
+func armAlerts(rt *RunTelemetry) []Alert {
+	if rt == nil {
+		return nil
+	}
+	return rt.Alerts
+}
+
+// textSeries filters the series shown in the plain-text summary to unlabeled
+// families (derived day_*/store_*/repo_* gauges and family-level registry
+// metrics); per-label series stay in the HTML report and in alert messages.
+func textSeries(rt *RunTelemetry) []SeriesSnapshot {
+	var out []SeriesSnapshot
+	for _, s := range rt.Series {
+		if !strings.Contains(s.Name, "{") {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// phaseOrder returns the phases present in the day snapshots, canonical
+// phases first, then any unknown families alphabetically.
+func phaseOrder(days []DaySnapshot) []string {
+	present := make(map[string]bool)
+	for _, d := range days {
+		for p := range d.Phase {
+			present[p] = true
+		}
+	}
+	var out []string
+	for _, p := range Phases {
+		if present[p] {
+			out = append(out, p)
+			delete(present, p)
+		}
+	}
+	var rest []string
+	for p := range present {
+		rest = append(rest, p)
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}
+
+// RenderText renders the plain-text summary: sparkline series, the phase
+// breakdown, the per-day health table, and the alert log.
+func (r *Report) RenderText() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n", r.Title, strings.Repeat("=", len(r.Title)))
+	for _, arm := range r.Arms {
+		rt := arm.Telemetry
+		fmt.Fprintf(&b, "\n== arm: %s — SLO verdict: %s ==\n", arm.Name, Verdict(armAlerts(rt)))
+		if rt == nil || (len(rt.Series) == 0 && len(rt.Days) == 0) {
+			b.WriteString("  (no telemetry recorded)\n")
+			continue
+		}
+
+		b.WriteString("\nSERIES (min / mean / max / last, sparkline over retained days)\n")
+		for _, s := range textSeries(rt) {
+			fmt.Fprintf(&b, "  %-34s %12.3f /%12.3f /%12.3f /%12.3f  %s\n",
+				s.Name, s.Min, s.Mean, s.Max, s.Last, s.Sparkline())
+		}
+
+		phases := phaseOrder(rt.Days)
+		totals := make(map[string]float64)
+		var wall, saved, lost float64
+		jobs := 0
+		for _, d := range rt.Days {
+			for p, sec := range d.Phase {
+				totals[p] += sec
+			}
+			wall += d.WallSec
+			saved += d.ReuseSavedSec
+			lost += d.FaultLossSec
+			jobs += d.Jobs
+		}
+		fmt.Fprintf(&b, "\nCRITICAL PATH (%d jobs, %.1fs total wall)\n", jobs, wall)
+		fmt.Fprintf(&b, "  %-12s %14s %8s\n", "phase", "seconds", "share")
+		for _, p := range phases {
+			share := 0.0
+			if wall > 0 {
+				share = 100 * totals[p] / wall
+			}
+			fmt.Fprintf(&b, "  %-12s %14.3f %7.1f%%\n", p, totals[p], share)
+		}
+		fmt.Fprintf(&b, "  reuse saved %.1fs of recomputation; fault recovery lost %.1fs\n", saved, lost)
+
+		b.WriteString("\nPER-DAY HEALTH\n")
+		fmt.Fprintf(&b, "  %4s %6s %12s %12s %12s %10s %10s\n",
+			"day", "jobs", "wall-s", "execute-s", "queue-s", "saved-s", "lost-s")
+		for _, d := range rt.Days {
+			fmt.Fprintf(&b, "  %4d %6d %12.2f %12.2f %12.2f %10.2f %10.2f\n",
+				d.Day, d.Jobs, d.WallSec, d.Phase["execute"], d.Phase["queue"],
+				d.ReuseSavedSec, d.FaultLossSec)
+		}
+
+		fmt.Fprintf(&b, "\nALERTS (%d)\n", len(rt.Alerts))
+		if len(rt.Alerts) == 0 {
+			b.WriteString("  none\n")
+		}
+		for _, a := range rt.Alerts {
+			fmt.Fprintf(&b, "  %s\n", a.String())
+		}
+	}
+	return b.String()
+}
+
+// sparkSVG renders a series as a small inline SVG polyline. Coordinates are
+// formatted with fixed precision so the markup is deterministic.
+func sparkSVG(pts []Point) string {
+	const w, h = 240.0, 36.0
+	if len(pts) == 0 {
+		return fmt.Sprintf(`<svg width="%.0f" height="%.0f"></svg>`, w, h)
+	}
+	lo, hi := pts[0].Value, pts[0].Value
+	for _, p := range pts {
+		if p.Value < lo {
+			lo = p.Value
+		}
+		if p.Value > hi {
+			hi = p.Value
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	var coords []string
+	for i, p := range pts {
+		x := 2.0
+		if len(pts) > 1 {
+			x = 2 + (w-4)*float64(i)/float64(len(pts)-1)
+		}
+		y := h - 2 - (h-4)*(p.Value-lo)/span
+		coords = append(coords, fmt.Sprintf("%.1f,%.1f", x, y))
+	}
+	if len(pts) == 1 {
+		return fmt.Sprintf(`<svg width="%.0f" height="%.0f"><circle cx="%s" r="2" class="spark"/></svg>`,
+			w, h, strings.Replace(coords[0], ",", `" cy="`, 1))
+	}
+	return fmt.Sprintf(`<svg width="%.0f" height="%.0f"><polyline points="%s" class="spark"/></svg>`,
+		w, h, strings.Join(coords, " "))
+}
+
+const htmlStyle = `body{font-family:ui-monospace,Menlo,Consolas,monospace;margin:2em;color:#1a1a2e;background:#fafafa}
+h1{font-size:1.4em}h2{font-size:1.1em;border-bottom:2px solid #1a1a2e;padding-bottom:.2em;margin-top:2em}
+table{border-collapse:collapse;margin:.8em 0}th,td{border:1px solid #ccc;padding:.25em .6em;text-align:right;font-size:.85em}
+th{background:#eee}td.l,th.l{text-align:left}
+.spark{fill:none;stroke:#3b6ea5;stroke-width:1.5}circle.spark{fill:#3b6ea5}
+.warn{color:#8a6d00}.page{color:#a4202f;font-weight:bold}.ok{color:#1d7a3e;font-weight:bold}
+svg{background:#fff;border:1px solid #ddd;vertical-align:middle}`
+
+// RenderHTML renders the self-contained dashboard: verdicts, alert log,
+// sparkline series, phase breakdown, and per-day / per-VC tables.
+func (r *Report) RenderHTML() string {
+	var b strings.Builder
+	b.WriteString("<!doctype html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n<style>%s</style>\n</head>\n<body>\n", html.EscapeString(r.Title), htmlStyle)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(r.Title))
+
+	// Verdict banner.
+	b.WriteString("<p>")
+	for i, arm := range r.Arms {
+		if i > 0 {
+			b.WriteString(" &middot; ")
+		}
+		verdict := Verdict(armAlerts(arm.Telemetry))
+		class := "ok"
+		if verdict != "OK" {
+			class = "page"
+		}
+		fmt.Fprintf(&b, "%s: <span class=\"%s\">%s</span>", html.EscapeString(arm.Name), class, html.EscapeString(verdict))
+	}
+	b.WriteString("</p>\n")
+
+	for _, arm := range r.Arms {
+		rt := arm.Telemetry
+		fmt.Fprintf(&b, "<h2>arm: %s</h2>\n", html.EscapeString(arm.Name))
+		if rt == nil || (len(rt.Series) == 0 && len(rt.Days) == 0) {
+			b.WriteString("<p>(no telemetry recorded)</p>\n")
+			continue
+		}
+
+		// Alert log.
+		fmt.Fprintf(&b, "<h3>alerts (%d)</h3>\n", len(rt.Alerts))
+		if len(rt.Alerts) == 0 {
+			b.WriteString("<p class=\"ok\">no SLO alerts</p>\n")
+		} else {
+			b.WriteString("<table><tr><th>day</th><th class=\"l\">severity</th><th class=\"l\">rule</th><th class=\"l\">metric</th><th>value</th><th>reference</th><th class=\"l\">message</th></tr>\n")
+			for _, a := range rt.Alerts {
+				fmt.Fprintf(&b, "<tr><td>%d</td><td class=\"l %s\">%s</td><td class=\"l\">%s</td><td class=\"l\">%s</td><td>%s</td><td>%s</td><td class=\"l\">%s</td></tr>\n",
+					a.Day, a.Severity, a.Severity, html.EscapeString(a.Rule),
+					html.EscapeString(a.Metric), fmtVal(a.Value), fmtVal(a.Reference),
+					html.EscapeString(a.Message))
+			}
+			b.WriteString("</table>\n")
+		}
+
+		// Phase breakdown.
+		phases := phaseOrder(rt.Days)
+		totals := make(map[string]float64)
+		var wall, saved, lost float64
+		jobs := 0
+		for _, d := range rt.Days {
+			for p, sec := range d.Phase {
+				totals[p] += sec
+			}
+			wall += d.WallSec
+			saved += d.ReuseSavedSec
+			lost += d.FaultLossSec
+			jobs += d.Jobs
+		}
+		fmt.Fprintf(&b, "<h3>critical path (%d jobs, %.1fs total wall)</h3>\n", jobs, wall)
+		b.WriteString("<table><tr><th class=\"l\">phase</th><th>seconds</th><th>share</th></tr>\n")
+		for _, p := range phases {
+			share := 0.0
+			if wall > 0 {
+				share = 100 * totals[p] / wall
+			}
+			fmt.Fprintf(&b, "<tr><td class=\"l\">%s</td><td>%.3f</td><td>%.1f%%</td></tr>\n", html.EscapeString(p), totals[p], share)
+		}
+		b.WriteString("</table>\n")
+		fmt.Fprintf(&b, "<p>reuse saved <b>%.1fs</b> of recomputation; fault recovery lost <b>%.1fs</b></p>\n", saved, lost)
+
+		// Per-day table.
+		b.WriteString("<h3>per-day health</h3>\n<table><tr><th>day</th><th>jobs</th><th>wall-s</th>")
+		for _, p := range phases {
+			fmt.Fprintf(&b, "<th>%s</th>", html.EscapeString(p))
+		}
+		b.WriteString("<th>saved-s</th><th>lost-s</th></tr>\n")
+		for _, d := range rt.Days {
+			fmt.Fprintf(&b, "<tr><td>%d</td><td>%d</td><td>%.2f</td>", d.Day, d.Jobs, d.WallSec)
+			for _, p := range phases {
+				fmt.Fprintf(&b, "<td>%.2f</td>", d.Phase[p])
+			}
+			fmt.Fprintf(&b, "<td>%.2f</td><td>%.2f</td></tr>\n", d.ReuseSavedSec, d.FaultLossSec)
+		}
+		b.WriteString("</table>\n")
+
+		// Per-VC totals over the window.
+		type vcTotal struct {
+			jobs                    int
+			wall, exec, queue, save float64
+			lost                    float64
+		}
+		vcTotals := make(map[string]*vcTotal)
+		var vcNames []string
+		for _, d := range rt.Days {
+			for _, vc := range d.VCNames {
+				agg := d.VCs[vc]
+				t, ok := vcTotals[vc]
+				if !ok {
+					t = &vcTotal{}
+					vcTotals[vc] = t
+					vcNames = append(vcNames, vc)
+				}
+				t.jobs += agg.Jobs
+				t.wall += agg.WallSec
+				t.exec += agg.Phase["execute"]
+				t.queue += agg.Phase["queue"]
+				t.save += agg.ReuseSavedSec
+				t.lost += agg.FaultLossSec
+			}
+		}
+		sort.Strings(vcNames)
+		b.WriteString("<h3>per-VC totals</h3>\n<table><tr><th class=\"l\">vc</th><th>jobs</th><th>wall-s</th><th>execute-s</th><th>queue-s</th><th>saved-s</th><th>lost-s</th></tr>\n")
+		for _, vc := range vcNames {
+			t := vcTotals[vc]
+			fmt.Fprintf(&b, "<tr><td class=\"l\">%s</td><td>%d</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%.2f</td></tr>\n",
+				html.EscapeString(vc), t.jobs, t.wall, t.exec, t.queue, t.save, t.lost)
+		}
+		b.WriteString("</table>\n")
+
+		// Series sparklines (every series, labeled ones included).
+		fmt.Fprintf(&b, "<h3>series (%d)</h3>\n<table><tr><th class=\"l\">series</th><th>min</th><th>mean</th><th>max</th><th>last</th><th class=\"l\">trend</th></tr>\n", len(rt.Series))
+		for _, s := range rt.Series {
+			fmt.Fprintf(&b, "<tr><td class=\"l\">%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td class=\"l\">%s</td></tr>\n",
+				html.EscapeString(s.Name), fmtVal(s.Min), fmtVal(s.Mean), fmtVal(s.Max), fmtVal(s.Last), sparkSVG(s.Points))
+		}
+		b.WriteString("</table>\n")
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}

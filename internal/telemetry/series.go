@@ -1,0 +1,186 @@
+// Package telemetry is the feedback-loop health layer of the CloudViews
+// reproduction: a simulated-day time-series pipeline sampled from the obs
+// registry and the engine's substrates, a critical-path analyzer that
+// attributes each job's latency to its pipeline phases, and an SLO watchdog
+// rule engine that turns day-over-day movement into deterministic alert
+// records. The paper's evaluation (§5–6) is exactly this kind of telemetry
+// tracked over the two-month window — hit rates, storage vs. budget, bonus
+// usage, latency movement — so the package exists to observe the loop's
+// health over simulated time, not just at a point. Everything here is driven
+// by the simulated clock (day indices, never time.Now), is safe for
+// concurrent recording, and renders deterministically: same seed, same
+// bytes.
+package telemetry
+
+import (
+	"math"
+	"strings"
+)
+
+// Point is one day-cadence sample of a series.
+type Point struct {
+	Day   int
+	Value float64
+}
+
+// Series is a fixed-capacity ring buffer of day-cadence samples with running
+// min/max/mean/last aggregates over EVERY sample ever appended (the ring only
+// bounds what is retained for sparklines and windowed rules, not what the
+// aggregates saw).
+type Series struct {
+	Name string
+
+	buf   []Point
+	head  int // index of the oldest retained point (ring full)
+	count int // total appended
+
+	min, max, sum, last float64
+}
+
+// NewSeries returns an empty series retaining at most capacity points
+// (minimum 2, so day-over-day rules always have a reference).
+func NewSeries(name string, capacity int) *Series {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &Series{Name: name, buf: make([]Point, 0, capacity)}
+}
+
+// Append records one sample. Samples must arrive in non-decreasing day order
+// (the pipeline samples once per simulated day).
+func (s *Series) Append(day int, v float64) {
+	if s.count == 0 || v < s.min {
+		s.min = v
+	}
+	if s.count == 0 || v > s.max {
+		s.max = v
+	}
+	s.sum += v
+	s.last = v
+	s.count++
+	if len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, Point{day, v})
+		return
+	}
+	s.buf[s.head] = Point{day, v}
+	s.head = (s.head + 1) % len(s.buf)
+}
+
+// Len returns the number of retained points; Count the number ever appended.
+func (s *Series) Len() int   { return len(s.buf) }
+func (s *Series) Count() int { return s.count }
+
+// Points returns the retained points, oldest first.
+func (s *Series) Points() []Point {
+	out := make([]Point, 0, len(s.buf))
+	if len(s.buf) < cap(s.buf) {
+		return append(out, s.buf...)
+	}
+	out = append(out, s.buf[s.head:]...)
+	out = append(out, s.buf[:s.head]...)
+	return out
+}
+
+// Last returns the most recent value (0 on an empty series); LastDay its day
+// index (-1 on empty).
+func (s *Series) Last() float64 { return s.last }
+
+// LastDay returns the day of the most recent sample, or -1 when empty.
+func (s *Series) LastDay() int {
+	if s.count == 0 {
+		return -1
+	}
+	if len(s.buf) < cap(s.buf) {
+		return s.buf[len(s.buf)-1].Day
+	}
+	return s.buf[(s.head+len(s.buf)-1)%len(s.buf)].Day
+}
+
+// Min, Max, Mean aggregate over every appended sample.
+func (s *Series) Min() float64 { return s.min }
+func (s *Series) Max() float64 { return s.max }
+func (s *Series) Mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.sum / float64(s.count)
+}
+
+// Reference returns the mean of the `window` retained points immediately
+// before the latest one — the comparison value for day-over-day (window=1)
+// and windowed-delta rules. ok is false when fewer than window+1 points are
+// retained.
+func (s *Series) Reference(window int) (ref float64, ok bool) {
+	if window < 1 {
+		window = 1
+	}
+	pts := s.Points()
+	if len(pts) < window+1 {
+		return 0, false
+	}
+	var sum float64
+	for _, p := range pts[len(pts)-1-window : len(pts)-1] {
+		sum += p.Value
+	}
+	return sum / float64(window), true
+}
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders the retained points as a block-character sparkline,
+// scaled to the retained min/max (flat series render as a low bar).
+func (s *Series) Sparkline() string { return sparkline(s.Points()) }
+
+// Sparkline renders the snapshot's points as a block-character sparkline.
+func (s SeriesSnapshot) Sparkline() string { return sparkline(s.Points) }
+
+func sparkline(pts []Point) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	lo, hi := pts[0].Value, pts[0].Value
+	for _, p := range pts {
+		if p.Value < lo {
+			lo = p.Value
+		}
+		if p.Value > hi {
+			hi = p.Value
+		}
+	}
+	var b strings.Builder
+	for _, p := range pts {
+		idx := 0
+		if hi > lo {
+			idx = int(math.Floor((p.Value - lo) / (hi - lo) * float64(len(sparkRunes)-1)))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkRunes) {
+				idx = len(sparkRunes) - 1
+			}
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// SeriesSnapshot is an immutable copy of a series for report rendering.
+type SeriesSnapshot struct {
+	Name                 string
+	Points               []Point
+	Min, Max, Mean, Last float64
+	Count                int
+}
+
+// Snapshot copies the series state.
+func (s *Series) Snapshot() SeriesSnapshot {
+	return SeriesSnapshot{
+		Name:   s.Name,
+		Points: s.Points(),
+		Min:    s.Min(),
+		Max:    s.Max(),
+		Mean:   s.Mean(),
+		Last:   s.Last(),
+		Count:  s.count,
+	}
+}

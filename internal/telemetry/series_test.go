@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSeriesRingRetention(t *testing.T) {
+	s := NewSeries("x", 3)
+	for day := 0; day < 5; day++ {
+		s.Append(day, float64(day*10))
+	}
+	if s.Len() != 3 || s.Count() != 5 {
+		t.Fatalf("Len=%d Count=%d, want 3/5", s.Len(), s.Count())
+	}
+	want := []Point{{2, 20}, {3, 30}, {4, 40}}
+	if got := s.Points(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Points() = %v, want %v (oldest first across ring wrap)", got, want)
+	}
+	if s.LastDay() != 4 || s.Last() != 40 {
+		t.Errorf("LastDay=%d Last=%v, want 4/40", s.LastDay(), s.Last())
+	}
+}
+
+func TestSeriesAggregatesSurviveEviction(t *testing.T) {
+	// Capacity 2, but min/max/mean must cover EVERY appended sample, including
+	// the evicted ones.
+	s := NewSeries("x", 2)
+	for _, v := range []float64{100, -5, 1, 2} {
+		s.Append(0, v)
+	}
+	if s.Min() != -5 {
+		t.Errorf("Min=%v, want -5 (evicted sample)", s.Min())
+	}
+	if s.Max() != 100 {
+		t.Errorf("Max=%v, want 100 (evicted sample)", s.Max())
+	}
+	if want := (100.0 - 5 + 1 + 2) / 4; s.Mean() != want {
+		t.Errorf("Mean=%v, want %v", s.Mean(), want)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewSeries("x", 4)
+	if s.LastDay() != -1 {
+		t.Errorf("LastDay on empty = %d, want -1", s.LastDay())
+	}
+	if s.Mean() != 0 || s.Last() != 0 {
+		t.Error("empty series aggregates should be zero")
+	}
+	if _, ok := s.Reference(1); ok {
+		t.Error("Reference on empty series must report !ok")
+	}
+	if s.Sparkline() != "" {
+		t.Errorf("Sparkline on empty series = %q, want empty", s.Sparkline())
+	}
+}
+
+func TestSeriesMinimumCapacity(t *testing.T) {
+	// Capacity below 2 is bumped so day-over-day rules always have a reference.
+	s := NewSeries("x", 0)
+	s.Append(0, 1)
+	s.Append(1, 2)
+	if s.Len() != 2 {
+		t.Fatalf("Len=%d, want 2 (minimum capacity)", s.Len())
+	}
+	if ref, ok := s.Reference(1); !ok || ref != 1 {
+		t.Errorf("Reference(1) = %v,%v, want 1,true", ref, ok)
+	}
+}
+
+func TestSeriesReference(t *testing.T) {
+	s := NewSeries("x", 8)
+	for day, v := range []float64{10, 20, 30, 40} {
+		s.Append(day, v)
+	}
+	if ref, ok := s.Reference(1); !ok || ref != 30 {
+		t.Errorf("Reference(1) = %v,%v, want 30,true", ref, ok)
+	}
+	if ref, ok := s.Reference(3); !ok || ref != 20 {
+		t.Errorf("Reference(3) = %v,%v, want mean(10,20,30)=20,true", ref, ok)
+	}
+	if _, ok := s.Reference(4); ok {
+		t.Error("Reference(4) with 4 points must report !ok (needs window+1)")
+	}
+	// window < 1 is clamped to day-over-day.
+	if ref, ok := s.Reference(0); !ok || ref != 30 {
+		t.Errorf("Reference(0) = %v,%v, want 30,true", ref, ok)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	flat := NewSeries("flat", 4)
+	for day := 0; day < 4; day++ {
+		flat.Append(day, 7)
+	}
+	if got := flat.Sparkline(); got != "▁▁▁▁" {
+		t.Errorf("flat sparkline = %q, want low bars", got)
+	}
+
+	rise := NewSeries("rise", 4)
+	for day := 0; day < 4; day++ {
+		rise.Append(day, float64(day))
+	}
+	got := []rune(rise.Sparkline())
+	if len(got) != 4 || got[0] != '▁' || got[3] != '█' {
+		t.Errorf("rising sparkline = %q, want ▁..█", string(got))
+	}
+}
+
+func TestSeriesSnapshot(t *testing.T) {
+	s := NewSeries("x", 4)
+	s.Append(0, 1)
+	s.Append(1, 3)
+	snap := s.Snapshot()
+	if snap.Name != "x" || snap.Count != 2 || snap.Min != 1 || snap.Max != 3 || snap.Last != 3 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	// The snapshot owns its points: mutating the series afterwards must not
+	// change it.
+	s.Append(2, 100)
+	if len(snap.Points) != 2 {
+		t.Error("snapshot points aliased to live series")
+	}
+	if snap.Sparkline() != sparkline(snap.Points) {
+		t.Error("snapshot sparkline disagrees with free function")
+	}
+}

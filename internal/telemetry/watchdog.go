@@ -1,0 +1,301 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity grades an alert.
+type Severity string
+
+// Severities, mildest first.
+const (
+	SevWarn Severity = "warn"
+	SevPage Severity = "page"
+)
+
+// RuleKind selects the comparison a rule applies to its metric.
+type RuleKind int
+
+const (
+	// Above fires when the day's value exceeds Threshold.
+	Above RuleKind = iota
+	// Below fires when the day's value falls under Threshold.
+	Below
+	// DropPct fires when the day's value dropped more than Threshold percent
+	// relative to the windowed reference (mean of the prior Window samples).
+	DropPct
+	// GrowthPct fires when the day's value grew more than Threshold percent
+	// relative to the windowed reference.
+	GrowthPct
+)
+
+func (k RuleKind) String() string {
+	switch k {
+	case Above:
+		return "above"
+	case Below:
+		return "below"
+	case DropPct:
+		return "drop-pct"
+	case GrowthPct:
+		return "growth-pct"
+	}
+	return "unknown"
+}
+
+// Rule is one declarative SLO check evaluated against the sampled series at
+// every end-of-day tick.
+type Rule struct {
+	// Name identifies the rule in alert records (stable, kebab-case).
+	Name string
+	// Metric is the series name the rule watches. A trailing '*' makes it a
+	// prefix match over every sampled series (e.g. `cloudviews_view_bytes{*`
+	// watches each per-VC byte gauge independently).
+	Metric string
+	Kind   RuleKind
+	// Threshold is the absolute limit (Above/Below) or the percent delta
+	// (DropPct/GrowthPct).
+	Threshold float64
+	// Window is how many prior samples form the delta reference (default 1:
+	// plain day-over-day).
+	Window int
+	// MinReference silences delta rules while the reference is below this
+	// floor (a 60% drop from a near-zero hit rate is noise, not regression).
+	MinReference float64
+	// MinValue silences the rule while the day's value is below this floor.
+	MinValue float64
+	Severity Severity
+}
+
+// Alert is one deterministic watchdog finding.
+type Alert struct {
+	Day      int
+	Rule     string
+	Severity Severity
+	Metric   string
+	// Value is the day's sampled value; Reference the comparison value (the
+	// threshold for Above/Below, the windowed mean for delta rules).
+	Value     float64
+	Reference float64
+	Message   string
+}
+
+// String renders the alert as one deterministic log line.
+func (a Alert) String() string {
+	return fmt.Sprintf("day %02d [%s] %s: %s", a.Day, a.Severity, a.Rule, a.Message)
+}
+
+// Watchdog evaluates a fixed rule list against the series map. Alerts come
+// back ordered by (rule order, metric name), so identical runs emit
+// byte-identical alert logs.
+type Watchdog struct {
+	rules []Rule
+}
+
+// NewWatchdog builds a watchdog over the given rules (order is preserved and
+// determines alert order within a day).
+func NewWatchdog(rules []Rule) *Watchdog {
+	return &Watchdog{rules: append([]Rule(nil), rules...)}
+}
+
+// Rules returns a copy of the rule list.
+func (w *Watchdog) Rules() []Rule { return append([]Rule(nil), w.rules...) }
+
+// Evaluate runs every rule against the series sampled for `day` and returns
+// the alerts in deterministic order. Series whose latest sample is not for
+// this day are skipped (the rule only judges fresh data).
+func (w *Watchdog) Evaluate(day int, series map[string]*Series) []Alert {
+	if w == nil {
+		return nil
+	}
+	var alerts []Alert
+	for _, r := range w.rules {
+		for _, name := range r.matchNames(series) {
+			s := series[name]
+			if s == nil || s.LastDay() != day {
+				continue
+			}
+			if a, fired := r.check(day, name, s); fired {
+				alerts = append(alerts, a)
+			}
+		}
+	}
+	return alerts
+}
+
+// matchNames resolves the rule's metric to concrete series names, sorted.
+func (r Rule) matchNames(series map[string]*Series) []string {
+	if !strings.HasSuffix(r.Metric, "*") {
+		if _, ok := series[r.Metric]; ok {
+			return []string{r.Metric}
+		}
+		return nil
+	}
+	prefix := strings.TrimSuffix(r.Metric, "*")
+	var names []string
+	for name := range series {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (r Rule) check(day int, name string, s *Series) (Alert, bool) {
+	v := s.Last()
+	if v < r.MinValue {
+		return Alert{}, false
+	}
+	window := r.Window
+	if window < 1 {
+		window = 1
+	}
+	switch r.Kind {
+	case Above:
+		if v > r.Threshold {
+			return r.alert(day, name, v, r.Threshold,
+				fmt.Sprintf("%s = %s exceeds budget %s", name, fmtVal(v), fmtVal(r.Threshold))), true
+		}
+	case Below:
+		if v < r.Threshold {
+			return r.alert(day, name, v, r.Threshold,
+				fmt.Sprintf("%s = %s under floor %s", name, fmtVal(v), fmtVal(r.Threshold))), true
+		}
+	case DropPct:
+		ref, ok := s.Reference(window)
+		if !ok || ref < r.MinReference || ref <= 0 {
+			return Alert{}, false
+		}
+		if drop := 100 * (ref - v) / ref; drop > r.Threshold {
+			return r.alert(day, name, v, ref,
+				fmt.Sprintf("%s dropped %.1f%% vs %d-day reference (%s -> %s, limit %.0f%%)",
+					name, drop, window, fmtVal(ref), fmtVal(v), r.Threshold)), true
+		}
+	case GrowthPct:
+		ref, ok := s.Reference(window)
+		if !ok || ref < r.MinReference || ref <= 0 {
+			return Alert{}, false
+		}
+		if growth := 100 * (v - ref) / ref; growth > r.Threshold {
+			return r.alert(day, name, v, ref,
+				fmt.Sprintf("%s grew %.1f%% vs %d-day reference (%s -> %s, limit %.0f%%)",
+					name, growth, window, fmtVal(ref), fmtVal(v), r.Threshold)), true
+		}
+	}
+	return Alert{}, false
+}
+
+func (r Rule) alert(day int, metric string, value, ref float64, msg string) Alert {
+	return Alert{
+		Day: day, Rule: r.Name, Severity: r.Severity,
+		Metric: metric, Value: value, Reference: ref, Message: msg,
+	}
+}
+
+func fmtVal(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// SLOConfig tunes the default watchdog rules. The zero value yields a rule
+// set that stays silent on a healthy fault-free run: the storage rule is
+// disabled until a budget is set, the delta rules carry noise floors, and
+// the fault rule only counts actual recovery work.
+type SLOConfig struct {
+	// StorageBudgetPerVC pages when any VC's sealed-view bytes exceed it
+	// (0 disables the rule — mirrors analysis.SelectionConfig's budget).
+	StorageBudgetPerVC int64
+	// HitRateDropPct warns when the per-day view hit rate drops more than
+	// this percent vs. the windowed reference (default 60).
+	HitRateDropPct float64
+	// MinHitRate is the reference floor below which the drop rule is silent
+	// (default 0.10 views/job).
+	MinHitRate float64
+	// QueueGrowthPct warns when the average queue length at job start grows
+	// more than this percent day over day (default 150).
+	QueueGrowthPct float64
+	// MinQueueLen is the value floor for the queue rule (default 4).
+	MinQueueLen float64
+	// FaultSpikeMax warns when a day performs more fault recoveries (job
+	// retries + stage retries + preemptions + reuse fallbacks) than this
+	// (default 8; any clean day scores 0).
+	FaultSpikeMax float64
+	// Window sizes the delta-rule reference window in days (default 1).
+	Window int
+}
+
+// withDefaults fills zero fields.
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.HitRateDropPct == 0 {
+		c.HitRateDropPct = 60
+	}
+	if c.MinHitRate == 0 {
+		c.MinHitRate = 0.10
+	}
+	if c.QueueGrowthPct == 0 {
+		c.QueueGrowthPct = 150
+	}
+	if c.MinQueueLen == 0 {
+		c.MinQueueLen = 4
+	}
+	if c.FaultSpikeMax == 0 {
+		c.FaultSpikeMax = 8
+	}
+	if c.Window == 0 {
+		c.Window = 1
+	}
+	return c
+}
+
+// DefaultRules builds the standard SLO rule set: hit-rate regression,
+// per-VC storage budget, queue growth, and fault-recovery spikes.
+func DefaultRules(cfg SLOConfig) []Rule {
+	cfg = cfg.withDefaults()
+	rules := []Rule{
+		{
+			Name: "hit-rate-drop", Metric: SeriesHitRate, Kind: DropPct,
+			Threshold: cfg.HitRateDropPct, Window: cfg.Window,
+			MinReference: cfg.MinHitRate, Severity: SevWarn,
+		},
+		{
+			Name: "queue-growth", Metric: SeriesQueueLenAvg, Kind: GrowthPct,
+			Threshold: cfg.QueueGrowthPct, Window: cfg.Window,
+			MinReference: 0.5, MinValue: cfg.MinQueueLen, Severity: SevWarn,
+		},
+		{
+			Name: "fault-spike", Metric: SeriesFaultRecoveries, Kind: Above,
+			Threshold: cfg.FaultSpikeMax, Severity: SevWarn,
+		},
+	}
+	if cfg.StorageBudgetPerVC > 0 {
+		rules = append(rules, Rule{
+			Name: "storage-budget", Metric: "cloudviews_view_bytes{*", Kind: Above,
+			Threshold: float64(cfg.StorageBudgetPerVC), Severity: SevPage,
+		})
+	}
+	return rules
+}
+
+// Verdict summarizes an alert list as one deterministic token for A/B arm
+// reporting: "OK" when empty, otherwise e.g. "REGRESSED (2 page, 3 warn)".
+func Verdict(alerts []Alert) string {
+	if len(alerts) == 0 {
+		return "OK"
+	}
+	var pages, warns int
+	for _, a := range alerts {
+		if a.Severity == SevPage {
+			pages++
+		} else {
+			warns++
+		}
+	}
+	parts := make([]string, 0, 2)
+	if pages > 0 {
+		parts = append(parts, fmt.Sprintf("%d page", pages))
+	}
+	if warns > 0 {
+		parts = append(parts, fmt.Sprintf("%d warn", warns))
+	}
+	return "REGRESSED (" + strings.Join(parts, ", ") + ")"
+}

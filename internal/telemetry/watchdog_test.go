@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func seriesMap(t *testing.T, vals map[string][]float64) map[string]*Series {
+	t.Helper()
+	m := make(map[string]*Series)
+	for name, vs := range vals {
+		s := NewSeries(name, 16)
+		for day, v := range vs {
+			s.Append(day, v)
+		}
+		m[name] = s
+	}
+	return m
+}
+
+func TestWatchdogAboveBelow(t *testing.T) {
+	w := NewWatchdog([]Rule{
+		{Name: "too-big", Metric: "x", Kind: Above, Threshold: 10, Severity: SevPage},
+		{Name: "too-small", Metric: "y", Kind: Below, Threshold: 5, Severity: SevWarn},
+	})
+	m := seriesMap(t, map[string][]float64{"x": {1, 20}, "y": {9, 2}})
+	alerts := w.Evaluate(1, m)
+	if len(alerts) != 2 {
+		t.Fatalf("got %d alerts, want 2: %v", len(alerts), alerts)
+	}
+	if alerts[0].Rule != "too-big" || alerts[0].Severity != SevPage || alerts[0].Value != 20 {
+		t.Errorf("alert[0] = %+v", alerts[0])
+	}
+	if alerts[1].Rule != "too-small" || alerts[1].Value != 2 {
+		t.Errorf("alert[1] = %+v", alerts[1])
+	}
+	// Threshold not crossed on the earlier day: evaluating day 0 against the
+	// same map must skip (latest sample belongs to day 1).
+	if got := w.Evaluate(0, m); len(got) != 0 {
+		t.Errorf("stale-day evaluation fired: %v", got)
+	}
+}
+
+func TestWatchdogDropPct(t *testing.T) {
+	rules := []Rule{{Name: "drop", Metric: "hit", Kind: DropPct, Threshold: 60, Window: 1, MinReference: 0.10, Severity: SevWarn}}
+	w := NewWatchdog(rules)
+
+	// 0.50 → 0.10 is an 80% drop: fires.
+	m := seriesMap(t, map[string][]float64{"hit": {0.50, 0.10}})
+	alerts := w.Evaluate(1, m)
+	if len(alerts) != 1 {
+		t.Fatalf("expected drop alert, got %v", alerts)
+	}
+	if !strings.Contains(alerts[0].Message, "dropped 80.0%") {
+		t.Errorf("message = %q", alerts[0].Message)
+	}
+
+	// Same ratio from a reference below MinReference: noise, stays silent.
+	m = seriesMap(t, map[string][]float64{"hit": {0.05, 0.01}})
+	if got := w.Evaluate(1, m); len(got) != 0 {
+		t.Errorf("sub-floor reference fired: %v", got)
+	}
+
+	// Only one sample: no reference, silent.
+	m = seriesMap(t, map[string][]float64{"hit": {0.5}})
+	if got := w.Evaluate(0, m); len(got) != 0 {
+		t.Errorf("single-sample series fired: %v", got)
+	}
+}
+
+func TestWatchdogGrowthPctMinValue(t *testing.T) {
+	rules := []Rule{{Name: "growth", Metric: "q", Kind: GrowthPct, Threshold: 150, Window: 1, MinValue: 4, Severity: SevWarn}}
+	w := NewWatchdog(rules)
+
+	// 2 → 6 is +200%, over the limit, and the value clears MinValue: fires.
+	m := seriesMap(t, map[string][]float64{"q": {2, 6}})
+	if got := w.Evaluate(1, m); len(got) != 1 {
+		t.Fatalf("expected growth alert, got %v", got)
+	}
+	// 1 → 3 is +200% but value 3 < MinValue 4: silent.
+	m = seriesMap(t, map[string][]float64{"q": {1, 3}})
+	if got := w.Evaluate(1, m); len(got) != 0 {
+		t.Errorf("sub-MinValue growth fired: %v", got)
+	}
+}
+
+func TestWatchdogWindowedReference(t *testing.T) {
+	rules := []Rule{{Name: "drop", Metric: "m", Kind: DropPct, Threshold: 40, Window: 3, Severity: SevWarn}}
+	w := NewWatchdog(rules)
+	// Reference = mean(10,10,10) = 10; value 5 is a 50% drop.
+	m := seriesMap(t, map[string][]float64{"m": {10, 10, 10, 5}})
+	alerts := w.Evaluate(3, m)
+	if len(alerts) != 1 || alerts[0].Reference != 10 {
+		t.Fatalf("windowed drop: %v", alerts)
+	}
+	if !strings.Contains(alerts[0].Message, "3-day reference") {
+		t.Errorf("message = %q", alerts[0].Message)
+	}
+}
+
+func TestWatchdogPrefixMatch(t *testing.T) {
+	rules := []Rule{{Name: "budget", Metric: `bytes{*`, Kind: Above, Threshold: 100, Severity: SevPage}}
+	w := NewWatchdog(rules)
+	m := seriesMap(t, map[string][]float64{
+		`bytes{vc="b"}`: {150},
+		`bytes{vc="a"}`: {200},
+		`bytes{vc="c"}`: {50},
+		"unrelated":     {999},
+	})
+	alerts := w.Evaluate(0, m)
+	if len(alerts) != 2 {
+		t.Fatalf("got %d alerts, want 2 (a and b): %v", len(alerts), alerts)
+	}
+	// Sorted metric order within the rule.
+	if alerts[0].Metric != `bytes{vc="a"}` || alerts[1].Metric != `bytes{vc="b"}` {
+		t.Errorf("alert order: %v, %v", alerts[0].Metric, alerts[1].Metric)
+	}
+}
+
+func TestWatchdogDeterministicOrder(t *testing.T) {
+	rules := []Rule{
+		{Name: "r2-last-in-rules", Metric: "b", Kind: Above, Threshold: 0, Severity: SevWarn},
+		{Name: "r1", Metric: "a", Kind: Above, Threshold: 0, Severity: SevWarn},
+	}
+	w := NewWatchdog(rules)
+	m := seriesMap(t, map[string][]float64{"a": {1}, "b": {1}})
+	for i := 0; i < 10; i++ {
+		alerts := w.Evaluate(0, m)
+		if len(alerts) != 2 || alerts[0].Rule != "r2-last-in-rules" || alerts[1].Rule != "r1" {
+			t.Fatalf("iteration %d: rule order not preserved: %v", i, alerts)
+		}
+	}
+}
+
+func TestDefaultRules(t *testing.T) {
+	rules := DefaultRules(SLOConfig{})
+	names := make([]string, 0, len(rules))
+	for _, r := range rules {
+		names = append(names, r.Name)
+	}
+	want := []string{"hit-rate-drop", "queue-growth", "fault-spike"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("zero-config rules = %v, want %v (no storage rule without a budget)", names, want)
+	}
+
+	rules = DefaultRules(SLOConfig{StorageBudgetPerVC: 1 << 20})
+	found := false
+	for _, r := range rules {
+		if r.Name == "storage-budget" {
+			found = true
+			if r.Severity != SevPage || r.Threshold != float64(1<<20) {
+				t.Errorf("storage rule = %+v", r)
+			}
+			if !strings.HasSuffix(r.Metric, "*") {
+				t.Errorf("storage rule must prefix-match per-VC gauges, metric = %q", r.Metric)
+			}
+		}
+	}
+	if !found {
+		t.Error("budget > 0 must add the storage-budget rule")
+	}
+}
+
+func TestVerdict(t *testing.T) {
+	if got := Verdict(nil); got != "OK" {
+		t.Errorf("Verdict(nil) = %q", got)
+	}
+	alerts := []Alert{
+		{Severity: SevPage}, {Severity: SevWarn}, {Severity: SevWarn},
+	}
+	if got := Verdict(alerts); got != "REGRESSED (1 page, 2 warn)" {
+		t.Errorf("Verdict = %q", got)
+	}
+	if got := Verdict([]Alert{{Severity: SevWarn}}); got != "REGRESSED (1 warn)" {
+		t.Errorf("Verdict = %q", got)
+	}
+}
+
+func TestAlertString(t *testing.T) {
+	a := Alert{Day: 3, Severity: SevPage, Rule: "storage-budget", Message: "over"}
+	if got := a.String(); got != "day 03 [page] storage-budget: over" {
+		t.Errorf("String() = %q", got)
+	}
+}
