@@ -70,6 +70,7 @@ import (
 	"cloudviews/internal/fault"
 	"cloudviews/internal/fixtures"
 	"cloudviews/internal/obs"
+	"cloudviews/internal/storage"
 	"cloudviews/internal/telemetry"
 	"cloudviews/internal/workload"
 )
@@ -120,6 +121,10 @@ type (
 	// day-cadence series, per-day critical-path breakdowns, and the alert
 	// log. Feed it to a telemetry.Report for rendering.
 	RunTelemetry = telemetry.RunTelemetry
+	// StorageEngine is the pluggable view-store backend interface; see
+	// Config.StorageEngine. The in-memory store and the file-backed durable
+	// engine (internal/storage/durable) both implement it.
+	StorageEngine = storage.Engine
 )
 
 // ParseFaultSpec parses a compact fault specification like
@@ -176,6 +181,11 @@ type Config struct {
 	Faults FaultConfig
 	// SLO tunes the telemetry watchdog (disabled along with observability).
 	SLO SLOConfig
+	// StorageEngine plugs in an alternative view-store backend, such as the
+	// file-backed crash-recoverable engine. Nil keeps the default in-memory
+	// store (which preserves byte-identical goldens and simulated-time
+	// determinism); durability is strictly opt-in.
+	StorageEngine StorageEngine
 }
 
 // Job is one SCOPE-like script submission.
@@ -243,6 +253,7 @@ func NewSystem(cfg Config) (*System, error) {
 		DisableObservability: cfg.DisableObservability,
 		Faults:               cfg.Faults,
 		SLO:                  cfg.SLO,
+		StorageEngine:        cfg.StorageEngine,
 	})
 	if eng.Metrics != nil {
 		// Repository metrics are wired at the System layer (not inside

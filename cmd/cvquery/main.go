@@ -28,6 +28,7 @@ import (
 	"cloudviews/internal/signature"
 	"cloudviews/internal/stats"
 	"cloudviews/internal/storage"
+	"cloudviews/internal/storage/durable"
 	"cloudviews/internal/workload"
 
 	cluster "cloudviews/internal/cluster"
@@ -171,8 +172,13 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// Interface assertions document the moving parts this tool exercises.
+// Interface assertions document the moving parts this tool exercises: both
+// view-store backends satisfy the executor's read interface and the pluggable
+// engine contract.
 var (
 	_ exec.ViewStore = (*storage.Store)(nil)
+	_ exec.ViewStore = (*durable.Engine)(nil)
+	_ storage.Engine = (*storage.Store)(nil)
+	_ storage.Engine = (*durable.Engine)(nil)
 	_                = stats.NewEstimator
 )

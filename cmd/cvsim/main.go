@@ -7,6 +7,7 @@
 //
 //	cvsim [-scale 0.25] [-days N] [-series] [-seed N] [-metrics]
 //	      [-metrics-both] [-report out.html] [-faults SPEC] [-faultseed N]
+//	      [-store mem|disk] [-datadir DIR]
 //
 // -scale 1.0 runs the full 619-pipeline, 21-VC deployment (minutes of CPU);
 // the default 0.25 keeps it under a minute while preserving the shapes.
@@ -19,16 +20,25 @@
 // -report writes the self-contained cvdash HTML health report (both arms:
 // series sparklines, critical-path breakdowns, SLO alerts) to the given path.
 // Output is byte-identical for the same seed and flags.
+//
+// -store selects the view-store backend: "mem" (default, in-memory) or
+// "disk", which persists each arm's views in a crash-recoverable WAL +
+// snapshot store under -datadir (default ./cvsim-data). On startup each
+// arm's store recovers whatever a previous run left behind and reports what
+// the recovery did.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"cloudviews/internal/experiments"
 	"cloudviews/internal/fault"
+	"cloudviews/internal/storage"
+	"cloudviews/internal/storage/durable"
 )
 
 func main() {
@@ -41,6 +51,8 @@ func main() {
 	report := flag.String("report", "", "write the cvdash HTML health report to this path")
 	faults := flag.String("faults", "", `fault spec, e.g. "stage=0.05,read=0.02,seed=7" (empty = no injection)`)
 	faultSeed := flag.Uint64("faultseed", 0, "override the fault-injection seed (0 = keep spec's seed)")
+	store := flag.String("store", "mem", `view-store backend: "mem" (in-memory) or "disk" (durable WAL+snapshot)`)
+	datadir := flag.String("datadir", "cvsim-data", "data directory for -store=disk (one subdirectory per arm)")
 	flag.Parse()
 
 	cfg := experiments.DefaultProduction()
@@ -63,6 +75,23 @@ func main() {
 			fcfg.Seed = *faultSeed
 		}
 		cfg.Faults = fcfg
+	}
+	switch *store {
+	case "mem":
+	case "disk":
+		cfg.StoreFactory = func(arm string) (storage.Engine, error) {
+			eng, err := durable.Open(filepath.Join(*datadir, arm), durable.Options{})
+			if err != nil {
+				return nil, err
+			}
+			rec := eng.Recovery()
+			fmt.Printf("cvsim: %s view store recovered: %d views (%d snapshot, %d WAL records, %d torn tails dropped, %d in-flight abandoned)\n",
+				arm, rec.ViewsRecovered, rec.SnapshotsLoaded, rec.RecordsReplayed, rec.TornTailsTruncated, rec.InFlightAbandoned)
+			return eng, nil
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "cvsim: -store must be \"mem\" or \"disk\", got %q\n", *store)
+		os.Exit(2)
 	}
 
 	fmt.Printf("cvsim: %d pipelines, %d VCs, %d days (scale %.2f)\n",

@@ -94,7 +94,7 @@ type Placement struct {
 // Instrument inserts checkpoints below failure-prone operators: for each
 // eligible child subtree of a risky operator, a Spool writes the intermediate
 // result. Returns the instrumented plan and the placements.
-func Instrument(root plan.Node, signer *signature.Signer, stats *FailureStats, store *storage.Store, vc string, policy Policy) (plan.Node, []Placement) {
+func Instrument(root plan.Node, signer *signature.Signer, stats *FailureStats, store storage.Engine, vc string, policy Policy) (plan.Node, []Placement) {
 	subs := signer.Subexpressions(root)
 	info := make(map[plan.Node]signature.Subexpr, len(subs))
 	for _, s := range subs {
@@ -107,6 +107,7 @@ func Instrument(root plan.Node, signer *signature.Signer, stats *FailureStats, s
 		sub   signature.Subexpr
 		above string
 		rate  float64
+		path  string
 	}
 	var cands []candidate
 	plan.Walk(root, func(n plan.Node) {
@@ -141,10 +142,15 @@ func Instrument(root plan.Node, signer *signature.Signer, stats *FailureStats, s
 		if store.Available(c.sub.Strict) || store.InFlight(c.sub.Strict) {
 			continue // already checkpointed by a previous attempt
 		}
+		// Derive the artifact path exactly once and thread it everywhere the
+		// checkpoint is referenced: the staged store entry, the placement, and
+		// the Spool below. Re-deriving at each site silently diverges the
+		// moment path derivation becomes stateful (e.g. per-incarnation
+		// generations after a purge).
+		c.path = "checkpoints/" + vc + "/" + c.sub.Strict.Short() + ".cp"
 		chosen[c.child] = c
-		path := "checkpoints/" + vc + "/" + c.sub.Strict.Short() + ".cp"
-		store.Stage(c.sub.Strict, c.sub.Recurring, path, vc)
-		placements = append(placements, Placement{Strict: c.sub.Strict, Below: c.above, Path: path})
+		store.Stage(c.sub.Strict, c.sub.Recurring, c.path, vc)
+		placements = append(placements, Placement{Strict: c.sub.Strict, Below: c.above, Path: c.path})
 	}
 	if len(chosen) == 0 {
 		return root, nil
@@ -152,7 +158,7 @@ func Instrument(root plan.Node, signer *signature.Signer, stats *FailureStats, s
 
 	instrumented := plan.Rewrite(root, func(n plan.Node) plan.Node {
 		if c, ok := chosen[n]; ok {
-			return &plan.Spool{Child: n, StrictSig: string(c.sub.Strict), Path: "checkpoints/" + vc + "/" + c.sub.Strict.Short() + ".cp"}
+			return &plan.Spool{Child: n, StrictSig: string(c.sub.Strict), Path: c.path}
 		}
 		return n
 	})
@@ -163,7 +169,7 @@ func Instrument(root plan.Node, signer *signature.Signer, stats *FailureStats, s
 // subexpression whose strict signature has a sealed checkpoint becomes a
 // ViewScan, top-down (largest first) — exactly the reuse machinery, pointed
 // at recovery artifacts.
-func Recover(root plan.Node, signer *signature.Signer, store *storage.Store) (plan.Node, int) {
+func Recover(root plan.Node, signer *signature.Signer, store storage.Engine) (plan.Node, int) {
 	subs := signer.Subexpressions(root)
 	info := make(map[plan.Node]signature.Subexpr, len(subs))
 	for _, s := range subs {

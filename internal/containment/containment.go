@@ -340,7 +340,7 @@ type RewriteResult struct {
 // Filter(P_q, ViewScan(V)) whenever the index holds a containing view V =
 // Filter(P_v, X) that is sealed in the store. The residual re-application of
 // P_q preserves exact semantics even when the view is strictly larger.
-func Rewrite(root plan.Node, signer *signature.Signer, ix *Index, store *storage.Store) (plan.Node, RewriteResult) {
+func Rewrite(root plan.Node, signer *signature.Signer, ix *Index, store storage.Engine) (plan.Node, RewriteResult) {
 	res := RewriteResult{}
 	subs := signer.Subexpressions(root)
 	info := make(map[plan.Node]signature.Subexpr, len(subs))
@@ -405,7 +405,7 @@ func Rewrite(root plan.Node, signer *signature.Signer, ix *Index, store *storage
 // HarvestViews scans a compiled-and-executed plan for materialized
 // Filter-rooted views and registers them in the index — the hook a
 // generalized CloudViews would run at spool time.
-func HarvestViews(root plan.Node, signer *signature.Signer, store *storage.Store, ix *Index) int {
+func HarvestViews(root plan.Node, signer *signature.Signer, store storage.Engine, ix *Index) int {
 	subs := signer.Subexpressions(root)
 	info := make(map[plan.Node]signature.Subexpr, len(subs))
 	for _, s := range subs {

@@ -50,6 +50,10 @@ type Config struct {
 	// per-VC storage budget, queue growth, fault spikes). The zero value is
 	// a sane default that stays silent on healthy fault-free runs.
 	SLO telemetry.SLOConfig
+	// StorageEngine plugs in an alternative view-store backend (e.g. the
+	// file-backed durable engine). Nil keeps the default in-memory store.
+	// If the engine is ClockAware the simulated clock is installed into it.
+	StorageEngine storage.Engine
 	// DisableObservability turns off per-job traces, the metrics registry,
 	// AND the telemetry collector (benchmark baseline; production keeps
 	// them on).
@@ -62,7 +66,7 @@ type Engine struct {
 	Catalog     *catalog.Catalog
 	Repo        *repository.Repo
 	History     *stats.History
-	Store       *storage.Store
+	Store       storage.Engine
 	Insights    *insights.Service
 	Est         *stats.Estimator
 	Sim         *cluster.Simulator
@@ -127,7 +131,14 @@ func NewEngine(cfg Config) *Engine {
 		faultCfg:       cfg.Faults.WithDefaults(),
 	}
 	e.Sim.SetFaults(e.faults, e.faultCfg)
-	e.Store = storage.NewStore(e.Clock)
+	if cfg.StorageEngine != nil {
+		e.Store = cfg.StorageEngine
+		if ca, ok := e.Store.(storage.ClockAware); ok {
+			ca.SetNow(e.Clock)
+		}
+	} else {
+		e.Store = storage.NewStore(e.Clock)
+	}
 	if cfg.ViewTTL > 0 {
 		e.Store.SetTTL(cfg.ViewTTL)
 	}

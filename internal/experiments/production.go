@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"cloudviews/internal/core"
 	"cloudviews/internal/fault"
 	"cloudviews/internal/fixtures"
+	"cloudviews/internal/storage"
 	"cloudviews/internal/telemetry"
 	"cloudviews/internal/workload"
 )
@@ -43,6 +45,12 @@ type ProductionConfig struct {
 	// thresholds, so per-arm verdicts compare like for like). The zero
 	// value stays silent on healthy runs.
 	SLO telemetry.SLOConfig
+	// StoreFactory, when set, supplies each arm's view-store backend (e.g.
+	// a file-backed durable engine rooted in a per-arm data directory).
+	// The arm name is "baseline" or "cloudviews". Engines that implement
+	// io.Closer are closed when the arm finishes. Nil keeps the in-memory
+	// default for both arms.
+	StoreFactory func(arm string) (storage.Engine, error)
 }
 
 // DeploymentProfile mirrors the paper's production deployment shape: 21
@@ -284,13 +292,29 @@ func runArm(cfg ProductionConfig, enable bool) (*armResult, error) {
 	for _, vc := range vcNames {
 		vcCfgs = append(vcCfgs, cluster.VCConfig{Name: vc, Tokens: cfg.VCTokens})
 	}
+	var store storage.Engine
+	if cfg.StoreFactory != nil {
+		name := "baseline"
+		if enable {
+			name = "cloudviews"
+		}
+		var err error
+		store, err = cfg.StoreFactory(name)
+		if err != nil {
+			return nil, fmt.Errorf("opening %s view store: %w", name, err)
+		}
+		if closer, ok := store.(io.Closer); ok {
+			defer closer.Close()
+		}
+	}
 	eng := core.NewEngine(core.Config{
-		ClusterName: cfg.Profile.Name,
-		Catalog:     cat,
-		ClusterCfg:  cluster.Config{Capacity: cfg.Capacity, VCs: vcCfgs},
-		Selection:   cfg.Selection,
-		Faults:      cfg.Faults,
-		SLO:         cfg.SLO,
+		ClusterName:   cfg.Profile.Name,
+		Catalog:       cat,
+		ClusterCfg:    cluster.Config{Capacity: cfg.Capacity, VCs: vcCfgs},
+		Selection:     cfg.Selection,
+		Faults:        cfg.Faults,
+		SLO:           cfg.SLO,
+		StorageEngine: store,
 	})
 
 	arm := &armResult{

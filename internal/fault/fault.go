@@ -51,19 +51,37 @@ const (
 	// loss); the engine abandons staged views, releases locks, and retries
 	// with a full recompile.
 	JobFail Point = "core.job.fail"
+
+	// DurableCrashAppend kills the durable storage engine in the window
+	// between a WAL append and the in-memory apply: the record is on disk
+	// but its effects never became visible. Recovery must replay it.
+	DurableCrashAppend Point = "durable.crash.append"
+	// DurableCrashTorn kills the durable storage engine mid-append: only a
+	// prefix of the record's frame reaches the WAL. Recovery must detect
+	// the torn tail, truncate it, and proceed without the record.
+	DurableCrashTorn Point = "durable.crash.torn"
+	// DurableCrashSnapshot kills the durable storage engine after writing
+	// the temporary snapshot file but before the atomic rename: recovery
+	// must ignore the stray temp file and replay from the previous
+	// snapshot + full WAL.
+	DurableCrashSnapshot Point = "durable.crash.snapshot"
 )
 
 // Points lists every injection site in a stable order.
-var Points = []Point{StageFail, BonusPreempt, SpoolWrite, ViewRead, JobFail}
+var Points = []Point{StageFail, BonusPreempt, SpoolWrite, ViewRead, JobFail,
+	DurableCrashAppend, DurableCrashTorn, DurableCrashSnapshot}
 
 // specAliases maps the short names accepted by ParseSpec (and the cvsim
 // -faults flag) to points.
 var specAliases = map[string]Point{
-	"stage":   StageFail,
-	"preempt": BonusPreempt,
-	"spool":   SpoolWrite,
-	"read":    ViewRead,
-	"job":     JobFail,
+	"stage":        StageFail,
+	"preempt":      BonusPreempt,
+	"spool":        SpoolWrite,
+	"read":         ViewRead,
+	"job":          JobFail,
+	"crash-append": DurableCrashAppend,
+	"crash-torn":   DurableCrashTorn,
+	"crash-snap":   DurableCrashSnapshot,
 }
 
 // Retry-policy defaults. They are deliberately small so that even a rate-1.0

@@ -19,7 +19,7 @@ type Optimizer struct {
 	Signer   *signature.Signer
 	Est      *stats.Estimator
 	History  *stats.History
-	Store    *storage.Store
+	Store    storage.Engine
 	Insights *insights.Service
 	// MaxViewsPerJob is the user control bounding spools per job (0 = 4).
 	MaxViewsPerJob int
@@ -252,7 +252,10 @@ func (o *Optimizer) buildViews(root plan.Node, opts CompileOptions, annSet map[s
 			o.Trace.Event("view.rejected", fmt.Sprintf("sig=%s reason=lock-held", s.Strict.Short()))
 			return n
 		}
-		path := storage.PathFor(opts.VC, s.Strict)
+		// The store derives the path (it owns per-incarnation generations:
+		// a signature re-staged after a purge must land on a fresh path);
+		// from here it is threaded through stage, trace, proposal, and spool.
+		path := o.Store.PathFor(opts.VC, s.Strict)
 		o.Store.Stage(s.Strict, s.Recurring, path, opts.VC)
 		built++
 		o.Trace.Event("view.proposed", fmt.Sprintf("sig=%s path=%s", s.Strict.Short(), path))

@@ -42,7 +42,7 @@ func key(sig signature.Sig, pct float64) string { return fmt.Sprintf("%s@%.4f", 
 // SampleView draws a deterministic hash-based sample of a sealed view from
 // the view store. The sample is itself a derived artifact created "as part of
 // query processing".
-func (s *Store) SampleView(views *storage.Store, sig signature.Sig, percent float64) (*SampledView, error) {
+func (s *Store) SampleView(views storage.Engine, sig signature.Sig, percent float64) (*SampledView, error) {
 	if percent <= 0 || percent > 100 {
 		return nil, fmt.Errorf("sampling: percent %g out of range", percent)
 	}

@@ -1,0 +1,172 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// walTestRecords builds a small log of varied record types for the torn-tail
+// and bit-flip tests.
+func walTestRecords() []*record {
+	strict, recurring := harnessSig(1)
+	return []*record{
+		{Seq: 1, Type: recSetTTL, TS: 100, TTL: int64(6 * time.Hour)},
+		{Seq: 2, Type: recStage, TS: 200, Strict: strict, Recurring: recurring, Path: "cloudviews/vc-a/x.ss", VC: "vc-a"},
+		{Seq: 3, Type: recMaterialize, TS: 300, Strict: strict, Path: "cloudviews/vc-a/x.ss", VC: "vc-a", Mult: 2.5, Table: harnessTable(1, 3)},
+		{Seq: 4, Type: recSeal, TS: 400, Strict: strict, SealAt: 450},
+		{Seq: 5, Type: recFetch, TS: 500, Strict: strict},
+		{Seq: 6, Type: recGC, TS: 600},
+		{Seq: 7, Type: recPurge, TS: 700, Strict: strict},
+	}
+}
+
+func writeWAL(t *testing.T, dir string, recs []*record) []byte {
+	t.Helper()
+	var blob []byte
+	for _, rec := range recs {
+		blob = append(blob, frameRecord(encodeRecordPayload(rec))...)
+	}
+	if err := os.WriteFile(filepath.Join(dir, walName), blob, 0o644); err != nil {
+		t.Fatalf("writing WAL fixture: %v", err)
+	}
+	return blob
+}
+
+// TestRecoverTornWriteEveryOffset truncates the log at EVERY byte offset
+// inside the final record's frame: recovery must keep all preceding records,
+// drop the torn one, and count exactly one torn tail. Truncation exactly at
+// the record boundary is the control case: a complete log, zero torn tails.
+func TestRecoverTornWriteEveryOffset(t *testing.T) {
+	recs := walTestRecords()
+	full := writeWAL(t, t.TempDir(), recs) // only for sizing
+	lastFrame := len(frameRecord(encodeRecordPayload(recs[len(recs)-1])))
+	prefixLen := len(full) - lastFrame
+
+	for cut := 0; cut <= lastFrame; cut++ {
+		dir := t.TempDir()
+		writeWAL(t, dir, recs)
+		path := filepath.Join(dir, walName)
+		if err := os.Truncate(path, int64(prefixLen+cut)); err != nil {
+			t.Fatalf("truncate at +%d: %v", cut, err)
+		}
+		sc, err := scanWAL(dir)
+		if err != nil {
+			t.Fatalf("cut %d: scan: %v", cut, err)
+		}
+		if cut == lastFrame {
+			if len(sc.records) != len(recs) || sc.tornTruncated != 0 {
+				t.Fatalf("complete log misread: %d records, torn=%d", len(sc.records), sc.tornTruncated)
+			}
+			continue
+		}
+		if cut == 0 {
+			// Boundary control case: not one byte of the final record made
+			// it to disk, so the log is simply shorter — nothing torn.
+			if len(sc.records) != len(recs)-1 || sc.tornTruncated != 0 {
+				t.Fatalf("clean-boundary log misread: %d records, torn=%d", len(sc.records), sc.tornTruncated)
+			}
+			continue
+		}
+		if len(sc.records) != len(recs)-1 {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(sc.records), len(recs)-1)
+		}
+		if sc.tornTruncated != 1 {
+			t.Fatalf("cut %d: tornTruncated = %d, want exactly 1", cut, sc.tornTruncated)
+		}
+		if sc.goodLen != int64(prefixLen) {
+			t.Fatalf("cut %d: goodLen = %d, want %d", cut, sc.goodLen, prefixLen)
+		}
+		for i, rec := range sc.records {
+			if rec.Seq != recs[i].Seq || rec.Type != recs[i].Type {
+				t.Fatalf("cut %d: record %d corrupted: %+v", cut, i, rec)
+			}
+		}
+	}
+}
+
+// TestWALBitFlipDetected flips every single bit of a framed record in turn:
+// the CRC (or a structural check) must reject every mutation that changes
+// decoded content — a flipped record may never decode to different data.
+func TestWALBitFlipDetected(t *testing.T) {
+	for _, rec := range walTestRecords() {
+		frame := frameRecord(encodeRecordPayload(rec))
+		for bit := 0; bit < len(frame)*8; bit++ {
+			mut := make([]byte, len(frame))
+			copy(mut, frame)
+			mut[bit/8] ^= 1 << (bit % 8)
+			got, n, err := decodeFrame(mut)
+			if err != nil {
+				continue // rejected: correct
+			}
+			// A decode that "succeeds" must be byte-identical to the
+			// original record (e.g. a flip inside the length prefix that
+			// still frames the same payload is impossible, but guard it).
+			if n != len(frame) || string(encodeRecordPayload(got)) != string(encodeRecordPayload(rec)) {
+				t.Fatalf("%s record: bit flip %d decoded to different content", rec.Type, bit)
+			}
+			t.Fatalf("%s record: bit flip %d accepted by CRC", rec.Type, bit)
+		}
+	}
+}
+
+// TestTornAppendMatchesScanner: the injected torn append must itself be
+// detected by the scanner (the crash-point plumbing and the recovery path
+// agree on what "torn" means).
+func TestTornAppendMatchesScanner(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := walTestRecords()
+	for _, rec := range recs[:3] {
+		if err := w.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.appendTorn(recs[3]); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+	sc, err := scanWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.records) != 3 || sc.tornTruncated != 1 {
+		t.Fatalf("torn append scan: %d records, torn=%d", len(sc.records), sc.tornTruncated)
+	}
+}
+
+// TestRecordCodecRoundTrip: every record type must encode/decode to an
+// identical record.
+func TestRecordCodecRoundTrip(t *testing.T) {
+	strict, recurring := harnessSig(7)
+	recs := append(walTestRecords(),
+		&record{Seq: 8, Type: recAbandon, TS: 800, Strict: strict},
+		&record{Seq: 9, Type: recPurgeVC, TS: 900, VC: "vc-b"},
+		&record{Seq: 10, Type: recExpire, TS: 1000, Strict: strict},
+		&record{Seq: 11, Type: recStage, TS: 1100, Strict: strict, Recurring: recurring, Path: "p", VC: "vc-c"},
+	)
+	for _, rec := range recs {
+		payload := encodeRecordPayload(rec)
+		got, err := decodeRecordPayload(payload)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", rec.Type, err)
+		}
+		if string(encodeRecordPayload(got)) != string(payload) {
+			t.Fatalf("%s: round trip changed payload", rec.Type)
+		}
+	}
+	// Unknown type and trailing garbage must be rejected.
+	bad := encodeRecordPayload(&record{Seq: 1, Type: recGC, TS: 1})
+	bad[8] = byte(recTypeMax) + 1
+	if _, err := decodeRecordPayload(bad); err == nil {
+		t.Fatal("unknown record type accepted")
+	}
+	withTrailer := append(encodeRecordPayload(&record{Seq: 1, Type: recGC, TS: 1}), 0xFF)
+	if _, err := decodeRecordPayload(withTrailer); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}

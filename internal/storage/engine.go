@@ -1,0 +1,82 @@
+package storage
+
+import (
+	"time"
+
+	"cloudviews/internal/data"
+	"cloudviews/internal/obs"
+	"cloudviews/internal/signature"
+)
+
+// Engine is the pluggable view-store contract the rest of the system
+// programs against: the full lifecycle (stage → materialize → seal →
+// fetch/reuse → expire/abandon/purge) plus the accounting and audit surface
+// the chaos and telemetry layers rely on. The in-memory *Store is the default
+// implementation; internal/storage/durable adds a file-backed engine with
+// WAL + snapshot crash recovery. Every implementation must be safe for
+// concurrent use and must derive all time from the injected clock (never the
+// wall clock), so simulated-time determinism survives the swap.
+type Engine interface {
+	// SetTTL overrides the view expiry (DefaultTTL when never called).
+	SetTTL(ttl time.Duration)
+	// SetMetrics registers the engine's lifecycle counters and gauges.
+	SetMetrics(r *obs.Registry)
+	// PathFor builds the storage path for a view owned by vc. Paths are
+	// fresh per incarnation: a signature re-staged after a Purge must get a
+	// path distinct from the purged artifact's, so a durable backend can
+	// never confuse a new artifact with stale bytes on disk.
+	PathFor(vc string, strict signature.Sig) string
+
+	// Lifecycle mutations.
+	Stage(strict, recurring signature.Sig, path, vc string)
+	Materialize(strict signature.Sig, path, vc string, t *data.Table, mult float64) error
+	Seal(strict signature.Sig) bool
+	SealAt(strict signature.Sig, t time.Time) bool
+	Abandon(strict signature.Sig) bool
+	Purge(strict signature.Sig) bool
+	PurgeVC(vc string) int
+	GC() int
+
+	// Read surface.
+	Fetch(strict signature.Sig) (*data.Table, float64, bool)
+	Lookup(strict signature.Sig) (*View, bool)
+	Available(strict signature.Sig) bool
+	InFlight(strict signature.Sig) bool
+	State(strict signature.Sig) string
+	Views() []*View
+	Count() int
+
+	// Accounting and audit.
+	UsedBytes(vc string) int64
+	PendingViews() int
+	AuditBytes() error
+	Snapshot() Stats
+}
+
+// ClockAware is implemented by engines whose clock is injected after
+// construction. A durable engine is opened (and recovered) before the owning
+// core engine exists, so the core installs its simulated clock via SetNow
+// once both are wired together.
+type ClockAware interface {
+	SetNow(now func() time.Time)
+}
+
+// Persister is the catalog/repository persistence hook: components outside
+// the view store (dataset catalog, workload repository, insights state) save
+// and load their state as named blobs. Implementations must replace blobs
+// atomically — a reader never observes a half-written component.
+// internal/storage/durable implements it over per-component files with
+// write-temp + rename; the in-memory deployment simply has no Persister.
+type Persister interface {
+	// SaveComponent atomically replaces the named component's state.
+	SaveComponent(name string, blob []byte) error
+	// LoadComponent returns the named component's state; ok=false when the
+	// component has never been saved.
+	LoadComponent(name string) (blob []byte, ok bool, err error)
+}
+
+// The in-memory store is the default Engine.
+var (
+	_ Engine     = (*Store)(nil)
+	_ ClockAware = (*Store)(nil)
+)

@@ -1,0 +1,115 @@
+package storage
+
+import (
+	"sort"
+	"time"
+
+	"cloudviews/internal/signature"
+)
+
+// StoreState is a complete, order-canonical capture of a Store's state: the
+// resident and pending views, the per-VC byte ledger, the lifecycle counters,
+// the purge generations, and the TTL. It is the unit a durable engine
+// snapshots to disk and the unit crash-recovery tests compare byte-for-byte
+// (via the durable codec's canonical encoding).
+type StoreState struct {
+	TTL time.Duration
+	// Views are the resident (materialized) views, sorted by strict
+	// signature. Table pointers are shared with the store — treat as
+	// read-only.
+	Views []View
+	// Pending are the staged-but-unmaterialized views, sorted by strict
+	// signature.
+	Pending []View
+	// ByVC is the per-VC logical byte ledger, including settled-to-zero
+	// entries (they are part of the observable AuditBytes surface).
+	ByVC map[string]int64
+	// Gen maps signatures to their purge incarnation count.
+	Gen map[signature.Sig]int64
+	// Counters are the lifecycle totals (Live is recomputed, not stored).
+	Created, Expired, Purged, Abandoned int64
+}
+
+// ExportState captures the store's full state. The snapshot is consistent
+// (taken under one lock acquisition); view Table pointers are shared.
+func (s *Store) ExportState() *StoreState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := &StoreState{
+		TTL:       s.ttl,
+		ByVC:      make(map[string]int64, len(s.byVC)),
+		Gen:       make(map[signature.Sig]int64, len(s.gen)),
+		Created:   s.created,
+		Expired:   s.expired,
+		Purged:    s.purged,
+		Abandoned: s.abandoned,
+	}
+	for vc, b := range s.byVC {
+		st.ByVC[vc] = b
+	}
+	for sig, g := range s.gen {
+		if g != 0 {
+			st.Gen[sig] = g
+		}
+	}
+	for _, v := range s.views {
+		st.Views = append(st.Views, *v)
+	}
+	sort.Slice(st.Views, func(i, j int) bool { return st.Views[i].Strict < st.Views[j].Strict })
+	for _, v := range s.pending {
+		st.Pending = append(st.Pending, *v)
+	}
+	sort.Slice(st.Pending, func(i, j int) bool { return st.Pending[i].Strict < st.Pending[j].Strict })
+	return st
+}
+
+// RestoreState replaces the store's entire state with st (counters, ledger,
+// views, pending, generations, TTL). The clock function is untouched. Used by
+// durable-engine recovery before WAL replay.
+func (s *Store) RestoreState(st *StoreState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ttl = st.TTL
+	s.views = make(map[signature.Sig]*View, len(st.Views))
+	for i := range st.Views {
+		v := st.Views[i]
+		s.views[v.Strict] = &v
+	}
+	s.pending = make(map[signature.Sig]*View, len(st.Pending))
+	for i := range st.Pending {
+		v := st.Pending[i]
+		s.pending[v.Strict] = &v
+	}
+	s.byVC = make(map[string]int64, len(st.ByVC))
+	for vc, b := range st.ByVC {
+		s.byVC[vc] = b
+	}
+	s.gen = make(map[signature.Sig]int64, len(st.Gen))
+	for sig, g := range st.Gen {
+		s.gen[sig] = g
+	}
+	s.created = st.Created
+	s.expired = st.Expired
+	s.purged = st.Purged
+	s.abandoned = st.Abandoned
+}
+
+// InFlightSigs lists the signatures that are staged, or materialized but not
+// yet sealed, sorted. Recovery abandons exactly these: their producing job
+// died with the process, so leaving them in flight would wedge the signature
+// for every later producer.
+func (s *Store) InFlightSigs() []signature.Sig {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var sigs []signature.Sig
+	for sig := range s.pending {
+		sigs = append(sigs, sig)
+	}
+	for sig, v := range s.views {
+		if !v.Sealed {
+			sigs = append(sigs, sig)
+		}
+	}
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i] < sigs[j] })
+	return sigs
+}

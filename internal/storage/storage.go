@@ -63,6 +63,17 @@ type Store struct {
 	// before the executor materializes the bytes.
 	pending map[signature.Sig]*View
 
+	// gen counts purge incarnations per signature: PathFor appends the
+	// generation after the first purge so a re-staged view never lands on
+	// the purged artifact's path (a durable backend must not reuse stale
+	// paths on disk).
+	gen map[signature.Sig]int64
+
+	// onEvict, when set, observes every lazy TTL eviction while the write
+	// lock is held. The durable engine uses it to journal evictions that
+	// fire inside otherwise-unlogged read paths.
+	onEvict func(strict signature.Sig)
+
 	// counters
 	created   int64
 	expired   int64
@@ -86,6 +97,7 @@ func NewStore(now func() time.Time) *Store {
 		views:   make(map[signature.Sig]*View),
 		byVC:    make(map[string]int64),
 		pending: make(map[signature.Sig]*View),
+		gen:     make(map[signature.Sig]int64),
 	}
 }
 
@@ -94,6 +106,24 @@ func (s *Store) SetTTL(ttl time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ttl = ttl
+}
+
+// SetNow replaces the clock function. Implements ClockAware: recovery replays
+// a durable store under a record-time clock, then installs the live simulated
+// clock before serving traffic.
+func (s *Store) SetNow(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
+}
+
+// OnEvict installs an observer called (under the write lock) for every lazy
+// TTL eviction. Pass nil to remove it. The observer must not call back into
+// the store.
+func (s *Store) OnEvict(fn func(strict signature.Sig)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onEvict = fn
 }
 
 // SetMetrics registers the store's lifecycle counters and per-VC byte gauges
@@ -129,6 +159,24 @@ func (s *Store) evictExpiredLocked(strict signature.Sig, v *View) {
 	s.expired++
 	s.mExpired.Inc()
 	s.noteBytesLocked(v.VC)
+	if s.onEvict != nil {
+		s.onEvict(strict)
+	}
+}
+
+// EvictIfExpired evicts one view iff it exists and is past its TTL at the
+// current clock, reporting whether it did. This is the idempotent replay of
+// a journaled lazy eviction: under the record-pinned clock the view is
+// expired exactly when it was live, and re-replaying after it is gone is a
+// no-op.
+func (s *Store) EvictIfExpired(strict signature.Sig) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.views[strict]; ok && expiredLocked(v, s.now()) {
+		s.evictExpiredLocked(strict, v)
+		return true
+	}
+	return false
 }
 
 // Stage registers the metadata for a view about to be materialized by a job.
@@ -378,6 +426,7 @@ func (s *Store) Purge(strict signature.Sig) bool {
 	s.byVC[v.VC] -= v.Bytes
 	delete(s.views, strict)
 	s.purged++
+	s.gen[strict]++
 	s.mPurged.Inc()
 	s.noteBytesLocked(v.VC)
 	return true
@@ -393,6 +442,7 @@ func (s *Store) PurgeVC(vc string) int {
 			s.byVC[v.VC] -= v.Bytes
 			delete(s.views, sig)
 			s.purged++
+			s.gen[sig]++
 			s.mPurged.Inc()
 			n++
 		}
@@ -506,7 +556,22 @@ func (s *Store) Views() []*View {
 
 // PathFor builds the storage path for a view, encoding the strict signature
 // per the paper's architecture ("encode the strict signature in output
-// path").
+// path"). A signature that has been purged gets a fresh generation-suffixed
+// path so the new artifact can never alias the purged one's bytes on disk;
+// the first incarnation keeps the historical un-suffixed form. Callers must
+// derive the path ONCE (at staging) and thread it through Stage → Spool →
+// Materialize rather than recomputing it later.
+func (s *Store) PathFor(vc string, strict signature.Sig) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if g := s.gen[strict]; g > 0 {
+		return fmt.Sprintf("cloudviews/%s/%s.g%d.ss", vc, strict.Short(), g)
+	}
+	return PathFor(vc, strict)
+}
+
+// PathFor is the generation-zero path format. Prefer Store.PathFor, which
+// accounts for purge incarnations.
 func PathFor(vc string, strict signature.Sig) string {
 	return fmt.Sprintf("cloudviews/%s/%s.ss", vc, strict.Short())
 }

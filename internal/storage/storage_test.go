@@ -455,3 +455,45 @@ func TestAuditBytesAndPendingViews(t *testing.T) {
 		t.Fatalf("vc2 bytes after abandon = %d", s.UsedBytes("vc2"))
 	}
 }
+
+// TestPathFreshAfterPurge: a signature re-staged after Purge (or PurgeVC)
+// must get a path distinct from the purged incarnation's, so a durable
+// backend can never confuse the new artifact with stale bytes on disk. The
+// generation-zero path must stay the historical format — goldens depend on it.
+func TestPathFreshAfterPurge(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := storage.NewStore(func() time.Time { return now })
+	first := s.PathFor("vc1", "sig1")
+	if first != storage.PathFor("vc1", "sig1") {
+		t.Fatalf("generation-zero path changed: %q vs %q", first, storage.PathFor("vc1", "sig1"))
+	}
+	s.Stage("sig1", "rec1", first, "vc1")
+	if err := s.Materialize("sig1", first, "vc1", table(), 2); err != nil {
+		t.Fatal(err)
+	}
+	s.Seal("sig1")
+	if !s.Purge("sig1") {
+		t.Fatal("purge failed")
+	}
+	second := s.PathFor("vc1", "sig1")
+	if second == first {
+		t.Fatalf("re-staged path %q identical to purged incarnation's", second)
+	}
+	// Another signature's path is untouched by sig1's purge.
+	if got := s.PathFor("vc1", "sig2"); got != storage.PathFor("vc1", "sig2") {
+		t.Fatalf("unrelated signature's path bumped: %q", got)
+	}
+	// PurgeVC bumps again: three distinct incarnations total.
+	s.Stage("sig1", "rec1", second, "vc1")
+	if err := s.Materialize("sig1", second, "vc1", table(), 2); err != nil {
+		t.Fatal(err)
+	}
+	s.Seal("sig1")
+	if s.PurgeVC("vc1") == 0 {
+		t.Fatal("purgevc removed nothing")
+	}
+	third := s.PathFor("vc1", "sig1")
+	if third == first || third == second {
+		t.Fatalf("PurgeVC did not mint a fresh path: %q", third)
+	}
+}
