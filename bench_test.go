@@ -310,6 +310,54 @@ func BenchmarkExecute(b *testing.B) {
 	}
 }
 
+// BenchmarkExecuteVectorized measures the batch executor against the
+// row-at-a-time serial twin on the same join+aggregate plan. The two arms
+// produce byte-identical results (pinned by the exec equivalence tests); the
+// delta is the vectorization win.
+func BenchmarkExecuteVectorized(b *testing.B) {
+	root, cat := benchPlan(b)
+	for _, arm := range []struct {
+		name string
+		vec  bool
+	}{{"row", false}, {"batch", true}} {
+		b.Run(arm.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ex := &exec.Executor{Catalog: cat, Vectorized: arm.vec}
+				if _, err := ex.Run(root); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLexer measures the allocation-free incremental tokenizer (the
+// front of every submission: parsing on misses, script normalization for the
+// plan-cache key on every call). ReportAllocs pins the zero-alloc contract in
+// bench output; the hard guarantee is TestLexerZeroAllocs.
+func BenchmarkLexer(b *testing.B) {
+	src := `cooked = SELECT SaleId, Price * Quantity AS revenue, @start
+ FROM Sales WHERE MktSegment = 'Asia' AND Price >= 1.5 OR Quantity <> 3
+ GROUP BY SaleId ORDER BY revenue DESC;
+OUTPUT cooked TO "out/cooked.ss";`
+	var l sqlparser.Lexer
+	b.ReportAllocs()
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Reset(src)
+		for {
+			tok, err := l.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tok.Kind == sqlparser.TokEOF {
+				break
+			}
+		}
+	}
+}
+
 // BenchmarkGenerator measures a day of workload generation at default scale.
 func BenchmarkGenerator(b *testing.B) {
 	cat := catalog.New()

@@ -59,6 +59,7 @@ package cloudviews
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -70,6 +71,7 @@ import (
 	"cloudviews/internal/fault"
 	"cloudviews/internal/fixtures"
 	"cloudviews/internal/obs"
+	"cloudviews/internal/plan"
 	"cloudviews/internal/storage"
 	"cloudviews/internal/telemetry"
 	"cloudviews/internal/workload"
@@ -186,6 +188,17 @@ type Config struct {
 	// store (which preserves byte-identical goldens and simulated-time
 	// determinism); durability is strictly opt-in.
 	StorageEngine StorageEngine
+	// PlanCacheSize bounds the compiled-plan cache keyed by the normalized
+	// script, parameters, and runtime version: recurring submissions skip
+	// parse and bind, and jobs the CloudViews controls disable additionally
+	// skip the optimizer. 0 applies the default (512 entries); negative
+	// disables the cache. Results and traces are identical either way.
+	PlanCacheSize int
+	// ResultCacheEntries bounds the shared subexpression result cache
+	// (0 = the 65536-entry default, negative = unbounded). Eviction is
+	// deterministic LRU and surfaces as the
+	// cloudviews_result_cache_evictions_total counter.
+	ResultCacheEntries int
 }
 
 // Job is one SCOPE-like script submission.
@@ -218,11 +231,23 @@ type JobResult struct {
 	// InputBytes / DataRead are logical IO totals.
 	InputBytes int64
 	DataRead   int64
-	// PlanText is the final (post-reuse) plan rendering.
-	PlanText string
 	// Trace is the job's execution trace (nil when Config.
 	// DisableObservability is set). Render() pretty-prints it.
 	Trace *Trace
+
+	// plan backs PlanText; the rendering is deferred because most callers
+	// never read it and formatting a plan tree dominates the allocation
+	// profile of small cached submissions.
+	plan plan.Node
+}
+
+// PlanText renders the final (post-reuse) plan. The text is produced on
+// demand from the compiled plan tree (which is immutable after execution).
+func (r *JobResult) PlanText() string {
+	if r.plan == nil {
+		return ""
+	}
+	return core.FormatPlan(r.plan)
 }
 
 // System is a single-cluster CloudViews deployment. Safe for concurrent
@@ -254,6 +279,8 @@ func NewSystem(cfg Config) (*System, error) {
 		Faults:               cfg.Faults,
 		SLO:                  cfg.SLO,
 		StorageEngine:        cfg.StorageEngine,
+		PlanCacheSize:        cfg.PlanCacheSize,
+		ResultCacheEntries:   cfg.ResultCacheEntries,
 	})
 	if eng.Metrics != nil {
 		// Repository metrics are wired at the System layer (not inside
@@ -349,8 +376,8 @@ func (s *System) run(in workload.JobInput) (*JobResult, error) {
 		Work:        run.Exec.TotalWork,
 		InputBytes:  run.Exec.InputBytes,
 		DataRead:    run.Exec.TotalRead,
-		PlanText:    planText(run),
 		Trace:       run.Trace,
+		plan:        run.Compile.Plan,
 	}, nil
 }
 
@@ -363,10 +390,6 @@ func (s *System) Metrics() *MetricsRegistry { return s.engine.Metrics }
 // observability is disabled): day-cadence series, critical-path breakdowns,
 // and the SLO alert log.
 func (s *System) Telemetry() *RunTelemetry { return s.engine.Telemetry.Snapshot() }
-
-func planText(run *core.JobRun) string {
-	return core.FormatPlan(run.Compile.Plan)
-}
 
 // RunDay executes a batch of jobs through the full pipeline including the
 // cluster schedule, producing the day's metrics.
@@ -398,6 +421,19 @@ func (s *System) ViewCount() int { return s.engine.Store.Count() }
 // ViewStorageBytes returns the logical bytes of views held by a VC.
 func (s *System) ViewStorageBytes(vc string) int64 { return s.engine.Store.UsedBytes(vc) }
 
+// autoJobID renders "job-%06d" without fmt (one allocation for the string
+// itself; auto-ID assignment is on the per-submission hot path).
+func autoJobID(seq int) string {
+	var tmp, dig [24]byte
+	b := append(tmp[:0], "job-"...)
+	digits := strconv.AppendInt(dig[:0], int64(seq), 10)
+	for i := len(digits); i < 6; i++ {
+		b = append(b, '0')
+	}
+	b = append(b, digits...)
+	return string(b)
+}
+
 func (s *System) toInput(job Job) (workload.JobInput, error) {
 	if job.Script == "" {
 		return workload.JobInput{}, fmt.Errorf("cloudviews: job %q has no script", job.ID)
@@ -420,7 +456,7 @@ func (s *System) toInput(job Job) (workload.JobInput, error) {
 		OptIn:    !job.OptOut,
 	}
 	if in.ID == "" {
-		in.ID = fmt.Sprintf("job-%06d", seq)
+		in.ID = autoJobID(seq)
 	}
 	if in.VC == "" {
 		in.VC = "default-vc"

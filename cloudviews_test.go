@@ -60,8 +60,8 @@ func TestSubmitScriptBasics(t *testing.T) {
 	if res.Work <= 0 || res.InputBytes <= 0 {
 		t.Errorf("accounting missing: %+v", res)
 	}
-	if !strings.Contains(res.PlanText, "Aggregate") {
-		t.Errorf("plan text missing aggregate:\n%s", res.PlanText)
+	if !strings.Contains(res.PlanText(), "Aggregate") {
+		t.Errorf("plan text missing aggregate:\n%s", res.PlanText())
 	}
 	if res.ID == "" {
 		t.Error("auto-assigned job ID missing")

@@ -1,0 +1,76 @@
+package bitvector
+
+import "math/bits"
+
+// Bitmap is a dense fixed-length bit set used as a selection vector by the
+// vectorized executor: bit i set means row i of the batch survives the
+// operator. Unlike Bloom (probabilistic, for semijoin reduction), Bitmap is
+// exact and positional. The zero value is an empty bitmap of length 0; use
+// Resize before setting bits.
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// NewBitmap returns a bitmap of n bits, all clear.
+func NewBitmap(n int) *Bitmap {
+	b := &Bitmap{}
+	b.Resize(n)
+	return b
+}
+
+// Resize sets the logical length to n bits and clears every bit. The backing
+// array is reused when large enough, so a batch loop can recycle one Bitmap
+// across calls without allocating.
+func (b *Bitmap) Resize(n int) {
+	words := (n + 63) / 64
+	if cap(b.words) < words {
+		b.words = make([]uint64, words)
+	} else {
+		b.words = b.words[:words]
+		for i := range b.words {
+			b.words[i] = 0
+		}
+	}
+	b.n = n
+}
+
+// Len returns the logical length in bits.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set sets bit i.
+func (b *Bitmap) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Get reports whether bit i is set.
+func (b *Bitmap) Get(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// SetAll sets every bit in [0, Len).
+func (b *Bitmap) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	if tail := b.n & 63; tail != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] = (1 << uint(tail)) - 1
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// ForEachSet calls fn with every set bit index in ascending order. It scans
+// word-at-a-time, so sparse selections cost O(words + set bits).
+func (b *Bitmap) ForEachSet(fn func(i int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			fn(wi<<6 + bit)
+			w &= w - 1
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package bitvector
+
+import "testing"
+
+func TestBitmapSetGetCount(t *testing.T) {
+	b := NewBitmap(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		b.Set(i)
+	}
+	if got := b.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	if !b.Get(64) || b.Get(2) {
+		t.Fatal("Get disagrees with Set")
+	}
+}
+
+func TestBitmapSetAllAndTail(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 128} {
+		b := NewBitmap(n)
+		b.SetAll()
+		if got := b.Count(); got != n {
+			t.Fatalf("n=%d: Count after SetAll = %d", n, got)
+		}
+	}
+}
+
+func TestBitmapResizeClearsAndReuses(t *testing.T) {
+	b := NewBitmap(256)
+	b.SetAll()
+	prev := &b.words[0]
+	b.Resize(100)
+	if b.Count() != 0 {
+		t.Fatal("Resize must clear all bits")
+	}
+	if &b.words[0] != prev {
+		t.Fatal("Resize to a smaller length must reuse the backing array")
+	}
+	b.Set(99)
+	if !b.Get(99) || b.Count() != 1 {
+		t.Fatal("bitmap broken after Resize")
+	}
+}
+
+func TestBitmapForEachSetOrder(t *testing.T) {
+	b := NewBitmap(200)
+	want := []int{3, 63, 64, 100, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEachSet(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEachSet visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEachSet order %v, want %v", got, want)
+		}
+	}
+}

@@ -75,7 +75,16 @@ type Catalog struct {
 	mu       sync.RWMutex
 	datasets map[string]*Dataset
 	guidSeq  uint64
+	// gen counts catalog mutations (Define, BulkUpdate, Forget, scale or
+	// producer changes). Compiled-plan caches key on it: any bump invalidates
+	// plans whose binding or estimates could have depended on prior state.
+	gen atomic.Uint64
 }
+
+// Generation returns a counter that increases on every catalog mutation.
+// Equal generations guarantee the catalog state a cached plan was compiled
+// against is still current.
+func (c *Catalog) Generation() uint64 { return c.gen.Load() }
 
 // New creates an empty catalog.
 func New() *Catalog {
@@ -95,6 +104,7 @@ func (c *Catalog) Define(name string, schema data.Schema) (*Dataset, error) {
 	}
 	ds := &Dataset{Name: name, Schema: schema.Clone()}
 	c.datasets[name] = ds
+	c.gen.Add(1)
 	return ds, nil
 }
 
@@ -104,6 +114,7 @@ func (c *Catalog) SetScaleFactor(name string, f float64) {
 	defer c.mu.RUnlock()
 	if ds, ok := c.datasets[name]; ok {
 		ds.scale.Store(math.Float64bits(f))
+		c.gen.Add(1)
 	}
 }
 
@@ -113,6 +124,7 @@ func (c *Catalog) SetProducer(name, producer string) {
 	defer c.mu.RUnlock()
 	if ds, ok := c.datasets[name]; ok {
 		ds.producer.Store(&producer)
+		c.gen.Add(1)
 	}
 }
 
@@ -157,6 +169,7 @@ func (c *Catalog) BulkUpdate(name string, at time.Time, table *data.Table) (GUID
 		CreatedAt: at,
 		Table:     table,
 	})
+	c.gen.Add(1)
 	return g, nil
 }
 
@@ -238,6 +251,7 @@ func (c *Catalog) Forget(g GUID, at time.Time, keep func(data.Row) bool) (GUID, 
 				CreatedAt: at,
 				Table:     filtered,
 			})
+			c.gen.Add(1)
 			return ng, nil
 		}
 	}

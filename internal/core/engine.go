@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -54,6 +55,12 @@ type Config struct {
 	// file-backed durable engine). Nil keeps the default in-memory store.
 	// If the engine is ClockAware the simulated clock is installed into it.
 	StorageEngine storage.Engine
+	// PlanCacheSize bounds the compiled-plan cache keyed by normalized
+	// script: 0 = DefaultPlanCacheSize, negative = disabled.
+	PlanCacheSize int
+	// ResultCacheEntries bounds the shared subexpression result cache:
+	// 0 = exec.DefaultCacheEntries, negative = unbounded.
+	ResultCacheEntries int
 	// DisableObservability turns off per-job traces, the metrics registry,
 	// AND the telemetry collector (benchmark baseline; production keeps
 	// them on).
@@ -95,6 +102,13 @@ type Engine struct {
 	mu      sync.Mutex
 	signers map[string]*signature.Signer
 	cache   *exec.Cache
+	// cacheLimit is the bound resetCache re-applies on day boundaries.
+	cacheLimit int
+
+	// plans caches bound roots and (for reuse-disabled jobs) full compile
+	// products by normalized script, so recurring submissions skip
+	// parse/bind/optimize. Nil when disabled.
+	plans *planCache
 
 	// clockMu guards the simulated clock. CompileAndExecute only advances
 	// it (never rewinds), so concurrent submissions observe a monotonic
@@ -113,6 +127,12 @@ type Engine struct {
 
 // NewEngine builds an engine over the given catalog.
 func NewEngine(cfg Config) *Engine {
+	cacheLimit := cfg.ResultCacheEntries
+	if cacheLimit == 0 {
+		cacheLimit = exec.DefaultCacheEntries
+	} else if cacheLimit < 0 {
+		cacheLimit = 0 // unbounded
+	}
 	e := &Engine{
 		ClusterName:    cfg.ClusterName,
 		Catalog:        cfg.Catalog,
@@ -125,7 +145,9 @@ func NewEngine(cfg Config) *Engine {
 		maxViewsPerJob: cfg.MaxViewsPerJob,
 		signers:        make(map[string]*signature.Signer),
 		clock:          fixtures.Epoch,
-		cache:          exec.NewCache(),
+		cache:          exec.NewCacheWithLimit(cacheLimit),
+		cacheLimit:     cacheLimit,
+		plans:          newPlanCache(cfg.PlanCacheSize),
 		rng:            data.NewRand(99),
 		faults:         fault.New(cfg.Faults),
 		faultCfg:       cfg.Faults.WithDefaults(),
@@ -154,6 +176,7 @@ func NewEngine(cfg Config) *Engine {
 		e.mReused = e.Metrics.Counter("cloudviews_views_reused_total")
 		e.mCompileSec = e.Metrics.Counter("cloudviews_compile_seconds_total")
 		e.faults.SetMetrics(e.Metrics)
+		e.cache.SetMetrics(e.Metrics)
 		e.Telemetry = telemetry.NewCollector(telemetry.Config{
 			Rules: telemetry.DefaultRules(cfg.SLO),
 		})
@@ -235,9 +258,14 @@ func (e *Engine) resultCache() *exec.Cache {
 func (e *Engine) resetCache() *exec.Cache {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.cache = exec.NewCache()
+	e.cache = exec.NewCacheWithLimit(e.cacheLimit)
+	e.cache.SetMetrics(e.Metrics)
 	return e.cache
 }
+
+// PlanCacheStats returns cumulative compiled-plan cache hits and misses
+// (zero/zero when the cache is disabled).
+func (e *Engine) PlanCacheStats() (hits, misses uint64) { return e.plans.stats() }
 
 // JobRun is the result of the data-plane half of a job: compiled plan,
 // executed tables, and the stage specs awaiting cluster scheduling.
@@ -272,24 +300,46 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 	}
 	e.mJobs.Inc()
 
-	script, err := sqlparser.Parse(in.Script)
-	if err != nil {
-		e.mJobsFailed.Inc()
-		return nil, fmt.Errorf("job %s: parse: %w", in.ID, err)
+	// Compiled-plan cache, level 1: identical normalized scripts (same
+	// params, runtime, and catalog generation) share one bound root.
+	// Compile clones before rewriting and execution never mutates plan
+	// nodes, so the shared root is read-only.
+	gen := e.Catalog.Generation()
+	key, keyOK := e.plans.planCacheKey(in)
+	var cached *planEntry
+	if keyOK {
+		cached = e.plans.lookup(key, gen)
 	}
-	tr.Span("parse", 0)
-	binder := &plan.Binder{Catalog: e.Catalog, Params: in.Params}
-	outs, err := binder.BindScript(script)
-	if err != nil {
-		e.mJobsFailed.Inc()
-		return nil, fmt.Errorf("job %s: bind: %w", in.ID, err)
+	var root plan.Node
+	if cached != nil {
+		root = cached.root
+		// Replay the front-end trace of the skipped phases so hit and miss
+		// submissions produce identical traces.
+		tr.Span("parse", 0)
+		tr.Span("bind", 0)
+	} else {
+		script, err := sqlparser.Parse(in.Script)
+		if err != nil {
+			e.mJobsFailed.Inc()
+			return nil, fmt.Errorf("job %s: parse: %w", in.ID, err)
+		}
+		tr.Span("parse", 0)
+		binder := &plan.Binder{Catalog: e.Catalog, Params: in.Params}
+		outs, err := binder.BindScript(script)
+		if err != nil {
+			e.mJobsFailed.Inc()
+			return nil, fmt.Errorf("job %s: bind: %w", in.ID, err)
+		}
+		if len(outs) != 1 {
+			e.mJobsFailed.Inc()
+			return nil, fmt.Errorf("job %s: expected exactly one OUTPUT, got %d", in.ID, len(outs))
+		}
+		tr.Span("bind", 0)
+		root = outs[0]
+		if keyOK {
+			cached = e.plans.storeBound(key, gen, root)
+		}
 	}
-	if len(outs) != 1 {
-		e.mJobsFailed.Inc()
-		return nil, fmt.Errorf("job %s: expected exactly one OUTPUT, got %d", in.ID, len(outs))
-	}
-	tr.Span("bind", 0)
-	root := outs[0]
 
 	// Job-level retry loop: an injected job crash (container/job-manager
 	// loss) abandons everything the attempt staged, waits out the backoff in
@@ -303,39 +353,78 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 	}
 	var cr *optimizer.CompileResult
 	var res *exec.RunResult
+	var sigMap map[plan.Node]signature.Sig
+	var subs []signature.Subexpr
+	var tmpl *stageTemplate
 	var retryDelay time.Duration
 	attempt := 1
 	for {
-		opt := &optimizer.Optimizer{
-			Signer:         signer,
-			Est:            e.Est,
-			History:        e.History,
-			Store:          e.Store,
-			Insights:       e.Insights,
-			MaxViewsPerJob: e.maxViewsPerJob,
-			Trace:          tr,
+		// Compiled-plan cache, level 2: jobs for which the CloudViews
+		// controls are off compile to a pure function of (root, estimates) —
+		// no view matching, no proposals, no insights round trip — so the
+		// whole compile product can be replayed. Guards: the controls must
+		// still be off, and a fresh estimate pass (history moves between
+		// submissions) must agree exactly with the estimates the cached join
+		// algorithm choices were derived from. Retries always recompile.
+		cr, sigMap, subs, tmpl = nil, nil, nil, nil
+		if attempt == 1 && cached != nil {
+			if cp := cached.compiled; cp != nil &&
+				!(e.Insights != nil && e.Insights.Enabled(in.Cluster, in.VC, in.OptIn)) &&
+				optimizer.EstimatesMatch(e.Est, e.History, cp.cr.Plan, cp.cr.RecurringMap, cp.cr.Estimates) {
+				cr, sigMap, subs, tmpl = cp.cr, cp.sigMap, cp.subs, cp.stages
+				e.plans.hits.Add(1)
+				// Replay the compile-phase trace of a reuse-disabled job.
+				tr.Event("reuse.disabled", "controls disabled CloudViews for this job")
+				tr.Span("optimize", 0)
+			}
 		}
-		cr = opt.Compile(root, optimizer.CompileOptions{
-			JobID:   in.ID,
-			Cluster: in.Cluster,
-			VC:      in.VC,
-			OptIn:   in.OptIn,
-		})
+		if cr == nil {
+			if keyOK {
+				e.plans.misses.Add(1)
+			}
+			opt := &optimizer.Optimizer{
+				Signer:         signer,
+				Est:            e.Est,
+				History:        e.History,
+				Store:          e.Store,
+				Insights:       e.Insights,
+				MaxViewsPerJob: e.maxViewsPerJob,
+				Trace:          tr,
+			}
+			cr = opt.Compile(root, optimizer.CompileOptions{
+				JobID:   in.ID,
+				Cluster: in.Cluster,
+				VC:      in.VC,
+				OptIn:   in.OptIn,
+			})
+			// The result cache is keyed by PHYSICAL signatures: a plan that
+			// reuses a view must not replay the accounting of the plan that
+			// computed the subexpression.
+			sigMap = signer.Physical(cr.Plan)
+			subs = signer.Subexpressions(cr.Plan)
+			tmpl = buildStageTemplate(cr)
+			if attempt == 1 && cached != nil && !cr.ReuseEnabled &&
+				len(cr.Proposed) == 0 && len(cr.Matched) == 0 {
+				e.plans.storeCompiled(cached, &compiledPlan{cr: cr, sigMap: sigMap, subs: subs, stages: tmpl})
+			}
+		}
 		e.mCompileSec.Add(cr.CompileLatency.Seconds())
 
+		// The attempt is part of the fault-injection key so a retried job
+		// re-rolls its spool/read faults instead of replaying them.
+		attemptID := in.ID + "/a" + strconv.Itoa(attempt)
 		ex := &exec.Executor{
 			Catalog: e.Catalog,
 			Views:   e.Store,
 			Cache:   e.resultCache(),
-			// The result cache is keyed by PHYSICAL signatures: a plan that
-			// reuses a view must not replay the accounting of the plan that
-			// computed the subexpression.
-			SigMap:  signer.Physical(cr.Plan),
-			Metrics: e.Metrics,
-			Faults:  e.faults,
-			// The attempt is part of the injection key so a retried job
-			// re-rolls its spool/read faults instead of replaying them.
-			JobID: fmt.Sprintf("%s/a%d", in.ID, attempt),
+			SigMap:  sigMap,
+			// The vectorized batch path is the production default; its
+			// results and accounting are byte-identical to the row-at-a-time
+			// serial twin (enforced by the exec equivalence tests).
+			Vectorized: true,
+			Metrics:    e.Metrics,
+			Faults:     e.faults,
+			JobID: attemptID,
 			Trace: tr,
 			// NowNanos comes from the job's own submit time, not the shared
 			// clock: a job's answer must not depend on which other jobs were
@@ -353,7 +442,7 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 		}
 
 		if attempt < maxAttempts &&
-			e.faults.Should(fault.JobFail, fmt.Sprintf("%s/a%d", in.ID, attempt)) {
+			e.faults.Should(fault.JobFail, attemptID) {
 			// The attempt's staged views are torn down and its locks released
 			// exactly as on a permanent failure — but the failed-jobs counter
 			// stays untouched (the job is not done yet).
@@ -389,9 +478,9 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 		Attempts: attempt, RetryDelay: retryDelay,
 	}
 	run.Output = res.Table
-	run.Stages = e.buildStageSpecs(cr, res)
-	e.traceStages(tr, run.Stages)
-	run.Record = e.buildRecord(in, signer, cr, res)
+	run.Stages = tmpl.specsFor(res)
+	e.traceStages(tr, run.Stages, res.TotalBatches)
+	run.Record = e.buildRecord(in, cr, res, subs)
 	// The record lands in the repository immediately so workload analysis
 	// sees it; RunDay fills in the scheduling outcome afterwards (the record
 	// is shared by pointer).
@@ -453,10 +542,37 @@ func (e *Engine) releaseStaged(cr *optimizer.CompileResult, jobID string, tr *ob
 	}
 }
 
+// stageSpanNames interns the "execute:stage-NN" / "materialize:stage-NN"
+// span names for the stage indexes every plan actually has, so tracing a
+// submission doesn't format strings per stage.
+var stageSpanNames = func() (tab [2][32]string) {
+	for i := range tab[0] {
+		tab[0][i] = fmt.Sprintf("execute:stage-%02d", i)
+		tab[1][i] = fmt.Sprintf("materialize:stage-%02d", i)
+	}
+	return
+}()
+
+func stageSpanName(i int, spool bool) string {
+	kind := 0
+	if spool {
+		kind = 1
+	}
+	if i < len(stageSpanNames[kind]) {
+		return stageSpanNames[kind][i]
+	}
+	if spool {
+		return fmt.Sprintf("materialize:stage-%02d", i)
+	}
+	return fmt.Sprintf("execute:stage-%02d", i)
+}
+
 // traceStages appends one execute span per scheduled stage, in simulated
 // time: the stage's container-seconds of work collapsed onto the trace
-// cursor. Spool stages are labeled materialize.
-func (e *Engine) traceStages(tr *obs.Trace, stages []cluster.StageSpec) {
+// cursor. Spool stages are labeled materialize. batches is the job's total
+// vectorized batch count; it rides on the first execute span (span-level
+// attribution is not tracked — the executor accounts batches per job).
+func (e *Engine) traceStages(tr *obs.Trace, stages []cluster.StageSpec, batches int64) {
 	if tr == nil {
 		return
 	}
@@ -464,11 +580,14 @@ func (e *Engine) traceStages(tr *obs.Trace, stages []cluster.StageSpec) {
 	// cluster queue wait as a separate "queue:cluster" span.
 	tr.Span("queue", 0)
 	for i, st := range stages {
-		name := fmt.Sprintf("execute:stage-%02d", i)
-		if st.IsSpool {
-			name = fmt.Sprintf("materialize:stage-%02d", i)
+		name := stageSpanName(i, st.IsSpool)
+		d := time.Duration(st.Work * float64(time.Second))
+		if !st.IsSpool && batches > 0 {
+			tr.SpanBatched(name, d, batches)
+			batches = 0
+		} else {
+			tr.Span(name, d)
 		}
-		tr.Span(name, time.Duration(st.Work*float64(time.Second)))
 	}
 }
 
@@ -489,55 +608,77 @@ func (e *Engine) estimateSealDelay(run *JobRun) time.Duration {
 	return run.Compile.CompileLatency + time.Duration(sec*float64(time.Second))
 }
 
-// buildStageSpecs lowers the physical plan into cluster stage specs. Total
-// executed work is distributed across stages proportionally to their
-// estimated work so that replayed (cached) executions still yield a faithful
-// schedule.
-func (e *Engine) buildStageSpecs(cr *optimizer.CompileResult, res *exec.RunResult) []cluster.StageSpec {
+// stageTemplate is the execution-independent part of stage lowering: the
+// stage DAG (widths, deps, spool flags) plus per-stage weights for
+// proportional work splitting. It is a pure function of (plan, estimates), so
+// the plan cache shares one template across identical submissions and cache
+// hits skip re-lowering the plan entirely.
+type stageTemplate struct {
+	// specs has Work left zero; Deps slices are shared across runs (the
+	// cluster scheduler only reads them).
+	specs       []cluster.StageSpec
+	weights     []float64
+	totalWeight float64
+	spoolStages int
+}
+
+// buildStageTemplate lowers the physical plan once per compilation.
+func buildStageTemplate(cr *optimizer.CompileResult) *stageTemplate {
 	pp := optimizer.BuildStages(cr.Plan, cr.Estimates)
-	specs := make([]cluster.StageSpec, len(pp.Stages))
-	weights := make([]float64, len(pp.Stages))
-	var totalWeight float64
-	for i, st := range pp.Stages {
-		if st.IsSpool {
-			continue
-		}
-		w := estimatedOpWork(st.Op, cr.Estimates[st.Node])
-		weights[i] = w
-		totalWeight += w
-	}
-	nonSpoolWork := res.TotalWork - res.SpoolWork
-	spoolStages := 0
-	for _, st := range pp.Stages {
-		if st.IsSpool {
-			spoolStages++
-		}
+	t := &stageTemplate{
+		specs:   make([]cluster.StageSpec, len(pp.Stages)),
+		weights: make([]float64, len(pp.Stages)),
 	}
 	for i, st := range pp.Stages {
 		spec := cluster.StageSpec{Width: st.Width, IsSpool: st.IsSpool}
-		for _, d := range st.Deps {
-			spec.Deps = append(spec.Deps, d.ID)
+		if len(st.Deps) > 0 {
+			spec.Deps = make([]int, len(st.Deps))
+			for k, d := range st.Deps {
+				spec.Deps[k] = d.ID
+			}
 		}
+		t.specs[i] = spec
 		if st.IsSpool {
-			spec.Work = res.SpoolWork / float64(spoolStages)
-		} else if totalWeight > 0 {
-			spec.Work = nonSpoolWork * weights[i] / totalWeight
-		} else {
-			spec.Work = nonSpoolWork / float64(len(pp.Stages))
+			t.spoolStages++
+			continue
 		}
-		specs[i] = spec
+		w := estimatedOpWork(st.Op, cr.Estimates[st.Node])
+		t.weights[i] = w
+		t.totalWeight += w
+	}
+	return t
+}
+
+// specsFor fills the template with one execution's measured work: total
+// executed work is distributed across stages proportionally to their
+// estimated work so that replayed (cached) executions still yield a faithful
+// schedule.
+func (t *stageTemplate) specsFor(res *exec.RunResult) []cluster.StageSpec {
+	specs := make([]cluster.StageSpec, len(t.specs))
+	copy(specs, t.specs)
+	nonSpoolWork := res.TotalWork - res.SpoolWork
+	for i := range specs {
+		if specs[i].IsSpool {
+			specs[i].Work = res.SpoolWork / float64(t.spoolStages)
+		} else if t.totalWeight > 0 {
+			specs[i].Work = nonSpoolWork * t.weights[i] / t.totalWeight
+		} else {
+			specs[i].Work = nonSpoolWork / float64(len(specs))
+		}
 	}
 	return specs
 }
 
-// estimatedOpWork mirrors the executor's cost model over estimates, used only
-// for proportional work splitting.
+// opWorkPerRow mirrors the executor's per-row cost model over estimates, used
+// only for proportional work splitting.
+var opWorkPerRow = map[string]float64{
+	"Scan": 2.0e-6, "ViewScan": 2.0e-6, "Filter": 1.0e-6, "Project": 1.5e-6,
+	"Join": 4.0e-6, "Aggregate": 3.0e-6, "Union": 0.2e-6, "UDO": 8.0e-6,
+	"Sample": 0.8e-6, "Sort": 2.0e-6, "Output": 0.5e-6,
+}
+
 func estimatedOpWork(op string, est stats.Estimate) float64 {
-	perRow := map[string]float64{
-		"Scan": 2.0e-6, "ViewScan": 2.0e-6, "Filter": 1.0e-6, "Project": 1.5e-6,
-		"Join": 4.0e-6, "Aggregate": 3.0e-6, "Union": 0.2e-6, "UDO": 8.0e-6,
-		"Sample": 0.8e-6, "Sort": 2.0e-6, "Output": 0.5e-6,
-	}[op]
+	perRow := opWorkPerRow[op]
 	if perRow == 0 {
 		perRow = 1.0e-6
 	}
@@ -545,12 +686,13 @@ func estimatedOpWork(op string, est stats.Estimate) float64 {
 }
 
 // buildRecord assembles the repository row for a job (cluster outcome fields
-// are filled in later by RunDay) and feeds the runtime history. The Work
-// recorded per subexpression is its SUBTREE cost — what reusing it would
-// save — and subtrees that were themselves served from a view are excluded
-// from history so reuse never poisons the recompute-cost estimates.
-func (e *Engine) buildRecord(in workload.JobInput, signer *signature.Signer, cr *optimizer.CompileResult, res *exec.RunResult) *repository.JobRecord {
-	subs := signer.Subexpressions(cr.Plan)
+// are filled in later by RunDay) and feeds the runtime history. subs is the
+// plan's subexpression enumeration, precomputed at compile time (and shared
+// via the plan cache across identical submissions). The Work recorded per
+// subexpression is its SUBTREE cost — what reusing it would save — and
+// subtrees that were themselves served from a view are excluded from history
+// so reuse never poisons the recompute-cost estimates.
+func (e *Engine) buildRecord(in workload.JobInput, cr *optimizer.CompileResult, res *exec.RunResult, subs []signature.Subexpr) *repository.JobRecord {
 	statByNode := make(map[plan.Node]exec.NodeStat, len(res.Stats))
 	for _, st := range res.Stats {
 		statByNode[st.Node] = st
@@ -573,11 +715,15 @@ func (e *Engine) buildRecord(in workload.JobInput, signer *signature.Signer, cr 
 			}
 		}
 	}
-	reused := make(map[signature.Sig]bool, len(cr.Matched))
-	for _, m := range cr.Matched {
-		reused[m.Strict] = true
+	var reused map[signature.Sig]bool // nil lookups read false
+	if len(cr.Matched) > 0 {
+		reused = make(map[signature.Sig]bool, len(cr.Matched))
+		for _, m := range cr.Matched {
+			reused[m.Strict] = true
+		}
 	}
 	rec := &repository.JobRecord{
+		Subexprs:    make([]repository.SubexprRecord, 0, len(subs)),
 		JobID:       in.ID,
 		Cluster:     in.Cluster,
 		VC:          in.VC,

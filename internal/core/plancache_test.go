@@ -1,0 +1,229 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cloudviews/internal/catalog"
+	"cloudviews/internal/cluster"
+	"cloudviews/internal/core"
+	"cloudviews/internal/data"
+	"cloudviews/internal/fixtures"
+	"cloudviews/internal/workload"
+)
+
+const pcScript = `p = SELECT * FROM Events WHERE Value > 10;
+r = SELECT Region, COUNT(*) AS n, SUM(Value) AS s FROM p GROUP BY Region;
+OUTPUT r TO "out/r";`
+
+func pcEngine(t *testing.T, cfg core.Config) *core.Engine {
+	t.Helper()
+	if cfg.Catalog == nil {
+		cfg.Catalog = catalog.New()
+	}
+	if cfg.ClusterName == "" {
+		cfg.ClusterName = "pc-test"
+	}
+	cfg.ClusterCfg = cluster.Config{Capacity: 100}
+	e := core.NewEngine(cfg)
+	schema := data.Schema{
+		{Name: "Id", Kind: data.KindInt},
+		{Name: "Region", Kind: data.KindString},
+		{Name: "Value", Kind: data.KindFloat},
+	}
+	if _, err := e.Catalog.Define("Events", schema); err != nil {
+		t.Fatal(err)
+	}
+	tb := data.NewTable(schema)
+	regions := []string{"us", "eu", "asia"}
+	for i := 0; i < 300; i++ {
+		tb.Append(data.Row{
+			data.Int(int64(i)), data.String_(regions[i%3]), data.Float(float64(i % 50)),
+		})
+	}
+	if _, err := e.Catalog.BulkUpdate("Events", fixtures.Epoch, tb); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func pcInput(id, script string) workload.JobInput {
+	return workload.JobInput{
+		ID: id, Cluster: "pc-test", VC: "vc-off", Pipeline: "p", Runtime: "scope-r1",
+		Script: script, Submit: fixtures.Epoch, OptIn: true,
+	}
+}
+
+// TestPlanCacheHitMatchesMiss runs the same reuse-disabled submission
+// sequence through a cached engine and a cache-disabled twin: every run must
+// produce a byte-identical output table and an identical trace render, and
+// the cached engine must actually take hits once history converges.
+func TestPlanCacheHitMatchesMiss(t *testing.T) {
+	cachedEng := pcEngine(t, core.Config{})
+	plainEng := pcEngine(t, core.Config{PlanCacheSize: -1})
+	for i := 0; i < 4; i++ {
+		in := pcInput(fmt.Sprintf("j%d", i), pcScript)
+		cr, err := cachedEng.CompileAndExecute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := plainEng.CompileAndExecute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cr.Output.Fingerprint() != pr.Output.Fingerprint() {
+			t.Fatalf("run %d: cached output differs from uncached", i)
+		}
+		if ct, pt := cr.Trace.Render(), pr.Trace.Render(); ct != pt {
+			t.Fatalf("run %d: cached trace differs from uncached:\ncached:\n%s\nplain:\n%s", i, ct, pt)
+		}
+	}
+	hits, misses := cachedEng.PlanCacheStats()
+	if hits == 0 {
+		t.Fatalf("no plan cache hits after 4 identical submissions (misses=%d)", misses)
+	}
+}
+
+// TestPlanCacheInvalidatedByCatalogChange publishes a new dataset version
+// between submissions: the cached plan must not serve stale bindings, and the
+// output must reflect the new data.
+func TestPlanCacheInvalidatedByCatalogChange(t *testing.T) {
+	e := pcEngine(t, core.Config{})
+	for i := 0; i < 3; i++ {
+		if _, err := e.CompileAndExecute(pcInput(fmt.Sprintf("warm%d", i), pcScript)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen := e.Catalog.Generation()
+	schema := data.Schema{
+		{Name: "Id", Kind: data.KindInt},
+		{Name: "Region", Kind: data.KindString},
+		{Name: "Value", Kind: data.KindFloat},
+	}
+	tb := data.NewTable(schema)
+	tb.Append(data.Row{data.Int(1), data.String_("mars"), data.Float(99)})
+	if _, err := e.Catalog.BulkUpdate("Events", fixtures.Epoch.Add(time.Hour), tb); err != nil {
+		t.Fatal(err)
+	}
+	if e.Catalog.Generation() == gen {
+		t.Fatal("BulkUpdate did not bump the catalog generation")
+	}
+	run, err := e.CompileAndExecute(pcInput("after-update", pcScript))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := run.Output.NumRows(); n != 1 {
+		t.Fatalf("post-update output has %d rows, want 1 (the mars row)", n)
+	}
+	if got := run.Output.Rows[0][0].S; got != "mars" {
+		t.Fatalf("post-update region = %q, want mars", got)
+	}
+}
+
+// TestPlanCacheSkipsReuseEnabledJobs verifies the level-2 cache never serves
+// jobs for which CloudViews is enabled — their compilation depends on the
+// view store and insights state, which move between submissions.
+func TestPlanCacheSkipsReuseEnabledJobs(t *testing.T) {
+	e := pcEngine(t, core.Config{})
+	e.OnboardVC("vc-on")
+	in := pcInput("on-1", pcScript)
+	in.VC = "vc-on"
+	for i := 0; i < 4; i++ {
+		in.ID = fmt.Sprintf("on-%d", i)
+		run, err := e.CompileAndExecute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !run.Compile.ReuseEnabled {
+			t.Fatal("expected reuse enabled for onboarded VC")
+		}
+	}
+	if hits, _ := e.PlanCacheStats(); hits != 0 {
+		t.Fatalf("reuse-enabled submissions took %d plan-cache hits, want 0", hits)
+	}
+
+	// Flipping the controls off after a full compile must not expose a stale
+	// product either: the first disabled submission recompiles (the enabled
+	// runs never stored one), then subsequent ones may hit.
+	e.OffboardVC("vc-on")
+	for i := 0; i < 3; i++ {
+		in.ID = fmt.Sprintf("off-%d", i)
+		run, err := e.CompileAndExecute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Compile.ReuseEnabled {
+			t.Fatal("expected reuse disabled after offboarding")
+		}
+	}
+}
+
+// TestPlanCacheDisabled pins the off switch: PlanCacheSize < 0 must record
+// neither hits nor misses and still execute correctly.
+func TestPlanCacheDisabled(t *testing.T) {
+	e := pcEngine(t, core.Config{PlanCacheSize: -1})
+	for i := 0; i < 3; i++ {
+		if _, err := e.CompileAndExecute(pcInput(fmt.Sprintf("d%d", i), pcScript)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := e.PlanCacheStats()
+	if hits != 0 || misses != 0 {
+		t.Fatalf("disabled cache recorded hits=%d misses=%d, want 0/0", hits, misses)
+	}
+}
+
+// TestPlanCacheNormalizesScripts verifies whitespace/comment/keyword-case
+// variants of a script share one cache entry.
+func TestPlanCacheNormalizesScripts(t *testing.T) {
+	e := pcEngine(t, core.Config{})
+	variant := `p = select * from Events where Value > 10;
+-- a comment the lexer drops
+r = SELECT   Region, COUNT(*) AS n, SUM(Value) AS s
+    FROM p GROUP BY Region;
+OUTPUT r TO "out/r";`
+	base, err := e.CompileAndExecute(pcInput("base", pcScript))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		run, err := e.CompileAndExecute(pcInput(fmt.Sprintf("v%d", i), variant))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Output.Fingerprint() != base.Output.Fingerprint() {
+			t.Fatal("variant output differs")
+		}
+	}
+	hits, _ := e.PlanCacheStats()
+	if hits == 0 {
+		t.Fatal("normalized variants never hit the shared entry")
+	}
+}
+
+// TestPlanCacheParamSensitivity verifies distinct parameter bindings never
+// share a compiled plan.
+func TestPlanCacheParamSensitivity(t *testing.T) {
+	e := pcEngine(t, core.Config{})
+	script := `r = SELECT Region, COUNT(*) AS n FROM Events WHERE Value > @lo GROUP BY Region;
+OUTPUT r TO "out/r";`
+	outputs := map[string]string{}
+	for _, lo := range []float64{5, 45} {
+		in := pcInput(fmt.Sprintf("p-%v", lo), script)
+		in.Params = map[string]data.Value{"lo": data.Float(lo)}
+		var last *core.JobRun
+		for i := 0; i < 3; i++ {
+			in.ID = fmt.Sprintf("p-%v-%d", lo, i)
+			run, err := e.CompileAndExecute(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = run
+		}
+		outputs[fmt.Sprint(lo)] = last.Output.Fingerprint()
+	}
+	if outputs["5"] == outputs["45"] {
+		t.Fatal("different parameter bindings produced identical outputs — key collision")
+	}
+}

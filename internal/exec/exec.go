@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strings"
 	"sync"
 
 	"cloudviews/internal/catalog"
@@ -78,6 +77,10 @@ type NodeStat struct {
 	BytesOut int64
 	Work     float64
 	IORead   int64 // logical bytes read from stable storage (scans + views)
+	// Batches counts the vectorized batches this operator processed (0 when
+	// the operator ran on the row-at-a-time path). Accounting only — it is
+	// never rendered into traces or goldens.
+	Batches int64
 }
 
 // RunResult is the outcome of executing one plan.
@@ -106,6 +109,9 @@ type RunResult struct {
 	// (fault-injected); the job continues and the staged view is left for the
 	// engine to abandon.
 	SpoolWriteFailures int
+	// TotalBatches sums NodeStat.Batches across operators (replayed cache
+	// entries included), exposing how much of the plan ran vectorized.
+	TotalBatches int64
 }
 
 // CacheEntry memoizes the result of a subexpression for replay across
@@ -121,40 +127,130 @@ type CacheEntry struct {
 	TotalRead  int64
 }
 
-// Cache is a strict-signature-keyed result cache. It is safe for concurrent
-// use: many executors (one per in-flight job) share one cache, and identical
-// subexpressions racing to populate an entry resolve first-writer-wins, which
-// is sound because equal physical signatures imply byte-identical results.
+// DefaultCacheEntries bounds the result cache when no explicit limit is
+// given. It is deliberately generous — eviction is a memory-safety backstop
+// for long simulations, not a tuning knob — so bounded behavior only differs
+// from the historical unbounded cache on workloads with >64k distinct
+// subexpression signatures.
+const DefaultCacheEntries = 65536
+
+// Cache is a strict-signature-keyed result cache with deterministic LRU
+// eviction. It is safe for concurrent use: many executors (one per in-flight
+// job) share one cache, and identical subexpressions racing to populate an
+// entry resolve first-writer-wins, which is sound because equal physical
+// signatures imply byte-identical results. Eviction order is the exact
+// least-recently-used order of Get/Put calls, so single-threaded runs evict
+// deterministically; eviction only ever forces a recompute (identical bytes),
+// never a wrong result.
 type Cache struct {
-	mu sync.RWMutex
-	m  map[signature.Sig]*CacheEntry
+	mu    sync.Mutex
+	m     map[signature.Sig]*lruEntry
+	head  *lruEntry // most recently used
+	tail  *lruEntry // least recently used
+	limit int       // ≤0 means unbounded
+	reg   *obs.Registry
 }
 
-// NewCache creates an empty cache.
-func NewCache() *Cache { return &Cache{m: make(map[signature.Sig]*CacheEntry)} }
+type lruEntry struct {
+	sig        signature.Sig
+	entry      *CacheEntry
+	prev, next *lruEntry
+}
+
+// NewCache creates an empty cache bounded at DefaultCacheEntries.
+func NewCache() *Cache { return NewCacheWithLimit(DefaultCacheEntries) }
+
+// NewCacheWithLimit creates an empty cache holding at most limit entries
+// (limit ≤ 0 disables eviction).
+func NewCacheWithLimit(limit int) *Cache {
+	return &Cache{m: make(map[signature.Sig]*lruEntry), limit: limit}
+}
+
+// SetMetrics attaches a registry; the eviction counter family
+// cloudviews_result_cache_evictions_total is created lazily on the first
+// eviction so metric exports stay byte-identical on runs that never evict.
+func (c *Cache) SetMetrics(reg *obs.Registry) {
+	c.mu.Lock()
+	c.reg = reg
+	c.mu.Unlock()
+}
 
 // Len returns the number of cached subexpressions.
 func (c *Cache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return len(c.m)
 }
 
-// Get returns the entry for a physical signature, if present.
+func (c *Cache) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) pushFront(e *lruEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// Get returns the entry for a physical signature, if present, marking it most
+// recently used.
 func (c *Cache) Get(sig signature.Sig) (*CacheEntry, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	e, ok := c.m[sig]
-	return e, ok
+	if !ok {
+		return nil, false
+	}
+	if c.head != e {
+		c.unlink(e)
+		c.pushFront(e)
+	}
+	return e.entry, true
 }
 
 // Put stores an entry unless one already exists (first writer wins, keeping
-// replayed accounting stable across concurrent producers).
+// replayed accounting stable across concurrent producers), evicting the
+// least-recently-used entries when the bound is exceeded.
 func (c *Cache) Put(sig signature.Sig, e *CacheEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, exists := c.m[sig]; !exists {
-		c.m[sig] = e
+	if old, exists := c.m[sig]; exists {
+		if c.head != old {
+			c.unlink(old)
+			c.pushFront(old)
+		}
+		return
+	}
+	le := &lruEntry{sig: sig, entry: e}
+	c.m[sig] = le
+	c.pushFront(le)
+	if c.limit <= 0 {
+		return
+	}
+	evicted := 0
+	for len(c.m) > c.limit && c.tail != nil {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.m, victim.sig)
+		evicted++
+	}
+	if evicted > 0 && c.reg != nil {
+		c.reg.Counter("cloudviews_result_cache_evictions_total").Add(float64(evicted))
 	}
 }
 
@@ -178,6 +274,13 @@ type Executor struct {
 	// results to serial execution: partitioning is hash-based and outputs are
 	// reassembled in the serial emission order.
 	Parallelism int
+	// Vectorized switches the serial operator paths to typed-column batch
+	// kernels (batchSize rows per call, selection bitmaps). The row-at-a-time
+	// path is kept as the serial twin: kernels reproduce Value semantics
+	// bit-for-bit and fall back to the row path per operator whenever an
+	// expression, type, or NULL pattern is outside kernel coverage (see
+	// vec.go), so results are byte-identical either way.
+	Vectorized bool
 	// Metrics, when set, receives execution totals (cache hits, work,
 	// bytes read) once per Run.
 	Metrics *obs.Registry
@@ -254,6 +357,7 @@ func (ex *Executor) Run(root plan.Node) (*RunResult, error) {
 
 func (ex *Executor) record(st NodeStat) {
 	ex.res.Stats = append(ex.res.Stats, st)
+	ex.res.TotalBatches += st.Batches
 }
 
 func logicalBytes(t *data.Table, mult float64) int64 {
@@ -300,6 +404,7 @@ func (ex *Executor) eval(n plan.Node) (nodeResult, error) {
 						st.Node = nodes[i]
 					}
 					ex.res.Stats = append(ex.res.Stats, st)
+					ex.res.TotalBatches += st.Batches
 				}
 				ex.res.InputBytes += entry.InputBytes
 				ex.res.ViewBytes += entry.ViewBytes
@@ -451,8 +556,11 @@ func (ex *Executor) evalFilter(x *plan.Filter) (nodeResult, error) {
 		return nodeResult{}, err
 	}
 	out := data.NewTable(in.table.Schema)
+	var batches int64
 	if ex.parallelOK(in.table.NumRows(), x.Pred) {
 		ex.parallelFilter(in.table, x.Pred, out)
+	} else if nb, ok := ex.vecFilter(in.table, x.Pred, out); ok {
+		batches = nb
 	} else {
 		for _, row := range in.table.Rows {
 			if v := x.Pred.Eval(row, ex.Ctx); v.Kind == data.KindBool && v.B {
@@ -461,7 +569,7 @@ func (ex *Executor) evalFilter(x *plan.Filter) (nodeResult, error) {
 		}
 	}
 	work := float64(logicalRows(in.table, in.mult)) * costFilterRow
-	ex.record(NodeStat{Node: x, Op: "Filter", RowsOut: logicalRows(out, in.mult), BytesOut: logicalBytes(out, in.mult), Work: work})
+	ex.record(NodeStat{Node: x, Op: "Filter", RowsOut: logicalRows(out, in.mult), BytesOut: logicalBytes(out, in.mult), Work: work, Batches: batches})
 	return nodeResult{table: out, mult: in.mult}, nil
 }
 
@@ -471,8 +579,11 @@ func (ex *Executor) evalProject(x *plan.Project) (nodeResult, error) {
 		return nodeResult{}, err
 	}
 	out := data.NewTable(x.Schema())
+	var batches int64
 	if ex.parallelOK(in.table.NumRows(), x.Exprs...) {
 		ex.parallelProject(in.table, x.Exprs, out)
+	} else if nb, ok := ex.vecProject(in.table, x.Exprs, out); ok {
+		batches = nb
 	} else {
 		for _, row := range in.table.Rows {
 			nr := make(data.Row, len(x.Exprs))
@@ -483,18 +594,34 @@ func (ex *Executor) evalProject(x *plan.Project) (nodeResult, error) {
 		}
 	}
 	work := float64(logicalRows(in.table, in.mult)) * costProjectRow * float64(max(1, len(x.Exprs)))
-	ex.record(NodeStat{Node: x, Op: "Project", RowsOut: logicalRows(out, in.mult), BytesOut: logicalBytes(out, in.mult), Work: work})
+	ex.record(NodeStat{Node: x, Op: "Project", RowsOut: logicalRows(out, in.mult), BytesOut: logicalBytes(out, in.mult), Work: work, Batches: batches})
 	return nodeResult{table: out, mult: in.mult}, nil
 }
 
-// joinKey builds the hash key for a row under the given key expressions.
+// joinKey builds the hash key for a row under the given key expressions,
+// using the collision-free length-prefixed encoding (see keys.go).
 func (ex *Executor) joinKey(row data.Row, keys []plan.Expr) string {
-	parts := make([]string, len(keys))
-	for i, k := range keys {
-		v := k.Eval(row, ex.Ctx)
-		parts[i] = fmt.Sprintf("%d:%s", v.Kind, v.String())
+	var buf [64]byte
+	return string(ex.appendJoinKey(buf[:0], row, keys))
+}
+
+func (ex *Executor) appendJoinKey(dst []byte, row data.Row, keys []plan.Expr) []byte {
+	for _, k := range keys {
+		dst = appendKeyValue(dst, k.Eval(row, ex.Ctx))
 	}
-	return strings.Join(parts, "\x00")
+	return dst
+}
+
+// orderedJoinKey is the merge-join variant: collision-free AND order-
+// preserving for escape-free values, so merge-join emission order matches
+// the historical encoding byte-for-byte (see keys.go).
+func (ex *Executor) orderedJoinKey(row data.Row, keys []plan.Expr) string {
+	var buf [64]byte
+	dst := buf[:0]
+	for _, k := range keys {
+		dst = appendOrderedKeyValue(dst, k.Eval(row, ex.Ctx))
+	}
+	return string(dst)
 }
 
 func (ex *Executor) evalJoin(x *plan.Join) (nodeResult, error) {
@@ -537,18 +664,32 @@ func (ex *Executor) evalJoin(x *plan.Join) (nodeResult, error) {
 		out.Append(combined)
 	}
 
+	var batches int64
 	switch algo {
 	case plan.JoinHash:
 		if ex.parallelOK(l.table.NumRows()+r.table.NumRows(), joinExprs(x)...) {
 			ex.parallelHashJoin(l.table, r.table, x, out)
 		} else {
+			lKeys, lb, lok := ex.vecJoinKeys(l.table, x.LeftKeys)
+			rKeys, rb, rok := ex.vecJoinKeys(r.table, x.RightKeys)
+			batches = lb + rb
 			build := make(map[string][]data.Row, r.table.NumRows())
-			for _, rr := range r.table.Rows {
-				k := ex.joinKey(rr, x.RightKeys)
+			for ri, rr := range r.table.Rows {
+				var k string
+				if rok {
+					k = rKeys[ri]
+				} else {
+					k = ex.joinKey(rr, x.RightKeys)
+				}
 				build[k] = append(build[k], rr)
 			}
-			for _, lr := range l.table.Rows {
-				k := ex.joinKey(lr, x.LeftKeys)
+			for li, lr := range l.table.Rows {
+				var k string
+				if lok {
+					k = lKeys[li]
+				} else {
+					k = ex.joinKey(lr, x.LeftKeys)
+				}
 				for _, rr := range build[k] {
 					emit(lr, rr)
 				}
@@ -570,6 +711,25 @@ func (ex *Executor) evalJoin(x *plan.Join) (nodeResult, error) {
 					emit(lr, rr)
 				}
 			}
+		} else if rKeys, rb, rok := ex.vecJoinKeys(r.table, x.RightKeys); rok {
+			// Hoisting the inner-side key computation out of the O(n·m) pair
+			// loop changes no output: key equality is unchanged, only the
+			// per-pair re-evaluation is gone.
+			lKeys, lb, lok := ex.vecJoinKeys(l.table, x.LeftKeys)
+			batches = lb + rb
+			for li, lr := range l.table.Rows {
+				var lk string
+				if lok {
+					lk = lKeys[li]
+				} else {
+					lk = ex.joinKey(lr, x.LeftKeys)
+				}
+				for ri, rr := range r.table.Rows {
+					if lk == rKeys[ri] {
+						emit(lr, rr)
+					}
+				}
+			}
 		} else {
 			for _, lr := range l.table.Rows {
 				lk := ex.joinKey(lr, x.LeftKeys)
@@ -587,7 +747,7 @@ func (ex *Executor) evalJoin(x *plan.Join) (nodeResult, error) {
 		work = outer * costLoopOuter * (1 + 0.05*inner)
 	}
 
-	ex.record(NodeStat{Node: x, Op: "Join", Algo: algo, RowsOut: logicalRows(out, mult), BytesOut: logicalBytes(out, mult), Work: work})
+	ex.record(NodeStat{Node: x, Op: "Join", Algo: algo, RowsOut: logicalRows(out, mult), BytesOut: logicalBytes(out, mult), Work: work, Batches: batches})
 	return nodeResult{table: out, mult: mult}, nil
 }
 
@@ -603,7 +763,7 @@ func sortedByKeys(t *data.Table, keys []plan.Expr, ctx *plan.EvalContext) keyedR
 	idx := make([]int, len(kr.rows))
 	for i := range idx {
 		idx[i] = i
-		kr.keys[i] = ex.joinKey(kr.rows[i], keys)
+		kr.keys[i] = ex.orderedJoinKey(kr.rows[i], keys)
 	}
 	sort.SliceStable(idx, func(a, b int) bool { return kr.keys[idx[a]] < kr.keys[idx[b]] })
 	rows := make([]data.Row, len(idx))
@@ -652,8 +812,11 @@ func (ex *Executor) evalAggregate(x *plan.Aggregate) (nodeResult, error) {
 
 	schema := x.Schema()
 	out := data.NewTable(schema)
+	var batches int64
 	if ex.parallelOK(in.table.NumRows(), aggExprs(x)...) {
 		ex.parallelHashAggregate(in.table, x, out)
+	} else if nb, ok := ex.vecAggregate(in.table, x, schema, out); ok {
+		batches = nb
 	} else {
 		states := make(map[string]*aggState)
 		var order []string
@@ -680,7 +843,7 @@ func (ex *Executor) evalAggregate(x *plan.Aggregate) (nodeResult, error) {
 	if len(x.GroupBy) == 0 {
 		outMult = 1
 	}
-	ex.record(NodeStat{Node: x, Op: "Aggregate", RowsOut: logicalRows(out, outMult), BytesOut: logicalBytes(out, outMult), Work: work})
+	ex.record(NodeStat{Node: x, Op: "Aggregate", RowsOut: logicalRows(out, outMult), BytesOut: logicalBytes(out, outMult), Work: work, Batches: batches})
 	return nodeResult{table: out, mult: outMult}, nil
 }
 
@@ -727,24 +890,29 @@ func (ex *Executor) evalSample(x *plan.Sample) (nodeResult, error) {
 	}
 	out := data.NewTable(in.table.Schema)
 	threshold := uint64(x.Percent / 100 * float64(1<<32))
-	for _, row := range in.table.Rows {
-		var h uint64 = 1469598103934665603
-		for _, v := range row {
-			for _, c := range []byte(v.String()) {
-				h = (h ^ uint64(c)) * 1099511628211
+	var batches int64
+	if ex.Vectorized {
+		batches = ex.vecSample(in.table, threshold, out)
+	} else {
+		for _, row := range in.table.Rows {
+			var h uint64 = 1469598103934665603
+			for _, v := range row {
+				for _, c := range []byte(v.String()) {
+					h = (h ^ uint64(c)) * 1099511628211
+				}
 			}
-		}
-		// Finalize: FNV avalanches poorly on short inputs, so mix before
-		// thresholding to keep the sample unbiased.
-		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
-		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
-		h ^= h >> 31
-		if (h>>32)%(1<<32) < threshold {
-			out.Append(row)
+			// Finalize: FNV avalanches poorly on short inputs, so mix before
+			// thresholding to keep the sample unbiased.
+			h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+			h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+			h ^= h >> 31
+			if (h>>32)%(1<<32) < threshold {
+				out.Append(row)
+			}
 		}
 	}
 	work := float64(logicalRows(in.table, in.mult)) * costSampleRow
-	ex.record(NodeStat{Node: x, Op: "Sample", RowsOut: logicalRows(out, in.mult), BytesOut: logicalBytes(out, in.mult), Work: work})
+	ex.record(NodeStat{Node: x, Op: "Sample", RowsOut: logicalRows(out, in.mult), BytesOut: logicalBytes(out, in.mult), Work: work, Batches: batches})
 	return nodeResult{table: out, mult: in.mult}, nil
 }
 
@@ -754,24 +922,27 @@ func (ex *Executor) evalSort(x *plan.Sort) (nodeResult, error) {
 		return nodeResult{}, err
 	}
 	out := data.NewTable(in.table.Schema)
-	out.Rows = append(out.Rows, in.table.Rows...)
-	sort.SliceStable(out.Rows, func(a, b int) bool {
-		for i, k := range x.Keys {
-			va := k.Eval(out.Rows[a], ex.Ctx)
-			vb := k.Eval(out.Rows[b], ex.Ctx)
-			cmp := va.Compare(vb)
-			if x.Desc[i] {
-				cmp = -cmp
+	batches, ok := ex.vecSort(in.table, x, out)
+	if !ok {
+		out.Rows = append(out.Rows, in.table.Rows...)
+		sort.SliceStable(out.Rows, func(a, b int) bool {
+			for i, k := range x.Keys {
+				va := k.Eval(out.Rows[a], ex.Ctx)
+				vb := k.Eval(out.Rows[b], ex.Ctx)
+				cmp := va.Compare(vb)
+				if x.Desc[i] {
+					cmp = -cmp
+				}
+				if cmp != 0 {
+					return cmp < 0
+				}
 			}
-			if cmp != 0 {
-				return cmp < 0
-			}
-		}
-		return false
-	})
+			return false
+		})
+	}
 	rows := float64(logicalRows(out, in.mult))
 	work := rows * costOrderRow * log2(rows)
-	ex.record(NodeStat{Node: x, Op: "Sort", RowsOut: logicalRows(out, in.mult), BytesOut: logicalBytes(out, in.mult), Work: work})
+	ex.record(NodeStat{Node: x, Op: "Sort", RowsOut: logicalRows(out, in.mult), BytesOut: logicalBytes(out, in.mult), Work: work, Batches: batches})
 	return nodeResult{table: out, mult: in.mult}, nil
 }
 
@@ -811,8 +982,12 @@ func (ex *Executor) evalOutput(x *plan.Output) (nodeResult, error) {
 	return in, nil
 }
 
+// log2 feeds the n·log(n) cost terms. Inputs below 2 — including 0, negative
+// row counts from degenerate multipliers, and NaN (for which `x < 2` is
+// false, so a plain clamp would leak it through math.Log2 and poison every
+// downstream Work total) — all clamp to 1.
 func log2(x float64) float64 {
-	if x < 2 {
+	if !(x >= 2) {
 		return 1
 	}
 	return math.Log2(x)

@@ -1,0 +1,194 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"cloudviews/internal/data"
+	"cloudviews/internal/obs"
+	"cloudviews/internal/signature"
+)
+
+func TestLog2Clamp(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want float64
+	}{
+		{math.NaN(), 1},
+		{math.Inf(-1), 1},
+		{-1024, 1},
+		{-1, 1},
+		{0, 1},
+		{0.5, 1},
+		{1, 1},
+		{1.999, 1},
+		{2, 1},
+		{4, 2},
+		{1024, 10},
+	}
+	for _, c := range cases {
+		got := log2(c.in)
+		if got != c.want {
+			t.Errorf("log2(%v) = %v, want %v", c.in, got, c.want)
+		}
+		if math.IsNaN(got) || got < 1 {
+			t.Errorf("log2(%v) = %v leaked out of the clamp", c.in, got)
+		}
+	}
+	if got := log2(math.Inf(1)); !math.IsInf(got, 1) {
+		t.Errorf("log2(+Inf) = %v, want +Inf", got)
+	}
+}
+
+// adversarialKeyValues are value tuples engineered to collide under naive
+// separator-joined encodings.
+var adversarialKeyValues = [][]data.Value{
+	{data.String_("x\x003:y"), data.String_("z")},
+	{data.String_("x"), data.String_("y\x003:z")},
+	{data.String_("x\x00"), data.String_("3:z")},
+	{data.String_("x"), data.String_("")},
+	{data.String_(""), data.String_("x")},
+	{data.String_("\x00"), data.String_("\x01")},
+	{data.String_("\x01\x01"), data.String_("")},
+	{data.String_(""), data.String_("\x01\x01")},
+	{data.String_("1"), data.Int(1)},
+	{data.Int(1), data.String_("1")},
+	{data.Int(12), data.Int(3)},
+	{data.Int(1), data.Int(23)},
+	{data.Int(123)},
+	{data.String_("123")},
+	{data.Float(1), data.Int(1)},
+	{data.Bool(true), data.String_("true")},
+	{data.Time(time.Unix(0, 1234).UTC()), data.Int(1234)},
+	{data.Value{}, data.String_("NULL")},
+	{data.Value{}, data.Value{}},
+	{data.String_("NULL"), data.Value{}},
+}
+
+func TestKeyEncodingsInjective(t *testing.T) {
+	encoders := map[string]func([]data.Value) string{
+		"length-prefixed": func(vals []data.Value) string {
+			var b []byte
+			for _, v := range vals {
+				b = appendKeyValue(b, v)
+			}
+			return string(b)
+		},
+		"ordered": func(vals []data.Value) string {
+			var b []byte
+			for _, v := range vals {
+				b = appendOrderedKeyValue(b, v)
+			}
+			return string(b)
+		},
+	}
+	for name, enc := range encoders {
+		seen := map[string]int{}
+		for i, vals := range adversarialKeyValues {
+			k := enc(vals)
+			if j, dup := seen[k]; dup {
+				t.Errorf("%s: tuples %d and %d encode to the same key %q", name, j, i, k)
+			}
+			seen[k] = i
+		}
+	}
+}
+
+// TestOrderedKeyMatchesHistoricalBytes pins the merge-join key encoding to
+// the historical fmt-based rendering for escape-free values, which is what
+// keeps merge-join emission order (and therefore goldens) unchanged.
+func TestOrderedKeyMatchesHistoricalBytes(t *testing.T) {
+	vals := []data.Value{
+		data.Int(42), data.Float(2.5), data.String_("plain"),
+		data.Bool(true), data.Value{}, data.Time(time.Unix(3, 0).UTC()),
+	}
+	for _, v := range vals {
+		historical := fmt.Sprintf("%d:%s", v.Kind, v.String()) + "\x00"
+		got := string(appendOrderedKeyValue(nil, v))
+		if got != historical {
+			t.Errorf("ordered key for %v: got %q, want historical %q", v, got, historical)
+		}
+	}
+}
+
+func TestKeyPayloadMatchesValueString(t *testing.T) {
+	vals := []data.Value{
+		data.Int(-7), data.Int(math.MaxInt64), data.Float(0.1), data.Float(-0.0),
+		data.Float(1e300), data.String_("s\x00t"), data.Bool(false), data.Value{},
+		data.Time(time.Date(2024, 3, 1, 12, 0, 0, 0, time.UTC)),
+	}
+	for _, v := range vals {
+		if got := string(appendKeyPayload(nil, v)); got != v.String() {
+			t.Errorf("payload for kind %v: got %q, want %q", v.Kind, got, v.String())
+		}
+	}
+}
+
+func cacheEntry(i int) *CacheEntry {
+	return &CacheEntry{Table: data.NewTable(data.Schema{}), Mult: float64(i)}
+}
+
+func TestCacheLRUBoundAndEvictionOrder(t *testing.T) {
+	c := NewCacheWithLimit(3)
+	for i := 0; i < 3; i++ {
+		c.Put(signature.Sig(fmt.Sprintf("s%d", i)), cacheEntry(i))
+	}
+	// Touch s0 so s1 becomes the least recently used.
+	if _, ok := c.Get("s0"); !ok {
+		t.Fatal("s0 missing before eviction")
+	}
+	c.Put("s3", cacheEntry(3))
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if _, ok := c.Get("s1"); ok {
+		t.Error("s1 should have been evicted (least recently used)")
+	}
+	for _, sig := range []signature.Sig{"s0", "s2", "s3"} {
+		if _, ok := c.Get(sig); !ok {
+			t.Errorf("%s unexpectedly evicted", sig)
+		}
+	}
+}
+
+func TestCacheFirstWriterWins(t *testing.T) {
+	c := NewCacheWithLimit(2)
+	first := cacheEntry(1)
+	c.Put("s", first)
+	c.Put("s", cacheEntry(2))
+	got, ok := c.Get("s")
+	if !ok || got != first {
+		t.Fatalf("duplicate Put replaced the original entry: got %p want %p", got, first)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheEvictionMetric(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCacheWithLimit(2)
+	c.SetMetrics(reg)
+	c.Put("a", cacheEntry(0))
+	c.Put("b", cacheEntry(1))
+	if _, ok := reg.Snapshot()["cloudviews_result_cache_evictions_total"]; ok {
+		t.Fatal("eviction counter materialized before any eviction")
+	}
+	c.Put("c", cacheEntry(2))
+	c.Put("d", cacheEntry(3))
+	if got := reg.Snapshot()["cloudviews_result_cache_evictions_total"]; got != 2 {
+		t.Fatalf("evictions counter = %v, want 2", got)
+	}
+}
+
+func TestCacheUnbounded(t *testing.T) {
+	c := NewCacheWithLimit(0)
+	for i := 0; i < 100; i++ {
+		c.Put(signature.Sig(fmt.Sprintf("s%d", i)), cacheEntry(i))
+	}
+	if c.Len() != 100 {
+		t.Fatalf("Len = %d, want 100 (limit<=0 means unbounded)", c.Len())
+	}
+}

@@ -8,20 +8,12 @@
 package exec
 
 import (
-	"fmt"
 	"runtime"
-	"strings"
 	"sync"
 
 	"cloudviews/internal/data"
 	"cloudviews/internal/plan"
 )
-
-// groupKeyPart/joinKeyParts mirror the serial joinKey encoding so parallel
-// and serial paths hash identical key strings.
-func groupKeyPart(v data.Value) string { return fmt.Sprintf("%d:%s", v.Kind, v.String()) }
-
-func joinKeyParts(parts []string) string { return strings.Join(parts, "\x00") }
 
 // parallelRowThreshold is the minimum physical row count before an operator
 // fans out; below it goroutine overhead dominates.
@@ -278,16 +270,18 @@ func (st *aggState) outputRow(x *plan.Aggregate, schema data.Schema) data.Row {
 	return row
 }
 
-// groupKey computes one row's group key and values.
+// groupKey computes one row's group key and values, using the same
+// collision-free length-prefixed encoding as joinKey (keys.go).
 func (ex *Executor) groupKey(row data.Row, x *plan.Aggregate) (string, data.Row) {
-	keyParts := make([]string, len(x.GroupBy))
 	groupVals := make(data.Row, len(x.GroupBy))
+	var buf [64]byte
+	key := buf[:0]
 	for i, g := range x.GroupBy {
 		v := g.Eval(row, ex.Ctx)
 		groupVals[i] = v
-		keyParts[i] = groupKeyPart(v)
+		key = appendKeyValue(key, v)
 	}
-	return joinKeyParts(keyParts), groupVals
+	return string(key), groupVals
 }
 
 // parallelHashAggregate partitions rows by group-key hash: each worker owns a

@@ -25,6 +25,10 @@ type Span struct {
 	Name  string
 	Start time.Time
 	Dur   time.Duration
+	// Batches counts the vectorized batches the phase processed (zero for
+	// row-at-a-time execution and untimed phases). Accounting only — never
+	// rendered, so Render output is identical with batching on or off.
+	Batches int64
 	// Seq orders spans and events by recording time.
 	Seq int
 }
@@ -57,9 +61,11 @@ type Trace struct {
 	events []Event
 }
 
-// NewTrace starts a trace at the job's simulated submission time.
+// NewTrace starts a trace at the job's simulated submission time. Span
+// storage is preallocated for a typical job (front-end phases plus a dozen
+// execute stages) so recording doesn't regrow the slice per phase.
 func NewTrace(jobID string, start time.Time) *Trace {
-	return &Trace{JobID: jobID, start: start, cursor: start}
+	return &Trace{JobID: jobID, start: start, cursor: start, spans: make([]Span, 0, 16)}
 }
 
 // Span records a phase beginning at the trace cursor and advances the cursor
@@ -71,6 +77,19 @@ func (t *Trace) Span(name string, d time.Duration) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.spans = append(t.spans, Span{Name: name, Start: t.cursor, Dur: d, Seq: t.seq})
+	t.seq++
+	t.cursor = t.cursor.Add(d)
+}
+
+// SpanBatched records a phase like Span, additionally carrying the number of
+// vectorized batches the phase processed.
+func (t *Trace) SpanBatched(name string, d time.Duration, batches int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = append(t.spans, Span{Name: name, Start: t.cursor, Dur: d, Batches: batches, Seq: t.seq})
 	t.seq++
 	t.cursor = t.cursor.Add(d)
 }
@@ -123,6 +142,34 @@ func (t *Trace) Events() []Event {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return append([]Event(nil), t.events...)
+}
+
+// ForEachSpan calls fn for every recorded span in recording order, without
+// copying the span slice. fn runs under the trace lock and must not call back
+// into the trace.
+func (t *Trace) ForEachSpan(fn func(Span)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range t.spans {
+		fn(s)
+	}
+}
+
+// ForEachEvent calls fn for every recorded event in recording order, without
+// copying the event slice. fn runs under the trace lock and must not call
+// back into the trace.
+func (t *Trace) ForEachEvent(fn func(Event)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range t.events {
+		fn(e)
+	}
 }
 
 // HasSpan reports whether any span's name equals name or starts with

@@ -61,3 +61,57 @@ func FuzzParse(f *testing.F) {
 		}
 	})
 }
+
+// FuzzLexer checks the tokenizer's round-trip contract: any input that lexes
+// successfully must normalize to a canonical form that re-lexes to the
+// identical token stream (kinds and texts, positions aside). This is the
+// soundness property the compiled-plan cache key relies on.
+func FuzzLexer(f *testing.F) {
+	seeds := []string{
+		`SELECT a, b FROM T WHERE x >= 1.5 AND name = 'asia''s'`,
+		`select lower(a) from t where b <> 3 and c == 4`,
+		`OUTPUT agg TO "out/agg.ss";`,
+		`SELECT @p1 + @p2 FROM T -- trailing comment`,
+		"a = /* block\ncomment */ SELECT 1.. .5 FROM T",
+		`'it''s' "dq""esc" ''`,
+		"x-- not a comment? yes it is",
+		"- - < = ! =",
+		"@@",
+		"\x00",
+		"ident_with_unicode_\xc3\xa9",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := NewLexer(src).Lex()
+		if err != nil {
+			if _, ok := NormalizeScript(src); ok {
+				t.Fatal("NormalizeScript succeeded on input Lex rejects")
+			}
+			return
+		}
+		norm, ok := NormalizeScript(src)
+		if !ok {
+			t.Fatal("NormalizeScript failed on input Lex accepts")
+		}
+		toks2, err := NewLexer(norm).Lex()
+		if err != nil {
+			t.Fatalf("normalized form does not re-lex: %v\nnorm: %q", err, norm)
+		}
+		if len(toks) != len(toks2) {
+			t.Fatalf("token count changed: %d -> %d\nnorm: %q", len(toks), len(toks2), norm)
+		}
+		for i := range toks {
+			if toks[i].Kind != toks2[i].Kind || toks[i].Text != toks2[i].Text {
+				t.Fatalf("token %d changed: (%d,%q) -> (%d,%q)\nnorm: %q",
+					i, toks[i].Kind, toks[i].Text, toks2[i].Kind, toks2[i].Text, norm)
+			}
+		}
+		// Normalization must be idempotent.
+		norm2, ok := NormalizeScript(norm)
+		if !ok || norm2 != norm {
+			t.Fatalf("NormalizeScript not idempotent: %q -> %q", norm, norm2)
+		}
+	})
+}

@@ -44,7 +44,79 @@ var keywords = map[string]bool{
 	"IS": true, "IN": true, "BETWEEN": true, "LIKE": true,
 }
 
-// Lexer tokenizes a source string.
+// kwByLen buckets the canonical keyword strings by byte length so the hot
+// ident path can canonicalize case without building an upper-cased copy: a
+// candidate word is compared (ASCII case-folded, in place) against only the
+// handful of keywords of the same length, and on match the token borrows the
+// canonical constant instead of allocating.
+var kwByLen [][]string
+
+func init() {
+	maxLen := 0
+	for kw := range keywords {
+		if len(kw) > maxLen {
+			maxLen = len(kw)
+		}
+	}
+	kwByLen = make([][]string, maxLen+1)
+	for kw := range keywords {
+		kwByLen[len(kw)] = append(kwByLen[len(kw)], kw)
+	}
+}
+
+// asciiFoldEq reports whether word equals kw under ASCII case folding; kw is
+// a canonical keyword (upper-case ASCII) of the same length as word.
+func asciiFoldEq(word, kw string) bool {
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c != kw[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// keywordCanon returns the canonical (upper-case) spelling of word if it is a
+// keyword. ASCII words — the only kind real scripts contain — resolve with
+// zero allocations; words with multi-byte runes fall back to strings.ToUpper
+// to preserve the historical Unicode-folding behavior exactly.
+func keywordCanon(word string) (string, bool) {
+	if len(word) >= len(kwByLen) {
+		return "", false
+	}
+	ascii := true
+	for i := 0; i < len(word); i++ {
+		if word[i] >= 0x80 {
+			ascii = false
+			break
+		}
+	}
+	if !ascii {
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return up, true
+		}
+		return "", false
+	}
+	for _, kw := range kwByLen[len(word)] {
+		if asciiFoldEq(word, kw) {
+			return kw, true
+		}
+	}
+	return "", false
+}
+
+// singleOps is the set of one-byte operators; a matched token's Text is a
+// substring of this constant, so single-char operators never allocate.
+const singleOps = "+-*/%(),.;=<>"
+
+// Lexer is an incremental tokenizer over a source string. The zero value is
+// ready after Reset; Next returns one token at a time without buffering the
+// stream, and for well-formed input the only allocations are string literals
+// that contain doubled-quote escapes (which must be rewritten).
 type Lexer struct {
 	src  string
 	pos  int
@@ -52,14 +124,28 @@ type Lexer struct {
 }
 
 // NewLexer creates a lexer over src.
-func NewLexer(src string) *Lexer { return &Lexer{src: src, line: 1} }
+func NewLexer(src string) *Lexer {
+	l := &Lexer{}
+	l.Reset(src)
+	return l
+}
+
+// Reset re-targets the lexer at src, restarting at offset 0 line 1. It lets a
+// value-typed Lexer be reused without heap allocation.
+func (l *Lexer) Reset(src string) {
+	l.src = src
+	l.pos = 0
+	l.line = 1
+}
 
 // Lex returns all tokens including a trailing EOF token, or an error with
 // line information for unterminated strings or illegal characters.
 func (l *Lexer) Lex() ([]Token, error) {
-	var toks []Token
+	// One amortized allocation: scripts average well above 4 bytes/token, so
+	// the estimate rarely regrows.
+	toks := make([]Token, 0, len(l.src)/4+4)
 	for {
-		t, err := l.next()
+		t, err := l.Next()
 		if err != nil {
 			return nil, err
 		}
@@ -77,7 +163,9 @@ func (l *Lexer) peekByte() byte {
 	return l.src[l.pos]
 }
 
-func (l *Lexer) next() (Token, error) {
+// Next returns the next token. Token.Text aliases the source string (or a
+// canonical constant) whenever possible; only escaped string literals copy.
+func (l *Lexer) Next() (Token, error) {
 	// Skip whitespace and comments.
 	for l.pos < len(l.src) {
 		c := l.src[l.pos]
@@ -129,9 +217,8 @@ lexed:
 			l.pos++
 		}
 		word := l.src[start:l.pos]
-		up := strings.ToUpper(word)
-		if keywords[up] {
-			return Token{Kind: TokKeyword, Text: up, Pos: start, Line: line}, nil
+		if canon, ok := keywordCanon(word); ok {
+			return Token{Kind: TokKeyword, Text: canon, Pos: start, Line: line}, nil
 		}
 		return Token{Kind: TokIdent, Text: word, Pos: start, Line: line}, nil
 
@@ -152,49 +239,107 @@ lexed:
 		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start, Line: line}, nil
 
 	case c == '\'' || c == '"':
-		quote := c
-		l.pos++
-		var sb strings.Builder
-		for l.pos < len(l.src) {
-			d := l.src[l.pos]
-			if d == quote {
-				// Doubled quote is an escaped quote.
-				if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
-					sb.WriteByte(quote)
-					l.pos += 2
-					continue
-				}
-				l.pos++
-				return Token{Kind: TokString, Text: sb.String(), Pos: start, Line: line}, nil
-			}
-			if d == '\n' {
-				l.line++
-			}
-			sb.WriteByte(d)
-			l.pos++
-		}
-		return Token{}, fmt.Errorf("line %d: unterminated string literal", line)
+		return l.lexString(c, start, line)
 
 	default:
-		// Multi-byte operators first.
-		for _, op := range []string{"<=", ">=", "!=", "<>", "=="} {
-			if strings.HasPrefix(l.src[l.pos:], op) {
-				l.pos += len(op)
-				text := op
-				if text == "<>" {
-					text = "!="
-				}
-				if text == "==" {
-					text = "="
-				}
+		// Multi-byte operators first ("<>" and "==" normalize to the
+		// canonical forms the parser matches on).
+		if l.pos+1 < len(l.src) {
+			c2 := l.src[l.pos+1]
+			var text string
+			switch {
+			case c == '<' && c2 == '=':
+				text = "<="
+			case c == '>' && c2 == '=':
+				text = ">="
+			case c == '!' && c2 == '=':
+				text = "!="
+			case c == '<' && c2 == '>':
+				text = "!="
+			case c == '=' && c2 == '=':
+				text = "="
+			}
+			if text != "" {
+				l.pos += 2
 				return Token{Kind: TokOp, Text: text, Pos: start, Line: line}, nil
 			}
 		}
-		if strings.ContainsRune("+-*/%(),.;=<>", rune(c)) {
+		if i := strings.IndexByte(singleOps, c); i >= 0 {
 			l.pos++
-			return Token{Kind: TokOp, Text: string(c), Pos: start, Line: line}, nil
+			return Token{Kind: TokOp, Text: singleOps[i : i+1], Pos: start, Line: line}, nil
 		}
 		return Token{}, fmt.Errorf("line %d: illegal character %q", line, rune(c))
+	}
+}
+
+// lexString scans a quoted literal starting at the opening quote. Literals
+// without doubled-quote escapes alias the source directly; escaped ones are
+// the lexer's only unavoidable copy.
+func (l *Lexer) lexString(quote byte, start, line int) (Token, error) {
+	l.pos++ // opening quote
+	bodyStart := l.pos
+	escaped := false
+	for l.pos < len(l.src) {
+		d := l.src[l.pos]
+		if d == quote {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+				escaped = true
+				l.pos += 2
+				continue
+			}
+			text := l.src[bodyStart:l.pos]
+			if escaped {
+				text = strings.ReplaceAll(text, string([]byte{quote, quote}), string(quote))
+			}
+			l.pos++
+			return Token{Kind: TokString, Text: text, Pos: start, Line: line}, nil
+		}
+		if d == '\n' {
+			l.line++
+		}
+		l.pos++
+	}
+	return Token{}, fmt.Errorf("line %d: unterminated string literal", line)
+}
+
+// NormalizeScript renders the token stream of src in a canonical, whitespace-
+// and comment-insensitive single-line form. Two scripts normalize equal iff
+// they lex to the same token stream, so the result is a sound compiled-plan
+// cache key. ok is false when src does not lex.
+func NormalizeScript(src string) (norm string, ok bool) {
+	var l Lexer
+	l.Reset(src)
+	var sb strings.Builder
+	sb.Grow(len(src) + 16)
+	first := true
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return "", false
+		}
+		if t.Kind == TokEOF {
+			return sb.String(), true
+		}
+		if !first {
+			sb.WriteByte(' ')
+		}
+		first = false
+		switch t.Kind {
+		case TokString:
+			sb.WriteByte('\'')
+			for i := 0; i < len(t.Text); i++ {
+				if t.Text[i] == '\'' {
+					sb.WriteByte('\'')
+				}
+				sb.WriteByte(t.Text[i])
+			}
+			sb.WriteByte('\'')
+		case TokParam:
+			sb.WriteByte('@')
+			sb.WriteString(t.Text)
+		default:
+			sb.WriteString(t.Text)
+		}
 	}
 }
 

@@ -227,6 +227,27 @@ func (h *History) Lookup(sig signature.Sig) (Summary, bool) {
 	return summarize(s), true
 }
 
+// LookupMeans returns only the count and running averages for a signature,
+// skipping the percentile fold entirely. The estimate-refresh path calls this
+// once per plan node per compilation, and only ever reads the averages —
+// computing four nearest-rank percentiles (two sorted copies each) there was
+// pure overhead. The returned Summary has zero P75 fields.
+func (h *History) LookupMeans(sig signature.Sig) (Summary, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	s, ok := h.bySig[sig]
+	if !ok || s.count == 0 {
+		return Summary{}, ok
+	}
+	n := float64(s.count)
+	return Summary{
+		Count:    s.count,
+		AvgRows:  s.sumRows / n,
+		AvgBytes: s.sumBytes / n,
+		AvgWork:  s.sumWork / n,
+	}, true
+}
+
 // LookupJob returns the summary for a job template signature.
 func (h *History) LookupJob(sig signature.Sig) (Summary, bool) {
 	h.mu.RLock()

@@ -72,15 +72,14 @@ func Analyze(tr *obs.Trace) Breakdown {
 	if tr == nil {
 		return bd
 	}
-	spans := tr.Spans()
 	type interval struct {
 		phase      string
 		start, end time.Time
 	}
-	var ivs []interval
+	ivs := make([]interval, 0, 16)
 	var lo, hi time.Time
 	first := true
-	for _, s := range spans {
+	tr.ForEachSpan(func(s obs.Span) {
 		end := s.Start.Add(s.Dur)
 		if first || s.Start.Before(lo) {
 			lo = s.Start
@@ -92,7 +91,7 @@ func Analyze(tr *obs.Trace) Breakdown {
 		if s.Dur > 0 {
 			ivs = append(ivs, interval{PhaseOf(s.Name), s.Start, end})
 		}
-	}
+	})
 	if first {
 		return bd // zero-span trace
 	}
@@ -107,7 +106,7 @@ func Analyze(tr *obs.Trace) Breakdown {
 	for _, iv := range ivs {
 		cuts = append(cuts, iv.start, iv.end)
 	}
-	sort.Slice(cuts, func(i, j int) bool { return cuts[i].Before(cuts[j]) })
+	sort.Sort(timesAsc(cuts))
 	uniq := cuts[:1]
 	for _, c := range cuts[1:] {
 		if !c.Equal(uniq[len(uniq)-1]) {
@@ -127,7 +126,7 @@ func Analyze(tr *obs.Trace) Breakdown {
 		bd.Phase[best] += b.Sub(a).Seconds()
 	}
 
-	for _, ev := range tr.Events() {
+	tr.ForEachEvent(func(ev obs.Event) {
 		switch ev.Kind {
 		case "view.matched":
 			bd.ViewsMatched++
@@ -141,9 +140,17 @@ func Analyze(tr *obs.Trace) Breakdown {
 			bd.Retries++
 			bd.FaultLossSec += ev.Value
 		}
-	}
+	})
 	return bd
 }
+
+// timesAsc sorts cut points without the reflection-based swapper sort.Slice
+// allocates per call (Analyze runs once per job).
+type timesAsc []time.Time
+
+func (t timesAsc) Len() int           { return len(t) }
+func (t timesAsc) Less(i, j int) bool { return t[i].Before(t[j]) }
+func (t timesAsc) Swap(i, j int)      { t[i], t[j] = t[j], t[i] }
 
 func phasePrio(phase string) int {
 	if p, ok := phasePriority[phase]; ok {
