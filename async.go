@@ -62,7 +62,9 @@ func newVCWorker(sys *System) *vcWorker {
 
 // enqueue accepts a task for FIFO execution. It returns false — and does not
 // take the task — once shutdown has begun, so a submission racing Close gets
-// ErrClosed instead of a Pending that might never complete.
+// ErrClosed instead of a Pending that might never complete. Lock ordering:
+// enqueue may be called with s.mu held (s.mu → w.mu); nothing acquires s.mu
+// while holding w.mu.
 func (w *vcWorker) enqueue(t *asyncTask) bool {
 	w.mu.Lock()
 	if w.stop {
@@ -107,36 +109,43 @@ func (w *vcWorker) shutdown() {
 	w.cond.Signal()
 }
 
-// workerFor returns (starting if needed) the submission worker for a VC.
-func (s *System) workerFor(vc string) (*vcWorker, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, ErrClosed
-	}
-	w, ok := s.workers[vc]
-	if !ok {
-		w = newVCWorker(s)
-		s.workers[vc] = w
-	}
-	return w, nil
-}
-
 // SubmitScriptAsync enqueues a job on its virtual cluster's worker and
 // returns immediately. Jobs on the same VC execute in submission order; jobs
 // on different VCs run concurrently. The returned Pending reports the result.
+//
+// Acceptance is atomic: the closed check, worker lookup, auto-ID allocation,
+// and enqueue happen under one lock, so a rejected submission (ErrClosed)
+// can never consume a job sequence number, and an accepted one can never
+// land on a worker that is shutting down. A worker present in s.workers
+// only stops after Close sets s.closed or after OffboardVC removes it from
+// the map — both under s.mu — so while we hold the lock with s.closed
+// false, enqueue on a mapped worker cannot fail.
 func (s *System) SubmitScriptAsync(job Job) (*Pending, error) {
 	in, err := s.toInput(job)
 	if err != nil {
 		return nil, err
 	}
-	w, err := s.workerFor(in.VC)
-	if err != nil {
-		return nil, err
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
 	}
+	w, ok := s.workers[in.VC]
+	if !ok {
+		w = newVCWorker(s)
+		s.workers[in.VC] = w
+	}
+	auto := in.ID == ""
+	s.assignID(&in)
 	p := &Pending{id: in.ID, done: make(chan struct{})}
-	if !w.enqueue(&asyncTask{in: in, p: p}) {
-		// The worker began shutting down between workerFor and enqueue.
+	accepted := w.enqueue(&asyncTask{in: in, p: p})
+	if !accepted && auto {
+		// Unreachable by the invariant above; if it ever fires, return the
+		// sequence number (still ours — s.mu was held throughout).
+		s.seq--
+	}
+	s.mu.Unlock()
+	if !accepted {
 		return nil, ErrClosed
 	}
 	return p, nil

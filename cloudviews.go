@@ -323,8 +323,27 @@ func (s *System) SetScaleFactor(name string, f float64) {
 // OnboardVC enables CloudViews for a virtual cluster.
 func (s *System) OnboardVC(vc string) { s.engine.OnboardVC(vc) }
 
-// OffboardVC disables a virtual cluster and purges its views.
-func (s *System) OffboardVC(vc string) { s.engine.OffboardVC(vc) }
+// OffboardVC disables CloudViews for a virtual cluster and purges its views.
+// Asynchronously accepted jobs for the VC are drained first — OffboardVC
+// blocks until they complete, then shuts the VC's submission worker down and
+// removes it, so an offboarded tenant leaves no goroutine or queue behind.
+//
+// Offboarding does not ban the tenant: a later SubmitScriptAsync for the
+// same VC lazily starts a fresh worker and is accepted (with CloudViews
+// disabled until the VC is onboarded again). A submission racing the
+// offboard is either drained by it or lands on the fresh worker; it is
+// never silently dropped.
+func (s *System) OffboardVC(vc string) {
+	s.mu.Lock()
+	w := s.workers[vc]
+	delete(s.workers, vc)
+	s.mu.Unlock()
+	if w != nil {
+		w.shutdown()
+		<-w.done
+	}
+	s.engine.OffboardVC(vc)
+}
 
 // AdvanceClock moves the simulated time forward.
 func (s *System) AdvanceClock(d time.Duration) {
@@ -358,6 +377,9 @@ func (s *System) SubmitScript(job Job) (*JobResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
+	s.assignID(&in)
+	s.mu.Unlock()
 	return s.run(in)
 }
 
@@ -402,6 +424,13 @@ func (s *System) RunDay(day int, jobs []Job) (DayMetrics, error) {
 		}
 		ins = append(ins, in)
 	}
+	// IDs are assigned only after the whole batch validates, so a rejected
+	// day consumes no sequence numbers.
+	s.mu.Lock()
+	for i := range ins {
+		s.assignID(&ins[i])
+	}
+	s.mu.Unlock()
 	return s.engine.RunDay(day, ins)
 }
 
@@ -434,15 +463,26 @@ func autoJobID(seq int) string {
 	return string(b)
 }
 
+// assignID allocates the next auto job ID for an input that has none. The
+// caller holds s.mu. Sequence numbers are consumed only here — after a
+// submission has been accepted — so rejected or shed submissions (validation
+// errors, ErrClosed, server-side admission control) never shift the IDs of
+// later accepted jobs: the same accepted stream yields the same IDs
+// regardless of interleaved rejected traffic.
+func (s *System) assignID(in *workload.JobInput) {
+	if in.ID == "" {
+		s.seq++
+		in.ID = autoJobID(s.seq)
+	}
+}
+
+// toInput validates a job and fills defaults. It is side-effect-free: in
+// particular it does not consume a job sequence number (see assignID) —
+// inputs leave here with ID "" when the job carried none.
 func (s *System) toInput(job Job) (workload.JobInput, error) {
 	if job.Script == "" {
 		return workload.JobInput{}, fmt.Errorf("cloudviews: job %q has no script", job.ID)
 	}
-	s.mu.Lock()
-	s.seq++
-	seq := s.seq
-	clock := s.clock
-	s.mu.Unlock()
 	in := workload.JobInput{
 		ID:       job.ID,
 		Cluster:  s.cfg.ClusterName,
@@ -455,9 +495,6 @@ func (s *System) toInput(job Job) (workload.JobInput, error) {
 		Submit:   job.Submit,
 		OptIn:    !job.OptOut,
 	}
-	if in.ID == "" {
-		in.ID = autoJobID(seq)
-	}
 	if in.VC == "" {
 		in.VC = "default-vc"
 	}
@@ -468,7 +505,7 @@ func (s *System) toInput(job Job) (workload.JobInput, error) {
 		in.Runtime = "scope-r1"
 	}
 	if in.Submit.IsZero() {
-		in.Submit = clock
+		in.Submit = s.Clock()
 	}
 	return in, nil
 }

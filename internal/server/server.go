@@ -1,0 +1,659 @@
+// Package server is the cvserve multi-tenant network front end: a stdlib
+// net/http service wrapping a cloudviews.System with per-VC bearer-token
+// authentication, token-bucket rate limiting, and queue-depth admission
+// control that sheds load with 429 before the async submission workers
+// saturate.
+//
+// Shedding is side-effect-free by construction: authentication, rate, and
+// admission checks all run before the request touches the System, so a shed
+// or rejected request consumes no job sequence number, moves no system
+// metric, and writes no repository record — the accepted stream behaves
+// byte-identically with or without the rejected traffic around it.
+//
+// Shutdown ordering is: stop accepting (new submissions get 503) → drain
+// the async workers (System.Close, the flush guarantee) → close the storage
+// engine (Config.CloseStorage). See Server.Shutdown.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"cloudviews"
+	"cloudviews/internal/obs"
+	"cloudviews/internal/telemetry"
+)
+
+// TenantLimit overrides the server-wide defaults for one tenant. Zero
+// fields inherit the default; negative values mean "none" (Rate < 0 lifts
+// the rate limit, MaxQueued < 0 admits nothing — a drained tenant).
+type TenantLimit struct {
+	Rate      float64
+	Burst     float64
+	MaxQueued int
+}
+
+// Config assembles a Server.
+type Config struct {
+	// System is the wrapped deployment (required). The server owns its
+	// shutdown: call Server.Shutdown, not System.Close.
+	System *cloudviews.System
+	// Tokens maps bearer token → VC. A request authenticated with a VC's
+	// token may submit to and poll jobs of that VC only.
+	Tokens map[string]string
+	// AdminToken unlocks /admin endpoints and cross-tenant access
+	// (empty disables them).
+	AdminToken string
+	// Rate is the default per-tenant token-bucket refill in submissions
+	// per second (0 = unlimited).
+	Rate float64
+	// Burst is the default bucket capacity (0 = max(1, Rate)).
+	Burst float64
+	// MaxQueuedPerTenant bounds one VC's in-flight submissions — queued
+	// plus running, async and sync alike (0 = 64).
+	MaxQueuedPerTenant int
+	// MaxQueued bounds total in-flight submissions across tenants
+	// (0 = 1024).
+	MaxQueued int
+	// Limits overrides Rate/Burst/MaxQueuedPerTenant per tenant.
+	Limits map[string]TenantLimit
+	// RetryAfter is advertised on queue-shed 429s and draining 503s
+	// (0 = 1s). Rate-shed 429s compute the actual token wait instead.
+	RetryAfter time.Duration
+	// MaxTrackedJobs bounds the completed-job registry; the oldest
+	// completed entries are evicted first (0 = 16384).
+	MaxTrackedJobs int
+	// Now supplies the rate-limiter clock (nil = time.Now). Injected so
+	// tests drive shedding deterministically.
+	Now func() time.Time
+	// Metrics receives the server's request metrics (nil = a fresh
+	// registry). This is deliberately separate from the System's registry:
+	// shed traffic must never move a system metric.
+	Metrics *obs.Registry
+	// SLO tunes the request-metric watchdog (see telemetry.ServerRules).
+	SLO telemetry.ServerSLOConfig
+	// CloseStorage, when set, is invoked by Shutdown after the workers
+	// have drained — the last step of the shutdown ordering (e.g. closing
+	// a durable storage engine).
+	CloseStorage func() error
+}
+
+// jobEntry tracks one accepted submission for poll-by-ID.
+type jobEntry struct {
+	vc      string
+	pending *cloudviews.Pending // nil for sync submissions
+	res     *cloudviews.JobResult
+	err     error
+}
+
+// Server is the HTTP front end. Create with New, mount Handler, stop with
+// Shutdown.
+type Server struct {
+	cfg  Config
+	sys  *cloudviews.System
+	auth *authenticator
+	lim  *limiter
+	adm  *admission
+	reg  *obs.Registry
+	now  func() time.Time
+
+	mu       sync.Mutex
+	jobs     map[string]*jobEntry
+	jobOrder []string // insertion order, for bounded eviction
+	draining bool
+
+	slo *sloSampler
+
+	// wg tracks the per-async-job release goroutines so Shutdown can wait
+	// for the bookkeeping to settle after the workers drain.
+	wg sync.WaitGroup
+}
+
+// New builds a Server around cfg.System.
+func New(cfg Config) (*Server, error) {
+	if cfg.System == nil {
+		return nil, errors.New("server: Config.System is required")
+	}
+	if cfg.MaxQueuedPerTenant == 0 {
+		cfg.MaxQueuedPerTenant = 64
+	}
+	if cfg.MaxQueued == 0 {
+		cfg.MaxQueued = 1024
+	}
+	if cfg.RetryAfter == 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.MaxTrackedJobs == 0 {
+		cfg.MaxTrackedJobs = 16384
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	s := &Server{
+		cfg:  cfg,
+		sys:  cfg.System,
+		auth: newAuthenticator(cfg.Tokens, cfg.AdminToken),
+		reg:  cfg.Metrics,
+		now:  cfg.Now,
+		jobs: make(map[string]*jobEntry),
+	}
+	s.lim = newLimiter(func(tenant string) (rate, burst float64) {
+		rate, burst = cfg.Rate, cfg.Burst
+		if l, ok := cfg.Limits[tenant]; ok {
+			if l.Rate != 0 {
+				rate = l.Rate
+			}
+			if l.Burst != 0 {
+				burst = l.Burst
+			}
+		}
+		if rate < 0 {
+			rate = 0 // unlimited
+		}
+		if burst <= 0 {
+			burst = rate
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		return rate, burst
+	})
+	s.adm = newAdmission(cfg.MaxQueued, func(vc string) int {
+		limit := cfg.MaxQueuedPerTenant
+		if l, ok := cfg.Limits[vc]; ok && l.MaxQueued != 0 {
+			limit = l.MaxQueued
+		}
+		if limit < 0 {
+			limit = 0
+		}
+		return limit
+	})
+	s.slo = newSLOSampler(s.reg, telemetry.ServerRules(cfg.SLO))
+	return s, nil
+}
+
+// Handler returns the server's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /dash", s.handleDash)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("POST /admin/vcs/{vc}/onboard", s.admin(s.handleOnboard))
+	mux.HandleFunc("POST /admin/vcs/{vc}/offboard", s.admin(s.handleOffboard))
+	mux.HandleFunc("POST /admin/analyze", s.admin(s.handleAnalyze))
+	mux.HandleFunc("POST /admin/runday", s.admin(s.handleRunDay))
+	mux.HandleFunc("POST /admin/advance", s.admin(s.handleAdvance))
+	mux.HandleFunc("POST /admin/slo/sample", s.admin(s.handleSLOSample))
+	return mux
+}
+
+// Shutdown executes the graceful stop: (1) stop accepting — every new
+// submission is refused with 503 the moment this is called; (2) drain the
+// async workers via System.Close, which returns only after every accepted
+// job has completed; (3) close the storage engine. Idempotent; concurrent
+// calls all block until the drain is done, and CloseStorage runs once.
+func (s *Server) Shutdown() error {
+	s.mu.Lock()
+	first := !s.draining
+	s.draining = true
+	s.mu.Unlock()
+
+	s.sys.Close() // blocks until every accepted async job has completed
+	s.wg.Wait()   // then until the per-job bookkeeping has settled
+
+	if first && s.cfg.CloseStorage != nil {
+		return s.cfg.CloseStorage()
+	}
+	return nil
+}
+
+// isDraining reports whether Shutdown has begun.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// authenticate resolves the request's tenant, counting the attempt. A false
+// return means the response has been written.
+func (s *Server) authenticate(w http.ResponseWriter, r *http.Request) (tenant string, admin bool, ok bool) {
+	tenant, admin, ok = s.auth.tenant(r)
+	if !ok {
+		s.reg.Counter("cvserve_auth_failures_total").Inc()
+		w.Header().Set("WWW-Authenticate", `Bearer realm="cvserve"`)
+		writeError(w, http.StatusUnauthorized, "", 0, "missing or unknown bearer token")
+		return "", false, false
+	}
+	s.reg.Counter(`cvserve_requests_total{tenant="` + tenant + `"}`).Inc()
+	return tenant, admin, true
+}
+
+// admin wraps a handler that requires the admin token.
+func (s *Server) admin(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		_, isAdmin, ok := s.authenticate(w, r)
+		if !ok {
+			return
+		}
+		if !isAdmin {
+			writeError(w, http.StatusForbidden, "", 0, "admin token required")
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeError(w, http.StatusServiceUnavailable, "", s.cfg.RetryAfter.Seconds(), "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"inflight": s.adm.inflight(),
+		"views":    s.sys.ViewCount(),
+	})
+}
+
+// handleMetrics serves the system and server registries concatenated in
+// Prometheus text format. Metric families are disjoint (cloudviews_* vs
+// cvserve_*), so the concatenation is itself a valid exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if reg := s.sys.Metrics(); reg != nil {
+		_ = reg.Export(w)
+	}
+	_ = s.reg.Export(w)
+}
+
+// handleDash serves the live cvdash HTML dashboard over the system's
+// telemetry snapshot. Requires any valid token.
+func (s *Server) handleDash(w http.ResponseWriter, r *http.Request) {
+	if _, _, ok := s.authenticate(w, r); !ok {
+		return
+	}
+	report := &telemetry.Report{
+		Title: "cvserve live dashboard",
+		Arms:  []telemetry.ArmReport{{Name: "live", Telemetry: s.sys.Telemetry()}},
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = fmt.Fprint(w, report.RenderHTML())
+}
+
+// handleSubmit is the front door: authenticate → rate limit → decode →
+// validate → admission → hand to the System. Every rejection before the
+// final step is side-effect-free for the System.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeError(w, http.StatusServiceUnavailable, "", s.cfg.RetryAfter.Seconds(), "server is draining")
+		return
+	}
+	tenant, isAdmin, ok := s.authenticate(w, r)
+	if !ok {
+		return
+	}
+
+	// Rate limit on the authenticated tenant (not the target VC): the
+	// bucket throttles the credential doing the talking.
+	bucket := s.lim.bucket(tenant)
+	if !bucket.allow(s.now()) {
+		s.shed(w, tenant, "rate", bucket.retryAfter())
+		return
+	}
+
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.reg.Counter("cvserve_bad_requests_total").Inc()
+		writeError(w, http.StatusBadRequest, "", 0, "invalid JSON body: %v", err)
+		return
+	}
+	vc := tenant
+	if req.VC != "" && req.VC != tenant {
+		if !isAdmin {
+			writeError(w, http.StatusForbidden, "", 0, "token for %q cannot submit to VC %q", tenant, req.VC)
+			return
+		}
+		vc = req.VC
+	} else if isAdmin {
+		if req.VC == "" {
+			writeError(w, http.StatusBadRequest, "", 0, "admin submissions must name a vc")
+			return
+		}
+		vc = req.VC
+	}
+	if req.Script == "" {
+		s.reg.Counter("cvserve_bad_requests_total").Inc()
+		writeError(w, http.StatusBadRequest, "", 0, "script is required")
+		return
+	}
+	params, err := convertParams(req.Params)
+	if err != nil {
+		s.reg.Counter("cvserve_bad_requests_total").Inc()
+		writeError(w, http.StatusBadRequest, "", 0, "%v", err)
+		return
+	}
+
+	// Admission control: claim an in-flight slot before touching the
+	// System; shed with Retry-After when the VC or server is saturated.
+	if !s.adm.tryAcquire(vc) {
+		s.shed(w, vc, "queue", s.cfg.RetryAfter.Seconds())
+		return
+	}
+	s.reg.Gauge(`cvserve_inflight{vc="` + vc + `"}`).Add(1)
+
+	job := cloudviews.Job{
+		ID:       req.ID,
+		VC:       vc,
+		Pipeline: req.Pipeline,
+		User:     req.User,
+		Runtime:  req.Runtime,
+		Script:   req.Script,
+		Params:   params,
+		OptOut:   req.OptOut,
+	}
+	if req.SubmitUnix > 0 {
+		job.Submit = time.Unix(req.SubmitUnix, 0).UTC()
+	}
+
+	if req.Async {
+		s.submitAsync(w, job, vc)
+		return
+	}
+	s.submitSync(w, job, vc)
+}
+
+// shed records and writes one load-shed 429.
+func (s *Server) shed(w http.ResponseWriter, tenant, reason string, retryAfterSec float64) {
+	if retryAfterSec <= 0 {
+		retryAfterSec = s.cfg.RetryAfter.Seconds()
+	}
+	s.reg.Counter(`cvserve_shed_total{reason="` + reason + `",tenant="` + tenant + `"}`).Inc()
+	writeError(w, http.StatusTooManyRequests, reason, retryAfterSec,
+		"submission shed (%s limit); retry after %.1fs", reason, retryAfterSec)
+}
+
+// releaseSlot returns vc's admission slot and inflight gauge.
+func (s *Server) releaseSlot(vc string) {
+	s.adm.release(vc)
+	s.reg.Gauge(`cvserve_inflight{vc="` + vc + `"}`).Add(-1)
+}
+
+func (s *Server) submitAsync(w http.ResponseWriter, job cloudviews.Job, vc string) {
+	p, err := s.sys.SubmitScriptAsync(job)
+	if err != nil {
+		s.releaseSlot(vc)
+		if errors.Is(err, cloudviews.ErrClosed) {
+			writeError(w, http.StatusServiceUnavailable, "", s.cfg.RetryAfter.Seconds(), "system is closed")
+			return
+		}
+		s.reg.Counter("cvserve_bad_requests_total").Inc()
+		writeError(w, http.StatusBadRequest, "", 0, "%v", err)
+		return
+	}
+	s.reg.Counter(`cvserve_accepted_total{tenant="` + vc + `"}`).Inc()
+	entry := &jobEntry{vc: vc, pending: p}
+	s.trackJob(p.ID(), entry)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		<-p.Done()
+		res, jerr := p.Wait()
+		s.mu.Lock()
+		entry.res, entry.err = res, jerr
+		s.mu.Unlock()
+		s.releaseSlot(vc)
+		s.countOutcome(vc, jerr)
+	}()
+	writeJSON(w, http.StatusAccepted, JobStatusResponse{ID: p.ID(), VC: vc, Status: "queued"})
+}
+
+func (s *Server) submitSync(w http.ResponseWriter, job cloudviews.Job, vc string) {
+	res, err := s.sys.SubmitScript(job)
+	s.reg.Counter(`cvserve_accepted_total{tenant="` + vc + `"}`).Inc()
+	s.countOutcome(vc, err)
+	s.releaseSlot(vc)
+	if err != nil {
+		// Accepted but failed in compile/bind/execute: the job consumed
+		// its ID; report 422 so clients can tell a script bug from a
+		// malformed request.
+		writeError(w, http.StatusUnprocessableEntity, "", 0, "%v", err)
+		return
+	}
+	s.trackJob(res.ID, &jobEntry{vc: vc, res: res})
+	writeJSON(w, http.StatusOK, JobStatusResponse{
+		ID: res.ID, VC: vc, Status: "done", Result: summarize(res, 0),
+	})
+}
+
+// countOutcome bumps the per-tenant completion counters.
+func (s *Server) countOutcome(vc string, err error) {
+	if err != nil {
+		s.reg.Counter(`cvserve_jobs_failed_total{tenant="` + vc + `"}`).Inc()
+		return
+	}
+	s.reg.Counter(`cvserve_jobs_completed_total{tenant="` + vc + `"}`).Inc()
+}
+
+// trackJob registers an entry for poll-by-ID, evicting the oldest completed
+// entries beyond the cap.
+func (s *Server) trackJob(id string, e *jobEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[id] = e
+	s.jobOrder = append(s.jobOrder, id)
+	for len(s.jobs) > s.cfg.MaxTrackedJobs && len(s.jobOrder) > 0 {
+		victim := s.jobOrder[0]
+		s.jobOrder = s.jobOrder[1:]
+		if old, ok := s.jobs[victim]; ok && (old.pending == nil || isDone(old.pending)) {
+			delete(s.jobs, victim)
+		}
+	}
+}
+
+func isDone(p *cloudviews.Pending) bool {
+	select {
+	case <-p.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// lookupJob fetches an entry, enforcing tenant ownership (admin sees all).
+// A false return means the response has been written.
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request, tenant string, admin bool) (*jobEntry, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	e, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok || (!admin && e.vc != tenant) {
+		// Unknown and unauthorized are indistinguishable on purpose: job
+		// IDs are auto-assigned and guessable across tenants.
+		writeError(w, http.StatusNotFound, "", 0, "unknown job %q", id)
+		return nil, false
+	}
+	return e, true
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	tenant, admin, ok := s.authenticate(w, r)
+	if !ok {
+		return
+	}
+	e, ok := s.lookupJob(w, r, tenant, admin)
+	if !ok {
+		return
+	}
+	if e.pending != nil && r.URL.Query().Get("wait") != "" {
+		// Bounded long-poll: the FIFO worker finishes the job or the
+		// client retries.
+		select {
+		case <-e.pending.Done():
+		case <-r.Context().Done():
+			return
+		case <-time.After(30 * time.Second):
+		}
+	}
+	rows := 0
+	if v := r.URL.Query().Get("rows"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "", 0, "invalid rows=%q", v)
+			return
+		}
+		rows = min(n, maxInlineRows)
+	}
+	res, jerr, status := s.resolve(e)
+	resp := JobStatusResponse{ID: r.PathValue("id"), VC: e.vc, Status: status}
+	if jerr != nil {
+		resp.Error = jerr.Error()
+	}
+	if res != nil {
+		resp.Result = summarize(res, rows)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	tenant, admin, ok := s.authenticate(w, r)
+	if !ok {
+		return
+	}
+	e, ok := s.lookupJob(w, r, tenant, admin)
+	if !ok {
+		return
+	}
+	res, jerr, status := s.resolve(e)
+	if status == "queued" {
+		writeError(w, http.StatusConflict, "", 0, "job %q is still %s", r.PathValue("id"), status)
+		return
+	}
+	if jerr != nil {
+		writeError(w, http.StatusUnprocessableEntity, "", 0, "job failed: %v", jerr)
+		return
+	}
+	if res.Trace == nil {
+		writeError(w, http.StatusNotFound, "", 0, "tracing is disabled on this system")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = fmt.Fprint(w, res.Trace.Render())
+}
+
+// resolve returns an entry's result, error, and lifecycle status.
+func (s *Server) resolve(e *jobEntry) (*cloudviews.JobResult, error, string) {
+	s.mu.Lock()
+	res, jerr := e.res, e.err
+	p := e.pending
+	s.mu.Unlock()
+	if res == nil && jerr == nil && p != nil {
+		if !isDone(p) {
+			return nil, nil, "queued"
+		}
+		res, jerr = p.Wait()
+	}
+	if jerr != nil {
+		return nil, jerr, "failed"
+	}
+	return res, nil, "done"
+}
+
+func (s *Server) handleOnboard(w http.ResponseWriter, r *http.Request) {
+	vc := r.PathValue("vc")
+	s.sys.OnboardVC(vc)
+	writeJSON(w, http.StatusOK, map[string]string{"vc": vc, "cloudviews": "enabled"})
+}
+
+func (s *Server) handleOffboard(w http.ResponseWriter, r *http.Request) {
+	vc := r.PathValue("vc")
+	// Blocks until the VC's queued jobs drain (see System.OffboardVC);
+	// the tenant can keep submitting afterwards, without CloudViews.
+	s.sys.OffboardVC(vc)
+	writeJSON(w, http.StatusOK, map[string]string{"vc": vc, "cloudviews": "disabled"})
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "", 0, "invalid JSON body: %v", err)
+		return
+	}
+	if req.WindowHours <= 0 {
+		req.WindowHours = 24
+	}
+	tagged := s.sys.Analyze(time.Duration(req.WindowHours * float64(time.Hour)))
+	writeJSON(w, http.StatusOK, AnalyzeResponse{TemplatesTagged: tagged})
+}
+
+func (s *Server) handleRunDay(w http.ResponseWriter, r *http.Request) {
+	var req RunDayRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "", 0, "invalid JSON body: %v", err)
+		return
+	}
+	jobs := make([]cloudviews.Job, 0, len(req.Jobs))
+	for i, jr := range req.Jobs {
+		params, err := convertParams(jr.Params)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "", 0, "job %d: %v", i, err)
+			return
+		}
+		job := cloudviews.Job{
+			ID: jr.ID, VC: jr.VC, Pipeline: jr.Pipeline, User: jr.User,
+			Runtime: jr.Runtime, Script: jr.Script, Params: params, OptOut: jr.OptOut,
+		}
+		if jr.SubmitUnix > 0 {
+			job.Submit = time.Unix(jr.SubmitUnix, 0).UTC()
+		}
+		jobs = append(jobs, job)
+	}
+	// RunDay assumes no concurrent submissions; drain the workers first.
+	s.sys.Drain()
+	dm, err := s.sys.RunDay(req.Day, jobs)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "", 0, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, dm)
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	var req AdvanceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "", 0, "invalid JSON body: %v", err)
+		return
+	}
+	if req.Seconds < 0 {
+		writeError(w, http.StatusBadRequest, "", 0, "seconds must be >= 0")
+		return
+	}
+	s.sys.AdvanceClock(time.Duration(req.Seconds * float64(time.Second)))
+	writeJSON(w, http.StatusOK, map[string]string{
+		"clock": s.sys.Clock().UTC().Format(time.RFC3339),
+	})
+}
+
+func (s *Server) handleSLOSample(w http.ResponseWriter, r *http.Request) {
+	var req SLOSampleRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "", 0, "invalid JSON body: %v", err)
+		return
+	}
+	alerts := s.slo.sample(req.Day)
+	resp := SLOSampleResponse{Day: req.Day, Verdict: telemetry.Verdict(alerts)}
+	for _, a := range alerts {
+		resp.Alerts = append(resp.Alerts, a.String())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cloudviews"
+)
+
+// TestShutdownOrdering pins the graceful-stop sequence: stop accepting →
+// drain the async workers → close the storage engine. The CloseStorage
+// hook observes the server's state at the moment it runs: draining must be
+// set, every accepted job finished, and every admission slot returned.
+func TestShutdownOrdering(t *testing.T) {
+	var (
+		closeCalls atomic.Int32
+		atClose    struct {
+			draining bool
+			inflight int
+			drained  bool
+		}
+	)
+	var srv *Server // assigned below, before any Shutdown can run
+	s, ts := newTestServer(t, func(cfg *Config) {
+		cfg.CloseStorage = func() error {
+			closeCalls.Add(1)
+			atClose.draining = srv.isDraining()
+			atClose.inflight = srv.adm.inflight()
+			// The System must already be closed (workers drained): a fresh
+			// async submission is refused, not queued.
+			_, err := srv.sys.SubmitScriptAsync(cloudviews.Job{VC: "vc1", Script: testScript})
+			atClose.drained = errors.Is(err, cloudviews.ErrClosed)
+			return nil
+		}
+	})
+	srv = s
+
+	c := ts.Client()
+	var pendingIDs []string
+	for i := 0; i < 8; i++ {
+		var st JobStatusResponse
+		if code, raw := do(t, c, "POST", ts.URL+"/v1/jobs", "tok-1",
+			SubmitRequest{Script: testScript, Async: true}, &st); code != 202 {
+			t.Fatalf("submit %d: %d %s", i, code, raw)
+		}
+		pendingIDs = append(pendingIDs, st.ID)
+	}
+
+	// Concurrent Shutdown calls: all block until the drain completes, and
+	// CloseStorage runs exactly once.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := srv.Shutdown(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if n := closeCalls.Load(); n != 1 {
+		t.Errorf("CloseStorage ran %d times, want 1", n)
+	}
+	if !atClose.draining {
+		t.Error("CloseStorage ran before draining was set")
+	}
+	if atClose.inflight != 0 {
+		t.Errorf("CloseStorage ran with %d admission slots still held", atClose.inflight)
+	}
+	if !atClose.drained {
+		t.Error("CloseStorage ran before the System was closed")
+	}
+
+	// Every job accepted before the shutdown completed.
+	for _, id := range pendingIDs {
+		var st JobStatusResponse
+		if code, _ := do(t, c, "GET", ts.URL+"/v1/jobs/"+id, "tok-1", nil, &st); code != 200 || st.Status != "done" {
+			t.Errorf("job %s after shutdown: %d %q", id, code, st.Status)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShedsAreSideEffectFree is the acceptance proof for admission control:
+// a run that interleaves shed and rejected traffic between accepted
+// submissions leaves the System in a byte-identical state to a run with the
+// accepted traffic alone — same system metrics export, same auto-assigned
+// job-ID stream, same repository records. Sheds consume no job sequence
+// number and move nothing behind the front door.
+//
+// The comparison deliberately avoids Analyze: the repository's merge/query
+// duration histograms are the one place wall-clock time may enter the
+// system registry, and they only record during analysis queries.
+func TestShedsAreSideEffectFree(t *testing.T) {
+	type outcome struct {
+		metrics string
+		ids     []string
+		repo    string
+	}
+
+	run := func(noise bool) outcome {
+		clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+		srv, ts := newTestServer(t, func(cfg *Config) {
+			cfg.Tokens = map[string]string{
+				"tok-1": "vc1",
+				"tok-2": "vc2",
+				"tok-d": "vc-drained",   // admits nothing: every submission queue-sheds
+				"tok-t": "vc-throttled", // 1-token bucket, glacial refill: rate-sheds
+			}
+			cfg.Limits = map[string]TenantLimit{
+				"vc-drained":   {MaxQueued: -1},
+				"vc-throttled": {Rate: 0.0001, Burst: 1},
+			}
+			cfg.Now = clock.now
+		})
+		c := ts.Client()
+
+		// Burn vc-throttled's single token on a request that fails
+		// validation after the rate gate (empty script → 400): from then on
+		// every request on tok-t sheds with reason=rate, and none of the
+		// throttled traffic ever touches the System.
+		makeNoise := func() {
+			if code, _ := do(t, c, "POST", ts.URL+"/v1/jobs", "tok-t", SubmitRequest{}, nil); code != 400 && code != 429 {
+				t.Fatalf("throttled-tenant noise: code = %d", code)
+			}
+			for i, want := range []int{401, 429, 429} {
+				var code int
+				switch i {
+				case 0: // unknown bearer token
+					code, _ = do(t, c, "POST", ts.URL+"/v1/jobs", "tok-bogus", SubmitRequest{Script: testScript}, nil)
+				case 1: // drained tenant: queue shed
+					code, _ = do(t, c, "POST", ts.URL+"/v1/jobs", "tok-d", SubmitRequest{Script: testScript}, nil)
+				case 2: // throttled tenant: rate shed
+					code, _ = do(t, c, "POST", ts.URL+"/v1/jobs", "tok-t", SubmitRequest{Script: testScript}, nil)
+				}
+				if code != want {
+					t.Fatalf("noise request %d: code = %d, want %d", i, code, want)
+				}
+			}
+			// Malformed JSON and a bad param type (both 400 after auth).
+			req, _ := http.NewRequest("POST", ts.URL+"/v1/jobs", strings.NewReader("{"))
+			req.Header.Set("Authorization", "Bearer tok-1")
+			resp, err := c.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 400 {
+				t.Fatalf("malformed JSON: code = %d", resp.StatusCode)
+			}
+			if code, _ := do(t, c, "POST", ts.URL+"/v1/jobs", "tok-2",
+				SubmitRequest{Script: testScript, Params: map[string]any{"x": []any{}}}, nil); code != 400 {
+				t.Fatal("bad param accepted")
+			}
+		}
+
+		// The accepted stream: alternating sync and async submissions from
+		// two tenants, serialized (each async job is polled to completion
+		// before the next submission) so repository insertion order is
+		// deterministic.
+		var ids []string
+		for step := 0; step < 6; step++ {
+			if noise {
+				makeNoise()
+			}
+			tok := "tok-1"
+			if step%2 == 1 {
+				tok = "tok-2"
+			}
+			req := SubmitRequest{Pipeline: fmt.Sprintf("pipe-%d", step%3), Script: testScript, Async: step%2 == 0}
+			var st JobStatusResponse
+			code, raw := do(t, c, "POST", ts.URL+"/v1/jobs", tok, req, &st)
+			if code != 200 && code != 202 {
+				t.Fatalf("accepted step %d: code = %d: %s", step, code, raw)
+			}
+			ids = append(ids, st.ID)
+			if code == 202 {
+				var got JobStatusResponse
+				if code, _ := do(t, c, "GET", ts.URL+"/v1/jobs/"+st.ID+"?wait=1", tok, nil, &got); code != 200 || got.Status != "done" {
+					t.Fatalf("step %d: job %s did not finish: %d %+v", step, st.ID, code, got)
+				}
+			}
+		}
+		if noise {
+			makeNoise()
+		}
+
+		var repo strings.Builder
+		for _, rec := range srv.sys.Engine().Repo.Jobs() {
+			fmt.Fprintf(&repo, "%+v\n", *rec)
+		}
+		return outcome{
+			metrics: srv.sys.Metrics().ExportString(),
+			ids:     ids,
+			repo:    repo.String(),
+		}
+	}
+
+	clean := run(false)
+	noisy := run(true)
+
+	if fmt.Sprint(clean.ids) != fmt.Sprint(noisy.ids) {
+		t.Errorf("job-ID stream shifted by rejected traffic:\nclean: %v\nnoisy: %v", clean.ids, noisy.ids)
+	}
+	if clean.metrics != noisy.metrics {
+		t.Errorf("system metrics differ with rejected traffic present:\n--- clean ---\n%s\n--- noisy ---\n%s",
+			clean.metrics, noisy.metrics)
+	}
+	if clean.repo != noisy.repo {
+		t.Errorf("repository records differ with rejected traffic present:\n--- clean ---\n%s\n--- noisy ---\n%s",
+			clean.repo, noisy.repo)
+	}
+	if clean.metrics == "" || clean.repo == "" {
+		t.Fatal("comparison is vacuous: no system metrics or repository records captured")
+	}
+}

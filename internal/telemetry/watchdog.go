@@ -276,6 +276,81 @@ func DefaultRules(cfg SLOConfig) []Rule {
 	return rules
 }
 
+// ServerSLOConfig tunes the cvserve front-end watchdog rules. Values are
+// judged against per-sample-interval deltas of the server's request
+// counters (the server samples cumulative counters as deltas), so the
+// thresholds read as "per interval". The zero value yields a rule set that
+// stays silent on a healthy, uncongested server.
+type ServerSLOConfig struct {
+	// ShedSpikeMax warns when any tenant's shed count in one interval
+	// exceeds it (default 50).
+	ShedSpikeMax float64
+	// AuthFailureMax warns when rejected authentications in one interval
+	// exceed it (default 20).
+	AuthFailureMax float64
+	// InflightMax pages when any tenant's in-flight submission gauge
+	// exceeds it (0 disables the rule — saturation is tenant-sized).
+	InflightMax float64
+	// AcceptDropPct warns when a tenant's accepted-per-interval rate drops
+	// more than this percent vs. the windowed reference (default 80).
+	AcceptDropPct float64
+	// MinAccepted is the reference floor for the accept-drop rule
+	// (default 20 accepted/interval; quieter tenants are noise).
+	MinAccepted float64
+	// Window sizes the delta-rule reference window in samples (default 1).
+	Window int
+}
+
+// withDefaults fills zero fields.
+func (c ServerSLOConfig) withDefaults() ServerSLOConfig {
+	if c.ShedSpikeMax == 0 {
+		c.ShedSpikeMax = 50
+	}
+	if c.AuthFailureMax == 0 {
+		c.AuthFailureMax = 20
+	}
+	if c.AcceptDropPct == 0 {
+		c.AcceptDropPct = 80
+	}
+	if c.MinAccepted == 0 {
+		c.MinAccepted = 20
+	}
+	if c.Window == 0 {
+		c.Window = 1
+	}
+	return c
+}
+
+// ServerRules builds the cvserve watchdog rule set: per-tenant shed spikes,
+// authentication-failure spikes, per-tenant accept-rate regressions, and
+// (when configured) in-flight saturation. Metric names match the server's
+// request registry (cvserve_*).
+func ServerRules(cfg ServerSLOConfig) []Rule {
+	cfg = cfg.withDefaults()
+	rules := []Rule{
+		{
+			Name: "shed-spike", Metric: "cvserve_shed_total{*", Kind: Above,
+			Threshold: cfg.ShedSpikeMax, Severity: SevWarn,
+		},
+		{
+			Name: "auth-failures", Metric: "cvserve_auth_failures_total", Kind: Above,
+			Threshold: cfg.AuthFailureMax, Severity: SevWarn,
+		},
+		{
+			Name: "accept-drop", Metric: "cvserve_accepted_total{*", Kind: DropPct,
+			Threshold: cfg.AcceptDropPct, Window: cfg.Window,
+			MinReference: cfg.MinAccepted, Severity: SevWarn,
+		},
+	}
+	if cfg.InflightMax > 0 {
+		rules = append(rules, Rule{
+			Name: "inflight-saturation", Metric: "cvserve_inflight{*", Kind: Above,
+			Threshold: cfg.InflightMax, Severity: SevPage,
+		})
+	}
+	return rules
+}
+
 // Verdict summarizes an alert list as one deterministic token for A/B arm
 // reporting: "OK" when empty, otherwise e.g. "REGRESSED (2 page, 3 warn)".
 func Verdict(alerts []Alert) string {

@@ -182,3 +182,47 @@ func TestAlertString(t *testing.T) {
 		t.Errorf("String() = %q", got)
 	}
 }
+
+func TestServerRules(t *testing.T) {
+	rules := ServerRules(ServerSLOConfig{})
+	names := make([]string, 0, len(rules))
+	for _, r := range rules {
+		names = append(names, r.Name)
+	}
+	want := []string{"shed-spike", "auth-failures", "accept-drop"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("zero-config rules = %v, want %v (no inflight rule without a cap)", names, want)
+	}
+	for _, r := range rules {
+		if r.Name == "shed-spike" || r.Name == "accept-drop" {
+			if !strings.HasSuffix(r.Metric, "*") {
+				t.Errorf("%s must prefix-match per-tenant series, metric = %q", r.Name, r.Metric)
+			}
+		}
+	}
+
+	rules = ServerRules(ServerSLOConfig{InflightMax: 64})
+	found := false
+	for _, r := range rules {
+		if r.Name == "inflight-saturation" {
+			found = true
+			if r.Severity != SevPage || r.Threshold != 64 {
+				t.Errorf("inflight rule = %+v", r)
+			}
+		}
+	}
+	if !found {
+		t.Error("InflightMax > 0 must add the inflight-saturation rule")
+	}
+
+	// The shed rule fires on a per-tenant spike and stays silent below it.
+	w := NewWatchdog(ServerRules(ServerSLOConfig{ShedSpikeMax: 5}))
+	m := seriesMap(t, map[string][]float64{
+		`cvserve_shed_total{reason="queue",tenant="a"}`: {10},
+		`cvserve_shed_total{reason="rate",tenant="b"}`:  {2},
+	})
+	alerts := w.Evaluate(0, m)
+	if len(alerts) != 1 || alerts[0].Rule != "shed-spike" || !strings.Contains(alerts[0].Metric, `tenant="a"`) {
+		t.Errorf("shed evaluation = %v, want one tenant-a shed-spike", alerts)
+	}
+}

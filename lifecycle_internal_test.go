@@ -1,0 +1,145 @@
+package cloudviews
+
+// White-box regression tests for the submission lifecycle: OffboardVC must
+// fully retire the VC's async worker (goroutine, queue, and map entry), and
+// the documented enqueue-after-offboard semantics must hold.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+const internalScript = `r = SELECT Region, COUNT(*) AS n FROM Events GROUP BY Region;
+OUTPUT r TO "out/r";`
+
+func newInternalSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := NewSystem(Config{ClusterName: "lifecycle-test", Capacity: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := Schema{
+		{Name: "Id", Kind: KindInt},
+		{Name: "Region", Kind: KindString},
+		{Name: "Value", Kind: KindFloat},
+	}
+	if err := sys.DefineDataset("Events", schema); err != nil {
+		t.Fatal(err)
+	}
+	tb := &Table{Schema: schema}
+	regions := []string{"us", "eu", "asia"}
+	for i := 0; i < 60; i++ {
+		tb.Append(Row{Int(int64(i)), String(regions[i%3]), Float(float64(i % 17))})
+	}
+	if err := sys.PublishDataset("Events", tb); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestOffboardVCShutsDownWorker: offboarding drains the VC's queue, stops
+// the worker goroutine, and removes the map entry. A later async submission
+// for the same VC is accepted on a fresh worker (offboarding disables
+// CloudViews, it does not ban the tenant).
+func TestOffboardVCShutsDownWorker(t *testing.T) {
+	sys := newInternalSystem(t)
+	defer sys.Close()
+
+	// Queue a few jobs so the offboard has something to drain.
+	var pendings []*Pending
+	for i := 0; i < 5; i++ {
+		p, err := sys.SubmitScriptAsync(Job{VC: "vc1", Script: internalScript})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pendings = append(pendings, p)
+	}
+	sys.mu.Lock()
+	w := sys.workers["vc1"]
+	sys.mu.Unlock()
+	if w == nil {
+		t.Fatal("no worker for vc1 after async submission")
+	}
+
+	sys.OffboardVC("vc1")
+
+	// Every job accepted before the offboard completed (drain-then-purge).
+	for i, p := range pendings {
+		select {
+		case <-p.Done():
+		default:
+			t.Fatalf("pending %d not complete after OffboardVC returned", i)
+		}
+		if _, err := p.Wait(); err != nil {
+			t.Errorf("pending %d failed: %v", i, err)
+		}
+	}
+	// The worker goroutine has exited and its map entry is gone.
+	select {
+	case <-w.done:
+	default:
+		t.Error("worker loop still running after OffboardVC returned")
+	}
+	sys.mu.Lock()
+	_, leaked := sys.workers["vc1"]
+	n := len(sys.workers)
+	sys.mu.Unlock()
+	if leaked || n != 0 {
+		t.Errorf("worker map leaked: vc1 present=%v, %d entries", leaked, n)
+	}
+
+	// Enqueue after offboard: accepted on a fresh worker, runs fine.
+	p, err := sys.SubmitScriptAsync(Job{VC: "vc1", Script: internalScript})
+	if err != nil {
+		t.Fatalf("submission after OffboardVC rejected: %v", err)
+	}
+	if _, err := p.Wait(); err != nil {
+		t.Fatalf("submission after OffboardVC failed: %v", err)
+	}
+}
+
+// TestOffboardVCGoroutineLeak cycles tenants through onboard → submit →
+// offboard and asserts the goroutine count returns to its baseline — the
+// regression that motivated the fix parked one worker goroutine per
+// offboarded tenant forever.
+func TestOffboardVCGoroutineLeak(t *testing.T) {
+	sys := newInternalSystem(t)
+	defer sys.Close()
+
+	cycle := func(vc string) {
+		sys.OnboardVC(vc)
+		p, err := sys.SubmitScriptAsync(Job{VC: vc, Script: internalScript})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		sys.OffboardVC(vc)
+	}
+
+	cycle("warmup") // steady-state allocations before the baseline
+	base := runtime.NumGoroutine()
+	for i := 0; i < 30; i++ {
+		cycle(fmt.Sprintf("tenant-%02d", i))
+	}
+	// close(w.done) happens in a defer just before the worker goroutine
+	// returns, so allow the scheduler a moment to reap the last one.
+	deadline := time.Now().Add(5 * time.Second)
+	got := runtime.NumGoroutine()
+	for got > base && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		got = runtime.NumGoroutine()
+	}
+	if got > base {
+		t.Errorf("goroutines grew from %d to %d over 30 offboard cycles (worker leak)", base, got)
+	}
+	sys.mu.Lock()
+	n := len(sys.workers)
+	sys.mu.Unlock()
+	if n != 0 {
+		t.Errorf("%d worker map entries left after offboarding every tenant", n)
+	}
+}

@@ -1,0 +1,254 @@
+package cloudviews_test
+
+// Black-box submission-lifecycle tests: auto-ID determinism under rejected
+// traffic, and the shutdown-concurrency contracts (Drain racing Close,
+// concurrent Close idempotence, mid-batch ErrClosed).
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"cloudviews"
+)
+
+// TestRejectedSubmissionsDontShiftIDs: the same accepted stream yields the
+// same auto-assigned job IDs whether or not rejected submissions (validation
+// failures, ErrClosed after Close, failed RunDay batches) are interleaved.
+// Regression: toInput used to consume a sequence number before the
+// submission could be rejected, so rejected traffic shifted every later
+// job-%06d ID.
+func TestRejectedSubmissionsDontShiftIDs(t *testing.T) {
+	run := func(withRejections bool) []string {
+		sys := demoSystem(t)
+		var ids []string
+		reject := func(fns ...func()) {
+			if withRejections {
+				for _, fn := range fns {
+					fn()
+				}
+			}
+		}
+
+		for i := 0; i < 3; i++ {
+			reject(func() {
+				if _, err := sys.SubmitScript(cloudviews.Job{VC: "vc1"}); err == nil {
+					t.Fatal("empty script must be rejected")
+				}
+			}, func() {
+				// A RunDay batch that fails validation mid-batch must not
+				// consume sequence numbers for its earlier (valid) jobs.
+				day := []cloudviews.Job{
+					{VC: "vc1", Script: fmt.Sprintf(asyncScript, 1)},
+					{VC: "vc1"}, // invalid
+				}
+				if _, err := sys.RunDay(0, day); err == nil {
+					t.Fatal("invalid RunDay batch must be rejected")
+				}
+			})
+			res, err := sys.SubmitScript(cloudviews.Job{VC: "vc1", Script: fmt.Sprintf(asyncScript, 10*i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, res.ID)
+		}
+
+		p, err := sys.SubmitScriptAsync(cloudviews.Job{VC: "vc1", Script: fmt.Sprintf(asyncScript, 5)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, p.ID())
+
+		sys.Close()
+		reject(func() {
+			// ErrClosed rejections — the original bug burned one sequence
+			// number per rejection here.
+			for i := 0; i < 4; i++ {
+				if _, err := sys.SubmitScriptAsync(cloudviews.Job{VC: "vc1", Script: fmt.Sprintf(asyncScript, i)}); !errors.Is(err, cloudviews.ErrClosed) {
+					t.Fatalf("submission after Close: err = %v, want ErrClosed", err)
+				}
+			}
+		})
+
+		// Sync submission still works on a closed system; its auto ID must
+		// be independent of the rejected traffic above.
+		res, err := sys.SubmitScript(cloudviews.Job{VC: "vc1", Script: fmt.Sprintf(asyncScript, 20)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, res.ID)
+		return ids
+	}
+
+	clean, noisy := run(false), run(true)
+	if len(clean) != len(noisy) {
+		t.Fatalf("accepted-stream lengths differ: %d vs %d", len(clean), len(noisy))
+	}
+	for i := range clean {
+		if clean[i] != noisy[i] {
+			t.Errorf("accepted job %d: ID %q with rejections, %q without", i, noisy[i], clean[i])
+		}
+	}
+}
+
+// TestDrainRacesClose: Drain and Close may run concurrently with submitters
+// and each other; nothing deadlocks, every accepted Pending completes, and
+// every rejection is ErrClosed.
+func TestDrainRacesClose(t *testing.T) {
+	sys := demoSystem(t)
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		accepted []*cloudviews.Pending
+	)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				p, err := sys.SubmitScriptAsync(cloudviews.Job{
+					VC:     fmt.Sprintf("vc%d", w%3),
+					Script: fmt.Sprintf(asyncScript, i%7),
+				})
+				if err != nil {
+					if !errors.Is(err, cloudviews.ErrClosed) {
+						t.Errorf("unexpected rejection: %v", err)
+					}
+					return
+				}
+				mu.Lock()
+				accepted = append(accepted, p)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	for d := 0; d < 3; d++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sys.Drain()
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sys.Close()
+	}()
+	wg.Wait()
+
+	// Close has returned, so the flush guarantee holds: every accepted
+	// Pending is already complete.
+	mu.Lock()
+	defer mu.Unlock()
+	for i, p := range accepted {
+		select {
+		case <-p.Done():
+		default:
+			t.Fatalf("accepted pending %d incomplete after Close returned", i)
+		}
+		if _, err := p.Wait(); err != nil {
+			t.Errorf("accepted job %d failed: %v", i, err)
+		}
+	}
+	sys.Drain() // Drain on a closed system is a no-op, not a hang
+}
+
+// TestConcurrentCloseIdempotent: many goroutines call Close at once; all
+// return, all observe the drained state, and the system stays usable for
+// synchronous work.
+func TestConcurrentCloseIdempotent(t *testing.T) {
+	sys := demoSystem(t)
+	var pendings []*cloudviews.Pending
+	for i := 0; i < 12; i++ {
+		p, err := sys.SubmitScriptAsync(cloudviews.Job{
+			VC:     fmt.Sprintf("vc%d", i%4),
+			Script: fmt.Sprintf(asyncScript, i%5),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pendings = append(pendings, p)
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sys.Close()
+			// Every Close return implies the flush guarantee, not just the
+			// first caller's.
+			for i, p := range pendings {
+				select {
+				case <-p.Done():
+				default:
+					t.Errorf("pending %d incomplete when a Close call returned", i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if _, err := sys.SubmitScriptAsync(cloudviews.Job{VC: "vc1", Script: fmt.Sprintf(asyncScript, 1)}); !errors.Is(err, cloudviews.ErrClosed) {
+		t.Errorf("post-Close async err = %v, want ErrClosed", err)
+	}
+	if _, err := sys.SubmitScript(cloudviews.Job{VC: "vc1", Script: fmt.Sprintf(asyncScript, 1)}); err != nil {
+		t.Errorf("post-Close sync submission failed: %v", err)
+	}
+}
+
+// TestSubmitBatchMidBatchErrClosed: Close landing in the middle of a
+// SubmitBatch splits it cleanly — a prefix of accepted jobs that all
+// complete, then ErrClosed for the rest. Never an accepted job after a
+// rejected one, never a silent drop.
+func TestSubmitBatchMidBatchErrClosed(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		sys := demoSystem(t)
+		const n = 30
+		jobs := make([]cloudviews.Job, n)
+		for i := range jobs {
+			jobs[i] = cloudviews.Job{
+				ID:     fmt.Sprintf("batch-%02d", i),
+				VC:     "vc1", // one VC: acceptance order is the slice order
+				Script: fmt.Sprintf(asyncScript, i%7),
+			}
+		}
+
+		closed := make(chan struct{})
+		go func() {
+			defer close(closed)
+			sys.Close()
+		}()
+		results, err := sys.SubmitBatch(jobs)
+		<-closed
+
+		firstRejected := -1
+		for i := range jobs {
+			switch {
+			case results[i] != nil:
+				if firstRejected >= 0 {
+					t.Fatalf("round %d: job %d accepted after job %d was rejected", round, i, firstRejected)
+				}
+				if results[i].ID != jobs[i].ID {
+					t.Errorf("round %d: result %d is for %q", round, i, results[i].ID)
+				}
+			default:
+				if firstRejected < 0 {
+					firstRejected = i
+				}
+			}
+		}
+		if firstRejected >= 0 {
+			if err == nil || !errors.Is(err, cloudviews.ErrClosed) {
+				t.Errorf("round %d: batch error %v does not wrap ErrClosed", round, err)
+			}
+		} else if err != nil {
+			t.Errorf("round %d: fully accepted batch returned error %v", round, err)
+		}
+	}
+}
