@@ -70,6 +70,7 @@ import (
 	"cloudviews/internal/data"
 	"cloudviews/internal/fault"
 	"cloudviews/internal/fixtures"
+	"cloudviews/internal/guard"
 	"cloudviews/internal/obs"
 	"cloudviews/internal/plan"
 	"cloudviews/internal/storage"
@@ -127,6 +128,16 @@ type (
 	// Config.StorageEngine. The in-memory store and the file-backed durable
 	// engine (internal/storage/durable) both implement it.
 	StorageEngine = storage.Engine
+	// GuardConfig configures the runtime guardrail subsystem (per-signature
+	// circuit breakers, per-VC kill switch, view-selection policy flighting
+	// with auto-rollback). The zero value disables it entirely.
+	GuardConfig = guard.Config
+	// Guard is the live guardrail subsystem, exposed for inspection and the
+	// admin plane (nil when disabled; every method no-ops on nil).
+	Guard = guard.Guard
+	// GuardDecision is one deterministic guard state transition, surfaced on
+	// DayMetrics.GuardDecisions and the guard decision log.
+	GuardDecision = guard.Decision
 )
 
 // ParseFaultSpec parses a compact fault specification like
@@ -183,6 +194,11 @@ type Config struct {
 	Faults FaultConfig
 	// SLO tunes the telemetry watchdog (disabled along with observability).
 	SLO SLOConfig
+	// Guard configures the runtime guardrail subsystem: circuit breakers on
+	// view reuse, a per-VC kill switch driven by watchdog verdicts, and
+	// flighted view-selection policies with auto-rollback. The zero value
+	// disables it with zero overhead.
+	Guard GuardConfig
 	// StorageEngine plugs in an alternative view-store backend, such as the
 	// file-backed crash-recoverable engine. Nil keeps the default in-memory
 	// store (which preserves byte-identical goldens and simulated-time
@@ -278,6 +294,7 @@ func NewSystem(cfg Config) (*System, error) {
 		DisableObservability: cfg.DisableObservability,
 		Faults:               cfg.Faults,
 		SLO:                  cfg.SLO,
+		Guard:                cfg.Guard,
 		StorageEngine:        cfg.StorageEngine,
 		PlanCacheSize:        cfg.PlanCacheSize,
 		ResultCacheEntries:   cfg.ResultCacheEntries,
@@ -412,6 +429,10 @@ func (s *System) Metrics() *MetricsRegistry { return s.engine.Metrics }
 // observability is disabled): day-cadence series, critical-path breakdowns,
 // and the SLO alert log.
 func (s *System) Telemetry() *RunTelemetry { return s.engine.Telemetry.Snapshot() }
+
+// Guard returns the runtime guardrail subsystem, or nil when Config.Guard is
+// disabled (all guard methods no-op on nil).
+func (s *System) Guard() *Guard { return s.engine.Guard() }
 
 // RunDay executes a batch of jobs through the full pipeline including the
 // cluster schedule, producing the day's metrics.

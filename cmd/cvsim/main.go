@@ -7,7 +7,7 @@
 //
 //	cvsim [-scale 0.25] [-days N] [-series] [-seed N] [-metrics]
 //	      [-metrics-both] [-report out.html] [-faults SPEC] [-faultseed N]
-//	      [-store mem|disk] [-datadir DIR]
+//	      [-store mem|disk] [-datadir DIR] [-guard]
 //
 // -scale 1.0 runs the full 619-pipeline, 21-VC deployment (minutes of CPU);
 // the default 0.25 keeps it under a minute while preserving the shapes.
@@ -26,6 +26,13 @@
 // snapshot store under -datadir (default ./cvsim-data). On startup each
 // arm's store recovers whatever a previous run left behind and reports what
 // the recovery did.
+//
+// -guard runs the guardrail chaos experiment instead: one workload, two
+// arms under an identical seeded storage.view.read fault storm targeting one
+// VC's views — unguarded vs guarded by the circuit-breaker / kill-switch
+// subsystem — and prints the comparison figure plus the guard's decision
+// log. The unguarded arm's SLO verdict regresses; the guarded arm's stays
+// green.
 package main
 
 import (
@@ -53,7 +60,13 @@ func main() {
 	faultSeed := flag.Uint64("faultseed", 0, "override the fault-injection seed (0 = keep spec's seed)")
 	store := flag.String("store", "mem", `view-store backend: "mem" (in-memory) or "disk" (durable WAL+snapshot)`)
 	datadir := flag.String("datadir", "cvsim-data", "data directory for -store=disk (one subdirectory per arm)")
+	guardFlag := flag.Bool("guard", false, "run the guarded-vs-unguarded fault-storm chaos experiment instead of the production window")
 	flag.Parse()
+
+	if *guardFlag {
+		runGuardExperiment(*scale, *days, *seed, *faultSeed)
+		return
+	}
 
 	cfg := experiments.DefaultProduction()
 	if *scale < 1.0 {
@@ -146,4 +159,32 @@ func main() {
 		}
 		fmt.Printf("\nwrote health report to %s\n", *report)
 	}
+}
+
+// runGuardExperiment is the -guard mode: the guarded-vs-unguarded chaos
+// comparison, printed as the figure the CI chaos gate uploads.
+func runGuardExperiment(scale float64, days int, seed, faultSeed uint64) {
+	cfg := experiments.DefaultGuardComparison()
+	if scale < 1.0 {
+		cfg = cfg.Scale(scale)
+	}
+	if days > 0 {
+		cfg.Days = days
+	}
+	if seed != 0 {
+		cfg.Profile.Seed = seed
+	}
+	if faultSeed != 0 {
+		cfg.FaultSeed = faultSeed
+	}
+	fmt.Printf("cvsim -guard: %d pipelines, %d VCs, %d days (scale %.2f)\n",
+		cfg.Profile.Pipelines, cfg.Profile.VCs, cfg.Days, scale)
+	start := time.Now()
+	res, err := experiments.RunGuardComparison(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cvsim: -guard: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("completed in %v\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Println(experiments.RenderGuardFigure(res))
 }

@@ -1,0 +1,158 @@
+package analysis
+
+import "sort"
+
+// localSearchSelect is the flighted treatment policy: a deterministic
+// local-search selector in the spirit of "Workload acceleration by optimizing
+// materialized view selection using local search" (PAPERS.md). It starts from
+// the greedy-knapsack solution, then repeatedly applies the best improving
+// move — add an unselected candidate, drop a selected one, or swap a pair —
+// judged by the interaction-aware objective (each candidate's utility scaled
+// by the fraction of its occurrences not covered by a selected ancestor,
+// exactly the BigSubs marginal-utility rule), subject to the storage budget
+// and per-VC cap. Moves are enumerated in sorted signature order and ties
+// break the same way, so identical inputs produce identical selections.
+func localSearchSelect(cands []Candidate, graph *jobGraph, cfg SelectionConfig) []Candidate {
+	if len(cands) == 0 {
+		return nil
+	}
+	// Work over an index-sorted copy so move enumeration is deterministic.
+	sorted := append([]Candidate(nil), cands...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Recurring < sorted[j].Recurring })
+
+	selected := make([]bool, len(sorted))
+	var used int64
+	for _, c := range greedySelect(sorted, cfg) {
+		for i := range sorted {
+			if sorted[i].Recurring == c.Recurring {
+				selected[i] = true
+				used += sorted[i].StorageCost
+			}
+		}
+	}
+
+	objective := func(sel []bool) float64 {
+		chosen := make(map[string]bool)
+		for i, on := range sel {
+			if on {
+				chosen[string(sorted[i].Recurring)] = true
+			}
+		}
+		var total float64
+		for i, on := range sel {
+			if on {
+				total += coverageAdjustedUtility(sorted[i], chosen, graph)
+			}
+		}
+		return total
+	}
+	count := func(sel []bool) int {
+		n := 0
+		for _, on := range sel {
+			if on {
+				n++
+			}
+		}
+		return n
+	}
+	fits := func(u int64, n int) bool {
+		if cfg.StorageBudgetPerVC > 0 && u > cfg.StorageBudgetPerVC {
+			return false
+		}
+		if cfg.MaxViewsPerVC > 0 && n > cfg.MaxViewsPerVC {
+			return false
+		}
+		return true
+	}
+
+	cur := objective(selected)
+	// The move budget bounds the search: each accepted move strictly improves
+	// the objective, so the loop terminates long before the cap in practice.
+	for iter := 0; iter < 48; iter++ {
+		bestGain := 0.0
+		bestAdd, bestDrop := -1, -1
+		try := func(add, drop int) {
+			u, n := used, count(selected)
+			if drop >= 0 {
+				u -= sorted[drop].StorageCost
+				n--
+			}
+			if add >= 0 {
+				u += sorted[add].StorageCost
+				n++
+			}
+			if !fits(u, n) {
+				return
+			}
+			next := append([]bool(nil), selected...)
+			if drop >= 0 {
+				next[drop] = false
+			}
+			if add >= 0 {
+				next[add] = true
+			}
+			if gain := objective(next) - cur; gain > bestGain+1e-9 {
+				bestGain, bestAdd, bestDrop = gain, add, drop
+			}
+		}
+		for i := range sorted {
+			if !selected[i] {
+				try(i, -1) // add
+				continue
+			}
+			try(-1, i) // drop
+			for j := range sorted {
+				if !selected[j] {
+					try(j, i) // swap
+				}
+			}
+		}
+		if bestGain <= 0 {
+			break
+		}
+		if bestDrop >= 0 {
+			selected[bestDrop] = false
+			used -= sorted[bestDrop].StorageCost
+		}
+		if bestAdd >= 0 {
+			selected[bestAdd] = true
+			used += sorted[bestAdd].StorageCost
+		}
+		cur += bestGain
+	}
+
+	var out []Candidate
+	for i, on := range selected {
+		if on {
+			out = append(out, sorted[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Utility != out[j].Utility {
+			return out[i].Utility > out[j].Utility
+		}
+		return out[i].Recurring < out[j].Recurring
+	})
+	return out
+}
+
+// coverageAdjustedUtility scales a candidate's utility by the fraction of its
+// occurrences not covered by a selected ancestor (top-down matching always
+// takes the largest materialized subexpression). chosen is keyed by recurring
+// signature string.
+func coverageAdjustedUtility(c Candidate, chosen map[string]bool, graph *jobGraph) float64 {
+	covered := 0
+	for anc, coverage := range graph.covers {
+		if string(anc) == string(c.Recurring) || !chosen[string(anc)] {
+			continue
+		}
+		if n := coverage[c.Recurring]; n > covered {
+			covered = n
+		}
+	}
+	uncovered := c.Frequency - covered
+	if uncovered < 2 {
+		return 0
+	}
+	return c.Utility * float64(uncovered) / float64(c.Frequency)
+}

@@ -50,7 +50,19 @@ type SelectionConfig struct {
 	// UseBigSubs switches from plain greedy knapsack to the BigSubs-style
 	// interaction-aware selector.
 	UseBigSubs bool
+	// PolicyFor, when set, picks the selection policy per VC by name
+	// (PolicyGreedy, PolicyBigSubs, PolicyLocalSearch) — the hook the
+	// guard's policy flighting drives. An empty return falls back to the
+	// UseBigSubs default, so un-flighted VCs behave exactly as before.
+	PolicyFor func(vc string) string
 }
+
+// Selection policy names, as flighted per VC via SelectionConfig.PolicyFor.
+const (
+	PolicyGreedy      = "greedy"
+	PolicyBigSubs     = "bigsubs"
+	PolicyLocalSearch = "local-search"
+)
 
 func (c SelectionConfig) minFreq() int {
 	if c.MinFrequency <= 0 {
@@ -135,13 +147,32 @@ func SelectViews(repo *repository.Repo, from, to time.Time, cfg SelectionConfig)
 	}
 	out := make(map[string][]Candidate, len(byVC))
 	for vc, cands := range byVC {
-		if cfg.UseBigSubs {
-			out[vc] = bigSubsSelect(cands, graph, cfg)
-		} else {
-			out[vc] = greedySelect(cands, cfg)
-		}
+		out[vc] = selectForVC(vc, cands, graph, cfg)
 	}
 	return out, scheduleRejected
+}
+
+// selectForVC dispatches one VC's candidates to its selection policy.
+func selectForVC(vc string, cands []Candidate, graph *jobGraph, cfg SelectionConfig) []Candidate {
+	policy := ""
+	if cfg.PolicyFor != nil {
+		policy = cfg.PolicyFor(vc)
+	}
+	if policy == "" {
+		if cfg.UseBigSubs {
+			policy = PolicyBigSubs
+		} else {
+			policy = PolicyGreedy
+		}
+	}
+	switch policy {
+	case PolicyLocalSearch:
+		return localSearchSelect(cands, graph, cfg)
+	case PolicyBigSubs:
+		return bigSubsSelect(cands, graph, cfg)
+	default:
+		return greedySelect(cands, cfg)
+	}
 }
 
 // anyInstanceReusable reports whether at least one strict instance of the

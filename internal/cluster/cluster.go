@@ -504,7 +504,7 @@ func (s *Simulator) executeFaulted(spec *JobSpec, now time.Time, tokens, bonusAv
 				// far is wasted but was consumed, and the retry waits out the
 				// backoff before relaunching.
 				half := time.Duration(st.Work/2/float64(alloc)*float64(time.Second)) + s.cfg.StageStartup
-				stageDur += half + s.fcfg.Backoff(attempt)
+				stageDur += half + s.fcfg.JitteredBackoff(attempt, key)
 				processing += st.Work / 2
 				bonus += st.Work / 2 * float64(b) / float64(alloc)
 				containers += w

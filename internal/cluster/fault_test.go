@@ -226,3 +226,114 @@ func TestZeroRateFaultedPathMatchesCleanPath(t *testing.T) {
 		}
 	}
 }
+
+// jitterSim builds a simulator whose retry backoff is spread by the seeded
+// jitter fraction.
+func jitterSim(rates map[fault.Point]float64, seed uint64, pct float64) (*cluster.Simulator, fault.Config) {
+	cfg := fault.Config{Seed: seed, Rates: rates, RetryJitterPct: pct}.WithDefaults()
+	sim := cluster.New(cluster.Config{Capacity: 100, VCs: []cluster.VCConfig{{Name: "vc1", Tokens: 10}}})
+	sim.SetFaults(fault.New(cfg), cfg)
+	return sim, cfg
+}
+
+// TestRetryJitterPinnedPerSeed: jittered backoff schedules are a pure
+// function of the seed — same seed byte-identical, different seed different —
+// and jitter moves the schedule away from the unjittered one without
+// changing any work accounting (jitter only stretches waits).
+func TestRetryJitterPinnedPerSeed(t *testing.T) {
+	mkJobs := func() []cluster.JobSpec {
+		specs := make([]cluster.JobSpec, 20)
+		for i := range specs {
+			specs[i] = simpleJob(
+				"jj"+string(rune('a'+i)), "vc1",
+				t0.Add(time.Duration(i)*time.Second), float64(60+i), 4+i%8)
+		}
+		return specs
+	}
+	rates := map[fault.Point]float64{fault.StageFail: 0.5}
+
+	simA, _ := jitterSim(rates, 11, 0.5)
+	simB, _ := jitterSim(rates, 11, 0.5)
+	outA, errA := simA.Run(mkJobs())
+	outB, errB := simB.Run(mkJobs())
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	for i := range outA {
+		if outA[i] != outB[i] {
+			t.Fatalf("same seed, jittered schedules diverged at %d:\n%+v\n%+v", i, outA[i], outB[i])
+		}
+	}
+
+	// Jitter changes latency somewhere, but never the fault placement or the
+	// work charged: the roll and the wait are keyed separately.
+	simPlain, _ := faultSim(rates, 11)
+	outPlain, err := simPlain.Run(mkJobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	for i := range outA {
+		if outA[i].StageRetries != outPlain[i].StageRetries {
+			t.Fatalf("jitter changed fault placement at %d: %d vs %d retries",
+				i, outA[i].StageRetries, outPlain[i].StageRetries)
+		}
+		if outA[i].Processing != outPlain[i].Processing {
+			t.Fatalf("jitter changed work accounting at %d: %g vs %g",
+				i, outA[i].Processing, outPlain[i].Processing)
+		}
+		if outA[i].Latency != outPlain[i].Latency {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("50% jitter left every retried job's latency unchanged")
+	}
+
+	// A different seed re-rolls both the fault placement and the jitter.
+	simC, _ := jitterSim(rates, 12, 0.5)
+	outC, err := simC.Run(mkJobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range outA {
+		if outA[i] != outC[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jittered schedules")
+	}
+}
+
+// TestRetryJitterFaultFreeIdentity: a jitter-configured simulator whose
+// cluster fault points never fire reproduces the fault-free schedule bit for
+// bit — jitter only exists inside the retry path.
+func TestRetryJitterFaultFreeIdentity(t *testing.T) {
+	mk := func() []cluster.JobSpec {
+		specs := make([]cluster.JobSpec, 15)
+		for i := range specs {
+			specs[i] = simpleJob(
+				"jf"+string(rune('a'+i)), "vc1",
+				t0.Add(time.Duration(i)*time.Second), float64(40+i), 3+i%9)
+		}
+		return specs
+	}
+	clean := cluster.New(cluster.Config{Capacity: 100, VCs: []cluster.VCConfig{{Name: "vc1", Tokens: 10}}})
+	cleanOut, err := clean.Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jittered, _ := jitterSim(map[fault.Point]float64{fault.ViewRead: 1}, 5, 0.8)
+	jOut, err := jittered.Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cleanOut {
+		if cleanOut[i] != jOut[i] {
+			t.Fatalf("jitter config broke fault-free identity at %d:\n%+v\n%+v", i, cleanOut[i], jOut[i])
+		}
+	}
+}

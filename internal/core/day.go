@@ -8,6 +8,7 @@ import (
 	"cloudviews/internal/cluster"
 	"cloudviews/internal/exec"
 	"cloudviews/internal/fixtures"
+	"cloudviews/internal/guard"
 	"cloudviews/internal/insights"
 	"cloudviews/internal/optimizer"
 	"cloudviews/internal/plan"
@@ -49,6 +50,11 @@ type DayMetrics struct {
 	// Alerts are the SLO watchdog findings for this day, in deterministic
 	// firing order (empty on healthy days and when observability is off).
 	Alerts []telemetry.Alert
+
+	// GuardDecisions are the guard's state transitions for this day (breaker
+	// trips, kill-switch moves, flight rollbacks), in deterministic order
+	// (empty when the guard is disabled).
+	GuardDecisions []guard.Decision
 }
 
 // RunDay executes one day's jobs end to end: data plane in submission order,
@@ -139,6 +145,9 @@ func (e *Engine) RunDay(day int, jobs []workload.JobInput) (DayMetrics, error) {
 		// Cluster-side recovery cost (stage retries, preemptions); the data
 		// plane's own job-retry delay was already counted from the trace.
 		e.Telemetry.AddFaultLoss(day, rec.VC, o.FaultDelay.Seconds())
+		// The guard's per-VC latency series uses the scheduled latency, which
+		// only the cluster outcome knows.
+		e.guard.AddLatency(day, rec.VC, rec.LatencySec)
 
 		e.History.RecordJob(rec.Template, stats.Observation{
 			Rows:    0,
@@ -171,6 +180,9 @@ func (e *Engine) RunDay(day int, jobs []workload.JobInput) (DayMetrics, error) {
 	// the day's data.
 	e.SetClock(dayStart.AddDate(0, 0, 1))
 	e.Store.GC()
+	// The guard's day-boundary state machine runs before the telemetry
+	// sample so the sampled guard gauges reflect the day's transitions.
+	m.GuardDecisions = e.guard.EndOfDay(day)
 	m.Alerts = e.sampleTelemetry(day, &m)
 	return m, nil
 }
@@ -212,6 +224,10 @@ func (e *Engine) sampleTelemetry(day int, m *DayMetrics) []telemetry.Alert {
 	sample[telemetry.SeriesRepoJobs] = float64(e.Repo.Len())
 	sample[telemetry.SeriesRepoSubexprs] = float64(e.Repo.SubexprCount())
 
+	// Guard gauges enter the sample only when a guard exists, keeping
+	// guard-free telemetry exports byte-identical to earlier builds.
+	e.guard.Sample(sample)
+
 	return e.Telemetry.EndOfDay(day, sample)
 }
 
@@ -220,7 +236,13 @@ func (e *Engine) sampleTelemetry(day int, m *DayMetrics) []telemetry.Alert {
 // annotation publishing to the insights service. It returns the number of
 // tags published and the candidates rejected by schedule-aware filtering.
 func (e *Engine) RunAnalysis(from, to time.Time) (tags int, scheduleRejected int) {
-	byVC, rejected := analysis.SelectViews(e.Repo, from, to, e.Selection)
+	sel := e.Selection
+	if e.guard != nil && sel.PolicyFor == nil {
+		// Policy flighting: the guard assigns each VC its selection policy
+		// (and pins rolled-back VCs to the control arm).
+		sel.PolicyFor = e.guard.PolicyFor
+	}
+	byVC, rejected := analysis.SelectViews(e.Repo, from, to, sel)
 	perTag := make(map[signature.Tag][]insights.Annotation)
 	for vc, cands := range byVC {
 		for _, c := range cands {

@@ -19,6 +19,7 @@ import (
 	"cloudviews/internal/exec"
 	"cloudviews/internal/fault"
 	"cloudviews/internal/fixtures"
+	"cloudviews/internal/guard"
 	"cloudviews/internal/insights"
 	"cloudviews/internal/obs"
 	"cloudviews/internal/optimizer"
@@ -51,6 +52,10 @@ type Config struct {
 	// per-VC storage budget, queue growth, fault spikes). The zero value is
 	// a sane default that stays silent on healthy fault-free runs.
 	SLO telemetry.SLOConfig
+	// Guard configures the runtime guardrail subsystem (per-signature
+	// circuit breakers, per-VC kill switch, policy flighting). The zero
+	// value disables it entirely at zero cost.
+	Guard guard.Config
 	// StorageEngine plugs in an alternative view-store backend (e.g. the
 	// file-backed durable engine). Nil keeps the default in-memory store.
 	// If the engine is ClockAware the simulated clock is installed into it.
@@ -118,6 +123,10 @@ type Engine struct {
 
 	rng *data.Rand
 
+	// guard is nil unless Config.Guard is enabled; every method no-ops on
+	// nil, so the guard-free hot path costs one pointer check.
+	guard *guard.Guard
+
 	// faults is nil unless Config.Faults enables at least one point; faultCfg
 	// carries the retry policy (always defaulted, even when faults are off,
 	// so genuine view unavailability still recovers consistently).
@@ -149,6 +158,7 @@ func NewEngine(cfg Config) *Engine {
 		cacheLimit:     cacheLimit,
 		plans:          newPlanCache(cfg.PlanCacheSize),
 		rng:            data.NewRand(99),
+		guard:          guard.New(cfg.Guard),
 		faults:         fault.New(cfg.Faults),
 		faultCfg:       cfg.Faults.WithDefaults(),
 	}
@@ -176,6 +186,7 @@ func NewEngine(cfg Config) *Engine {
 		e.mReused = e.Metrics.Counter("cloudviews_views_reused_total")
 		e.mCompileSec = e.Metrics.Counter("cloudviews_compile_seconds_total")
 		e.faults.SetMetrics(e.Metrics)
+		e.guard.SetMetrics(e.Metrics)
 		e.cache.SetMetrics(e.Metrics)
 		e.Telemetry = telemetry.NewCollector(telemetry.Config{
 			Rules: telemetry.DefaultRules(cfg.SLO),
@@ -221,6 +232,10 @@ func (e *Engine) advanceClock(t time.Time) {
 	}
 	e.clockMu.Unlock()
 }
+
+// Guard returns the runtime guardrail subsystem (nil when disabled; all
+// guard methods no-op on nil).
+func (e *Engine) Guard() *guard.Guard { return e.guard }
 
 // OnboardVC enables CloudViews for a virtual cluster (the opt-in/opt-out
 // unit).
@@ -388,6 +403,7 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 				History:        e.History,
 				Store:          e.Store,
 				Insights:       e.Insights,
+				Guard:          e.guard,
 				MaxViewsPerJob: e.maxViewsPerJob,
 				Trace:          tr,
 			}
@@ -518,7 +534,39 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 	// via AddQueueWait), so this covers exactly the data-plane timeline.
 	e.Telemetry.ObserveJob(dayIndex(in.Submit), in.VC, tr)
 
+	// Feed the guard the job's realized view outcomes: each matched view
+	// either banked its promised saving or forfeited it to a read fallback
+	// (the executor lists fallbacks by strict signature).
+	if e.guard != nil {
+		e.guard.ObserveJob(dayIndex(in.Submit), in.VC, in.ID, viewOutcomes(cr, res))
+	}
+
 	return run, nil
+}
+
+// viewOutcomes correlates the final attempt's matched views with the strict
+// signatures the executor fell back on.
+func viewOutcomes(cr *optimizer.CompileResult, res *exec.RunResult) []guard.ViewOutcome {
+	if len(cr.Matched) == 0 {
+		return nil
+	}
+	var fell map[signature.Sig]int
+	if len(res.FallbackSigs) > 0 {
+		fell = make(map[signature.Sig]int, len(res.FallbackSigs))
+		for _, s := range res.FallbackSigs {
+			fell[s]++
+		}
+	}
+	out := make([]guard.ViewOutcome, 0, len(cr.Matched))
+	for _, m := range cr.Matched {
+		o := guard.ViewOutcome{Recurring: m.Recurring, SavedSec: m.Saved}
+		if fell[m.Strict] > 0 {
+			fell[m.Strict]--
+			o.FellBack = true
+		}
+		out = append(out, o)
+	}
+	return out
 }
 
 // failJob settles a job that errored after compilation: any views it staged

@@ -112,6 +112,11 @@ type RunResult struct {
 	// TotalBatches sums NodeStat.Batches across operators (replayed cache
 	// entries included), exposing how much of the plan ran vectorized.
 	TotalBatches int64
+	// FallbackSigs lists the strict signature of every ViewScan counted in
+	// ReuseFallbacks, in evaluation order — the guard layer correlates them
+	// with the optimizer's matched views to charge forfeited savings to the
+	// right circuit breaker.
+	FallbackSigs []signature.Sig
 }
 
 // CacheEntry memoizes the result of a subexpression for replay across
@@ -519,8 +524,10 @@ func (ex *Executor) evalViewScan(x *plan.ViewScan) (nodeResult, error) {
 		return nodeResult{}, fmt.Errorf("exec: ViewScan without a view store")
 	}
 	sig := signature.Sig(x.StrictSig)
+	// The decision key carries the artifact path (which embeds the home VC,
+	// see storage.PathFor) so fault filters can target one VC's views.
 	injected := ex.Faults.Enabled(fault.ViewRead) &&
-		ex.Faults.Should(fault.ViewRead, ex.JobID+"|"+x.StrictSig)
+		ex.Faults.Should(fault.ViewRead, ex.JobID+"|"+x.StrictSig+"|"+x.Path)
 	var t *data.Table
 	var mult float64
 	ok := false
@@ -538,6 +545,7 @@ func (ex *Executor) evalViewScan(x *plan.ViewScan) (nodeResult, error) {
 			}
 			ex.Trace.Event("view.fallback", fmt.Sprintf("sig=%s reason=%s", sig.Short(), reason))
 			ex.res.ReuseFallbacks++
+			ex.res.FallbackSigs = append(ex.res.FallbackSigs, sig)
 			return ex.eval(x.Fallback)
 		}
 		return nodeResult{}, fmt.Errorf("exec: view %s unavailable", sig.Short())

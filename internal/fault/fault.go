@@ -118,6 +118,21 @@ type Config struct {
 	// (in simulated time) charged between retries.
 	RetryBackoff    time.Duration
 	RetryBackoffCap time.Duration
+
+	// RetryJitterPct spreads stage-retry backoff by a deterministic seeded
+	// fraction in [-pct/2, +pct/2) of the base backoff, keyed by the decision
+	// key — so synchronized retry storms fan out instead of relaunching in
+	// lockstep. 0 disables jitter (the historical schedule); the value is a
+	// fraction, e.g. 0.5 jitters within ±25%.
+	RetryJitterPct float64
+
+	// Filter, when set, restricts injection to decisions it approves: a
+	// point only fires when Filter(point, key) returns true. It is a
+	// programmatic hook for tests and experiments that need targeted fault
+	// storms (e.g. only view reads whose artifact path belongs to one VC,
+	// or only during a storm window flagged by the driver); it does not
+	// round-trip through ParseSpec/Spec.
+	Filter func(p Point, key string) bool
 }
 
 // Enabled reports whether any point has a positive rate.
@@ -165,6 +180,20 @@ func (c Config) Backoff(attempt int) time.Duration {
 		return c.RetryBackoffCap
 	}
 	return d
+}
+
+// JitteredBackoff returns Backoff(attempt) spread by the seeded jitter
+// fraction, keyed by the same decision key the fault roll used — so every
+// retry in a synchronized storm lands on its own schedule, yet the schedule
+// is pinned per seed. With RetryJitterPct = 0 it is exactly Backoff, the
+// historical (fault-free-identical) behavior.
+func (c Config) JitteredBackoff(attempt int, key string) time.Duration {
+	d := c.Backoff(attempt)
+	if c.RetryJitterPct <= 0 || d <= 0 {
+		return d
+	}
+	f := 1 + c.RetryJitterPct*(Hash01(c.Seed, "cluster.backoff.jitter", key)-0.5)
+	return time.Duration(float64(d) * f)
 }
 
 // ParseSpec parses a comma-separated rate spec like
@@ -261,6 +290,7 @@ func (e *InjectedError) Error() string {
 type Injector struct {
 	seed   uint64
 	rates  map[Point]float64
+	filter func(p Point, key string) bool
 	counts map[Point]*atomic.Int64
 
 	// metrics, when wired via SetMetrics; nil-safe no-ops otherwise.
@@ -277,6 +307,7 @@ func New(cfg Config) *Injector {
 	inj := &Injector{
 		seed:   cfg.Seed,
 		rates:  make(map[Point]float64, len(cfg.Rates)),
+		filter: cfg.Filter,
 		counts: make(map[Point]*atomic.Int64, len(Points)),
 	}
 	for p, r := range cfg.Rates {
@@ -322,6 +353,9 @@ func (i *Injector) Should(p Point, key string) bool {
 	if !ok || rate <= 0 {
 		return false
 	}
+	if i.filter != nil && !i.filter(p, key) {
+		return false
+	}
 	if i.roll(p, key) >= rate {
 		return false
 	}
@@ -360,13 +394,24 @@ func (i *Injector) Total() int64 {
 // the inputs followed by a splitmix64 finalizer (FNV alone avalanches poorly
 // on short inputs).
 func (i *Injector) roll(p Point, key string) float64 {
-	h := i.seed ^ 0xcbf29ce484222325
-	for _, c := range []byte(p) {
-		h = (h ^ uint64(c)) * 1099511628211
-	}
-	h = (h ^ 0x1f) * 1099511628211
-	for _, c := range []byte(key) {
-		h = (h ^ uint64(c)) * 1099511628211
+	return Hash01(i.seed, string(p), key)
+}
+
+// Hash01 maps (seed, parts...) to a uniform value in [0, 1): FNV-1a over the
+// parts (0x1f-separated) followed by a splitmix64 finalizer. It is the shared
+// deterministic decision hash of the stack — injection rolls, guard probe and
+// ramp admission, flight assignment, and retry-backoff jitter all draw from
+// it, so every "random" choice is a pure function of (seed, identity) and
+// replays byte-identically regardless of goroutine interleaving.
+func Hash01(seed uint64, parts ...string) float64 {
+	h := seed ^ 0xcbf29ce484222325
+	for i, part := range parts {
+		if i > 0 {
+			h = (h ^ 0x1f) * 1099511628211
+		}
+		for _, c := range []byte(part) {
+			h = (h ^ uint64(c)) * 1099511628211
+		}
 	}
 	h += 0x9e3779b97f4a7c15
 	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9

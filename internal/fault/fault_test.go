@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"fmt"
 	"errors"
 	"math"
 	"strings"
@@ -254,5 +255,41 @@ func TestWithDefaults(t *testing.T) {
 	custom := Config{MaxStageAttempts: 2, MaxJobAttempts: 5}.WithDefaults()
 	if custom.MaxStageAttempts != 2 || custom.MaxJobAttempts != 5 {
 		t.Fatalf("explicit values overridden: %+v", custom)
+	}
+}
+
+// TestJitteredBackoffBoundsAndPinning: jittered backoff stays within
+// ±pct/2 of the base value, is a pure function of (seed, key), and with the
+// jitter disabled is exactly Backoff.
+func TestJitteredBackoffBoundsAndPinning(t *testing.T) {
+	c := Config{Seed: 9, RetryJitterPct: 0.5}.WithDefaults()
+	base := c.Backoff(1)
+	varied := false
+	var first time.Duration
+	for i := 0; i < 40; i++ {
+		key := fmt.Sprintf("job-%d/s00/a1", i)
+		d := c.JitteredBackoff(1, key)
+		lo := time.Duration(float64(base) * (1 - c.RetryJitterPct/2))
+		hi := time.Duration(float64(base) * (1 + c.RetryJitterPct/2))
+		if d < lo || d > hi {
+			t.Fatalf("jittered backoff %v outside [%v, %v] for key %q", d, lo, hi, key)
+		}
+		if d != c.JitteredBackoff(1, key) {
+			t.Fatalf("jittered backoff not pinned for key %q", key)
+		}
+		if i == 0 {
+			first = d
+		} else if d != first {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter produced the identical backoff for 40 distinct keys")
+	}
+	plain := Config{Seed: 9}.WithDefaults()
+	for a := 1; a <= 4; a++ {
+		if plain.JitteredBackoff(a, "any") != plain.Backoff(a) {
+			t.Fatalf("zero jitter diverged from Backoff at attempt %d", a)
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cloudviews/internal/exec"
+	"cloudviews/internal/guard"
 	"cloudviews/internal/insights"
 	"cloudviews/internal/obs"
 	"cloudviews/internal/plan"
@@ -21,6 +22,10 @@ type Optimizer struct {
 	History  *stats.History
 	Store    storage.Engine
 	Insights *insights.Service
+	// Guard, when non-nil, gates reuse decisions: the per-VC kill switch is
+	// consulted once per job and per-signature circuit breakers per candidate
+	// view. A nil guard (the default) admits everything.
+	Guard *guard.Guard
 	// MaxViewsPerJob is the user control bounding spools per job (0 = 4).
 	MaxViewsPerJob int
 	// Trace, when set, receives the compile-phase spans and every
@@ -42,6 +47,10 @@ type MatchedView struct {
 	ReplacedOp string
 	Rows       int64
 	Bytes      int64
+	// Saved is the estimated container-seconds of recomputation the view
+	// avoids — the promised benefit the guard's breakers bank on a clean
+	// match and forfeit on a read fallback.
+	Saved float64
 }
 
 // CompileResult is the output of Compile.
@@ -87,10 +96,15 @@ func (o *Optimizer) Compile(root plan.Node, opts CompileOptions) *CompileResult 
 	res.Tag = o.Signer.JobTag(p)
 
 	enabled := o.Insights != nil && o.Insights.Enabled(opts.Cluster, opts.VC, opts.OptIn)
-	res.ReuseEnabled = enabled
 	if !enabled {
 		o.Trace.Event("reuse.disabled", "controls disabled CloudViews for this job")
+	} else if !o.Guard.AllowReuse(opts.VC, opts.JobID) {
+		// The guard's per-VC kill switch: the job compiles without reuse,
+		// exactly as if the VC had opted out — degraded, never wrong.
+		enabled = false
+		o.Trace.Event("reuse.disabled", "guard kill switch disabled CloudViews for this VC")
 	}
+	res.ReuseEnabled = enabled
 
 	var annSet map[signature.Sig]insights.Annotation
 	if enabled {
@@ -107,7 +121,7 @@ func (o *Optimizer) Compile(root plan.Node, opts CompileOptions) *CompileResult 
 	if enabled {
 		// Core search: top-down enumeration for matching views (larger
 		// subexpressions first).
-		p = o.matchViews(p, res)
+		p = o.matchViews(p, opts, res)
 		// Follow-up optimization: bottom-up enumeration for building views.
 		p = o.buildViews(p, opts, annSet, res)
 	}
@@ -135,7 +149,7 @@ func (o *Optimizer) Compile(root plan.Node, opts CompileOptions) *CompileResult 
 // top-down so the largest match wins. The plan with the view is adopted only
 // if its cost is lower (with runtime history this reduces to comparing the
 // view read cost against the observed recompute cost).
-func (o *Optimizer) matchViews(root plan.Node, res *CompileResult) plan.Node {
+func (o *Optimizer) matchViews(root plan.Node, opts CompileOptions, res *CompileResult) plan.Node {
 	subs := o.Signer.Subexpressions(root)
 	info := make(map[plan.Node]signature.Subexpr, len(subs))
 	for _, s := range subs {
@@ -149,7 +163,11 @@ func (o *Optimizer) matchViews(root plan.Node, res *CompileResult) plan.Node {
 				// State before Available: Available lazily evicts expired
 				// entries, so it must not run before the reason is read.
 				state := o.Store.State(s.Strict)
-				if o.Store.Available(s.Strict) {
+				if !o.Guard.AllowMatch(opts.VC, opts.JobID, s.Recurring) {
+					// Quarantined by a circuit breaker: skip this view, keep
+					// descending — smaller healthy matches below still apply.
+					o.Trace.Event("view.rejected", fmt.Sprintf("sig=%s reason=guard-quarantine", s.Strict.Short()))
+				} else if o.Store.Available(s.Strict) {
 					if wins, saved := o.viewWins(s, view); wins {
 						// The event value carries the estimated container-
 						// seconds of recomputation the view avoids, so the
@@ -162,6 +180,7 @@ func (o *Optimizer) matchViews(root plan.Node, res *CompileResult) plan.Node {
 							ReplacedOp: n.OpName(),
 							Rows:       view.Rows,
 							Bytes:      view.Bytes,
+							Saved:      saved,
 						})
 						return &plan.ViewScan{
 							StrictSig:    string(s.Strict),

@@ -195,6 +195,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /admin/runday", s.admin(s.handleRunDay))
 	mux.HandleFunc("POST /admin/advance", s.admin(s.handleAdvance))
 	mux.HandleFunc("POST /admin/slo/sample", s.admin(s.handleSLOSample))
+	s.guardRoutes(mux)
 	return mux
 }
 

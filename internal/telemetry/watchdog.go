@@ -66,6 +66,11 @@ type Rule struct {
 	MinReference float64
 	// MinValue silences the rule while the day's value is below this floor.
 	MinValue float64
+	// MinCount silences the rule until the series has accumulated at least
+	// this many samples (ever appended, not just retained). Absolute rules
+	// otherwise judge a cold series on its very first sample — day-1 noise
+	// that must not drive rollback decisions.
+	MinCount int
 	Severity Severity
 }
 
@@ -145,6 +150,9 @@ func (r Rule) matchNames(series map[string]*Series) []string {
 }
 
 func (r Rule) check(day int, name string, s *Series) (Alert, bool) {
+	if s.Count() < r.MinCount {
+		return Alert{}, false
+	}
 	v := s.Last()
 	if v < r.MinValue {
 		return Alert{}, false

@@ -226,3 +226,84 @@ func TestServerRules(t *testing.T) {
 		t.Errorf("shed evaluation = %v, want one tenant-a shed-spike", alerts)
 	}
 }
+
+// TestWatchdogColdSeries is the cold-start regression table: series that are
+// empty, hold a single sample, or reference an all-zero warm-up window must
+// never fire a rule of any kind — the MinCount / MinValue / MinReference
+// floors exist precisely so a watchdog pointed at a just-created series stays
+// silent until there is evidence to judge.
+func TestWatchdogColdSeries(t *testing.T) {
+	cases := []struct {
+		name string
+		rule Rule
+		vals []float64 // appended starting at day 0
+		day  int       // evaluation day
+		want bool      // expect the rule to fire
+	}{
+		// Empty series: no sample for the day, every kind skips.
+		{"empty-above", Rule{Kind: Above, Threshold: 1}, nil, 0, false},
+		{"empty-below", Rule{Kind: Below, Threshold: 100}, nil, 0, false},
+		{"empty-drop", Rule{Kind: DropPct, Threshold: 10, Window: 1}, nil, 0, false},
+		{"empty-growth", Rule{Kind: GrowthPct, Threshold: 10, Window: 1}, nil, 0, false},
+
+		// Single sample: delta rules have no reference yet; point rules are
+		// silenced by the MinCount floor even when the lone value crosses.
+		{"single-above-mincount", Rule{Kind: Above, Threshold: 1, MinCount: 2}, []float64{50}, 0, false},
+		{"single-below-mincount", Rule{Kind: Below, Threshold: 100, MinCount: 2}, []float64{0}, 0, false},
+		{"single-drop", Rule{Kind: DropPct, Threshold: 10, Window: 1}, []float64{0}, 0, false},
+		{"single-growth", Rule{Kind: GrowthPct, Threshold: 10, Window: 1}, []float64{1e9}, 0, false},
+
+		// All-zero reference window: a drop from nothing is not a drop and
+		// growth over zero is undefined; both stay silent without floors.
+		{"zero-ref-drop", Rule{Kind: DropPct, Threshold: 10, Window: 2}, []float64{0, 0, 0}, 2, false},
+		{"zero-ref-growth", Rule{Kind: GrowthPct, Threshold: 10, Window: 2}, []float64{0, 0, 100}, 2, false},
+
+		// MinReference keeps noise-level references from judging deltas.
+		{"tiny-ref-drop", Rule{Kind: DropPct, Threshold: 10, Window: 1, MinReference: 0.5}, []float64{0.1, 0}, 1, false},
+		{"tiny-ref-growth", Rule{Kind: GrowthPct, Threshold: 10, Window: 1, MinReference: 5}, []float64{1, 4}, 1, false},
+
+		// MinValue keeps noise-level day values from firing point rules.
+		{"minvalue-above", Rule{Kind: Above, Threshold: 0.5, MinValue: 2}, []float64{1}, 0, false},
+
+		// Once warm, the same rules judge again.
+		{"warm-above-fires", Rule{Kind: Above, Threshold: 1, MinCount: 2}, []float64{0, 50}, 1, true},
+		{"warm-below-fires", Rule{Kind: Below, Threshold: 100, MinCount: 2}, []float64{200, 2}, 1, true},
+		{"warm-drop-fires", Rule{Kind: DropPct, Threshold: 50, Window: 1, MinReference: 0.5}, []float64{10, 1}, 1, true},
+		{"warm-growth-fires", Rule{Kind: GrowthPct, Threshold: 50, Window: 1, MinReference: 0.5}, []float64{10, 100}, 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rule := tc.rule
+			rule.Name = tc.name
+			rule.Metric = "m"
+			rule.Severity = SevWarn
+			w := NewWatchdog([]Rule{rule})
+			s := NewSeries("m", 16)
+			for day, v := range tc.vals {
+				s.Append(day, v)
+			}
+			alerts := w.Evaluate(tc.day, map[string]*Series{"m": s})
+			if fired := len(alerts) > 0; fired != tc.want {
+				t.Fatalf("fired=%v want=%v (alerts: %v)", fired, tc.want, alerts)
+			}
+		})
+	}
+}
+
+// TestWatchdogMinCountReleases: MinCount counts samples ever appended (not
+// retained), so a long-lived ring-buffer series is never re-silenced.
+func TestWatchdogMinCountReleases(t *testing.T) {
+	w := NewWatchdog([]Rule{{Name: "r", Metric: "m", Kind: Below, Threshold: 5, MinCount: 3, Severity: SevWarn}})
+	s := NewSeries("m", 2) // retains only 2 points
+	for day := 0; day < 5; day++ {
+		s.Append(day, 1) // always under the floor
+		alerts := w.Evaluate(day, map[string]*Series{"m": s})
+		fired := len(alerts) > 0
+		if day < 2 && fired {
+			t.Fatalf("day %d: rule fired before MinCount", day)
+		}
+		if day >= 2 && !fired {
+			t.Fatalf("day %d: rule silent after MinCount (retained=%d, count=%d)", day, s.Len(), s.Count())
+		}
+	}
+}
