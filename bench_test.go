@@ -475,6 +475,82 @@ func BenchmarkConcurrentSubmitNoTrace(b *testing.B) {
 	}
 }
 
+// BenchmarkConcurrentSubmitExplain measures the reuse-provenance overhead on
+// the throughput path with the explain layer actually exercised: VCs are
+// onboarded and annotations published, so every submission walks matchViews
+// and records structured decisions (matched / no-annotation / cost) instead
+// of the single policy-flight record the non-onboarded arms take. Gated by
+// cvbenchgate under the same BenchmarkConcurrentSubmit allocation prefix;
+// the delta against BenchmarkConcurrentSubmit rides inside the existing <5%
+// observability budget.
+func BenchmarkConcurrentSubmitExplain(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			runConcurrentSubmitExplain(b, workers)
+		})
+	}
+}
+
+// runConcurrentSubmitExplain primes annotations (two cold rounds + analyze)
+// before the timed loop so the steady state makes real per-candidate reuse
+// decisions on every submission.
+func runConcurrentSubmitExplain(b *testing.B, workers int) {
+	sys := benchConcurrentSystem(b, false)
+	for w := 0; w < 4; w++ {
+		sys.OnboardVC(fmt.Sprintf("vc%d", w))
+	}
+	scripts := make([]string, 37)
+	for i := range scripts {
+		scripts[i] = fmt.Sprintf(`p = SELECT * FROM Events WHERE Value > %d;
+r = SELECT Region, COUNT(*) AS n, SUM(Value) AS s FROM p GROUP BY Region;
+OUTPUT r TO "out/r";`, i)
+	}
+	for round := 0; round < 2; round++ {
+		for i, script := range scripts {
+			if _, err := sys.SubmitScript(Job{VC: fmt.Sprintf("vc%d", i%4), Pipeline: "bench", Script: script}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sys.AdvanceClock(time.Minute)
+	}
+	if tags := sys.Analyze(time.Hour); tags == 0 {
+		b.Fatal("priming selected no annotations; the explain arm would be vacuous")
+	}
+	b.ResetTimer()
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range ch {
+				res, err := sys.SubmitScript(Job{
+					VC:       fmt.Sprintf("vc%d", w%4),
+					Pipeline: "bench",
+					Script:   scripts[i%len(scripts)],
+				})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if res.Explain() == nil {
+					b.Error("explain missing on an observable submission")
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < b.N; i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "jobs/sec")
+	}
+}
+
 // BenchmarkAblationContainment quantifies §5.3's headroom: a family of
 // parameter-varying selections over the same base subexpression gets ZERO
 // exact-match reuse but near-total reuse under the containment prototype.

@@ -68,6 +68,7 @@ import (
 	"cloudviews/internal/cluster"
 	"cloudviews/internal/core"
 	"cloudviews/internal/data"
+	"cloudviews/internal/explain"
 	"cloudviews/internal/fault"
 	"cloudviews/internal/fixtures"
 	"cloudviews/internal/guard"
@@ -121,9 +122,22 @@ type (
 	// DayMetrics.Alerts and the telemetry snapshot.
 	SLOAlert = telemetry.Alert
 	// RunTelemetry is an immutable snapshot of the telemetry pipeline:
-	// day-cadence series, per-day critical-path breakdowns, and the alert
-	// log. Feed it to a telemetry.Report for rendering.
+	// day-cadence series, per-day critical-path breakdowns, miss-reason
+	// rollups, and the alert log. Feed it to a telemetry.Report for
+	// rendering.
 	RunTelemetry = telemetry.RunTelemetry
+	// ExplainDecision is one structured reuse decision: why a candidate
+	// view was (not) reused, with the container-seconds at stake. See
+	// JobResult.Explain.
+	ExplainDecision = explain.Decision
+	// ExplainReason is the closed enum of reuse-decision reasons.
+	ExplainReason = explain.Reason
+	// ExplainOutcome classifies a decision one level coarser than its
+	// reason (reused / rejected / disabled / fell-back).
+	ExplainOutcome = explain.Outcome
+	// ExplainRollup is the fleet-wide per-day/per-VC miss-reason rollup
+	// built from a telemetry snapshot (telemetry.BuildExplainRollup).
+	ExplainRollup = telemetry.ExplainRollup
 	// StorageEngine is the pluggable view-store backend interface; see
 	// Config.StorageEngine. The in-memory store and the file-backed durable
 	// engine (internal/storage/durable) both implement it.
@@ -234,6 +248,25 @@ type Job struct {
 	OptOut bool
 }
 
+// The closed reuse-decision reason enum, re-exported so embedders can match
+// JobResult.Explain decisions without importing internal packages.
+const (
+	ReasonMatched         = explain.ReasonMatched
+	ReasonNoAnnotation    = explain.ReasonNoAnnotation
+	ReasonExpired         = explain.ReasonExpired
+	ReasonLockHeld        = explain.ReasonLockHeld
+	ReasonCost            = explain.ReasonCost
+	ReasonGuardQuarantine = explain.ReasonGuardQuarantine
+	ReasonVCKilled        = explain.ReasonVCKilled
+	ReasonPolicyFlight    = explain.ReasonPolicyFlight
+	ReasonBudget          = explain.ReasonBudget
+	ReasonFallback        = explain.ReasonFallback
+	ReasonNotMaterialized = explain.ReasonNotMaterialized
+)
+
+// ValidExplainReason reports whether r is a member of the closed reason enum.
+func ValidExplainReason(r ExplainReason) bool { return explain.Valid(r) }
+
 // JobResult reports one executed job.
 type JobResult struct {
 	ID string
@@ -255,6 +288,34 @@ type JobResult struct {
 	// never read it and formatting a plan tree dominates the allocation
 	// profile of small cached submissions.
 	plan plan.Node
+	// explain backs Explain/ExplainText (nil when observability is off).
+	explain *explain.Recorder
+}
+
+// Explain returns the job's structured reuse decisions in decision order:
+// one ExplainDecision per candidate view considered (plus whole-job
+// decisions like policy-flight and runtime fallbacks), each carrying a
+// reason from the closed enum. Returns nil when Config.DisableObservability
+// is set, and an empty non-nil slice for an observed job that made no reuse
+// decisions.
+func (r *JobResult) Explain() []ExplainDecision {
+	if r.explain == nil {
+		return nil
+	}
+	ds := r.explain.Decisions()
+	if ds == nil {
+		ds = []ExplainDecision{}
+	}
+	return ds
+}
+
+// ExplainText renders the per-job explain report (deterministic; empty
+// string when observability is disabled).
+func (r *JobResult) ExplainText() string {
+	if r.explain == nil {
+		return ""
+	}
+	return explain.RenderDecisions(r.ID, r.explain.Decisions())
 }
 
 // PlanText renders the final (post-reuse) plan. The text is produced on
@@ -417,6 +478,7 @@ func (s *System) run(in workload.JobInput) (*JobResult, error) {
 		DataRead:    run.Exec.TotalRead,
 		Trace:       run.Trace,
 		plan:        run.Compile.Plan,
+		explain:     run.Explain,
 	}, nil
 }
 

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	cvdash [-scale 0.25] [-days N] [-seed N] [-o report.html]
-//	       [-budget BYTES] [-faults SPEC] [-faultseed N]
+//	       [-explain-json rollup.json] [-budget BYTES] [-faults SPEC]
+//	       [-faultseed N]
 //
 // -budget sets the per-VC view-storage SLO in bytes; when any VC's
 // cloudviews_view_bytes gauge exceeds it, the watchdog pages. 0 disables the
@@ -19,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +36,7 @@ func main() {
 	days := flag.Int("days", 0, "override window length in days (0 = scaled default)")
 	seed := flag.Uint64("seed", 0, "override workload seed")
 	out := flag.String("o", "", "write the HTML report to this path")
+	explainJSON := flag.String("explain-json", "", "write the CloudViews arm's miss-reason fleet rollup as JSON to this path")
 	budget := flag.Int64("budget", 0, "per-VC view-storage SLO in bytes (0 = no storage rule)")
 	faults := flag.String("faults", "", `fault spec, e.g. "stage=0.05,read=0.02,seed=7" (empty = no injection)`)
 	faultSeed := flag.Uint64("faultseed", 0, "override the fault-injection seed (0 = keep spec's seed)")
@@ -51,16 +54,17 @@ func main() {
 		}
 		fcfg = parsed
 	}
-	if err := run(os.Stdout, *scale, *days, *seed, *budget, fcfg, *out); err != nil {
+	if err := run(os.Stdout, *scale, *days, *seed, *budget, fcfg, *out, *explainJSON); err != nil {
 		fmt.Fprintf(os.Stderr, "cvdash: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 // run executes the experiment and writes the text summary to w; when htmlPath
-// is non-empty the HTML report is written there too. Extracted from main so
-// the summary format can be golden-tested.
-func run(w io.Writer, scale float64, days int, seed uint64, budget int64, faults fault.Config, htmlPath string) error {
+// is non-empty the HTML report is written there too, and explainPath gets the
+// CloudViews arm's miss-reason rollup as JSON. Extracted from main so the
+// summary format can be golden-tested.
+func run(w io.Writer, scale float64, days int, seed uint64, budget int64, faults fault.Config, htmlPath, explainPath string) error {
 	cfg := experiments.DefaultProduction()
 	if scale < 1.0 {
 		cfg = cfg.Scale(scale)
@@ -87,6 +91,16 @@ func run(w io.Writer, scale float64, days int, seed uint64, budget int64, faults
 			return err
 		}
 		fmt.Fprintf(w, "\nwrote HTML report to %s\n", htmlPath)
+	}
+	if explainPath != "" {
+		blob, err := json.MarshalIndent(telemetry.BuildExplainRollup(res.CVTelemetry), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(explainPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote explain rollup to %s\n", explainPath)
 	}
 	return nil
 }

@@ -2,13 +2,16 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"cloudviews/internal/explain"
 	"cloudviews/internal/fault"
+	"cloudviews/internal/telemetry"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden summary")
@@ -19,7 +22,7 @@ var update = flag.Bool("update", false, "rewrite the golden summary")
 //	go test ./cmd/cvdash -run Golden -update
 func TestSummaryGolden(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 0.1, 3, 0, 0, fault.Config{}, ""); err != nil {
+	if err := run(&buf, 0.1, 3, 0, 0, fault.Config{}, "", ""); err != nil {
 		t.Fatal(err)
 	}
 
@@ -46,10 +49,10 @@ func TestSummaryGolden(t *testing.T) {
 // needs a total order).
 func TestSummaryDeterministic(t *testing.T) {
 	var a, b bytes.Buffer
-	if err := run(&a, 0.1, 2, 7, 0, fault.Config{}, ""); err != nil {
+	if err := run(&a, 0.1, 2, 7, 0, fault.Config{}, "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, 0.1, 2, 7, 0, fault.Config{}, ""); err != nil {
+	if err := run(&b, 0.1, 2, 7, 0, fault.Config{}, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
@@ -65,11 +68,11 @@ func TestHTMLReport(t *testing.T) {
 	p1 := filepath.Join(dir, "a.html")
 	p2 := filepath.Join(dir, "b.html")
 	var sink bytes.Buffer
-	if err := run(&sink, 0.1, 2, 7, 0, fault.Config{}, p1); err != nil {
+	if err := run(&sink, 0.1, 2, 7, 0, fault.Config{}, p1, ""); err != nil {
 		t.Fatal(err)
 	}
 	sink.Reset()
-	if err := run(&sink, 0.1, 2, 7, 0, fault.Config{}, p2); err != nil {
+	if err := run(&sink, 0.1, 2, 7, 0, fault.Config{}, p2, ""); err != nil {
 		t.Fatal(err)
 	}
 	a, err := os.ReadFile(p1)
@@ -92,6 +95,62 @@ func TestHTMLReport(t *testing.T) {
 	for _, forbid := range []string{"http://", "https://", "<script"} {
 		if strings.Contains(s, forbid) {
 			t.Errorf("HTML report must be self-contained, found %q", forbid)
+		}
+	}
+}
+
+// TestExplainRollupJSON exercises the -explain-json path: the artifact must be
+// valid JSON, deterministic, and its reasons drawn from the closed enum; the
+// text summary must carry the matching miss-reason section.
+func TestExplainRollupJSON(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.json")
+	p2 := filepath.Join(dir, "b.json")
+	var sink bytes.Buffer
+	if err := run(&sink, 0.1, 2, 7, 0, fault.Config{}, "", p1); err != nil {
+		t.Fatal(err)
+	}
+	text := sink.String()
+	if !strings.Contains(text, "REUSE MISS REASONS") {
+		t.Error("text summary is missing the miss-reason section")
+	}
+	sink.Reset()
+	if err := run(&sink, 0.1, 2, 7, 0, fault.Config{}, "", p2); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("explain rollup JSON is nondeterministic across runs")
+	}
+	var roll telemetry.ExplainRollup
+	if err := json.Unmarshal(a, &roll); err != nil {
+		t.Fatalf("explain rollup is not valid JSON: %v", err)
+	}
+	if len(roll.TotalMiss) == 0 {
+		t.Fatal("explain rollup recorded no miss reasons over a 2-day run")
+	}
+	for reason := range roll.TotalMiss {
+		if !explain.Valid(explain.Reason(reason)) {
+			t.Errorf("rollup reason %q outside the closed enum", reason)
+		}
+	}
+	// Day totals reconcile with the fleet totals.
+	sum := make(map[string]int)
+	for _, d := range roll.Days {
+		for r, n := range d.Miss {
+			sum[r] += n
+		}
+	}
+	for r, n := range roll.TotalMiss {
+		if sum[r] != n {
+			t.Errorf("reason %q: day sum %d != total %d", r, sum[r], n)
 		}
 	}
 }

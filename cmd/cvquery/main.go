@@ -7,20 +7,26 @@
 // Usage:
 //
 //	cvquery [-script file.scope] [-n 2] [-show-rows 10] [-annotate] [-trace]
+//	        [-explain]
 //
 // Without -script, the three Figure 4 analyst queries are run in sequence,
-// after a workload-analysis pass primes the insights service.
+// after a workload-analysis pass primes the insights service. -explain prints
+// each job's structured reuse-provenance report: one line per candidate view
+// with its closed-enum reason (matched, no-annotation, cost, expired, ...)
+// and the container-seconds banked or forfeited.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"cloudviews/internal/analysis"
 	"cloudviews/internal/core"
 	"cloudviews/internal/exec"
+	"cloudviews/internal/explain"
 	"cloudviews/internal/fixtures"
 	"cloudviews/internal/insights"
 	"cloudviews/internal/optimizer"
@@ -40,11 +46,20 @@ func main() {
 	showRows := flag.Int("show-rows", 8, "result rows to print")
 	annotate := flag.Bool("annotate", false, "export the query annotations file for the first job's tag")
 	trace := flag.Bool("trace", false, "print each job's execution trace (spans + view decisions)")
+	explainFlag := flag.Bool("explain", false, "print each job's structured reuse-provenance report")
 	flag.Parse()
 
+	if err := run(os.Stdout, *scriptPath, *repeats, *showRows, *annotate, *trace, *explainFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "cvquery: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run drives the whole session against w, so tests can golden the output.
+func run(w io.Writer, scriptPath string, repeats, showRows int, annotate, trace, explainFlag bool) error {
 	cat, err := fixtures.Retail(fixtures.DefaultRetail())
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cat.SetScaleFactor("Sales", 100_000) // pretend Sales is production-sized
 
@@ -57,21 +72,21 @@ func main() {
 	eng.OnboardVC("demo-vc")
 
 	var scripts []string
-	if *scriptPath != "" {
-		blob, err := os.ReadFile(*scriptPath)
+	if scriptPath != "" {
+		blob, err := os.ReadFile(scriptPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		scripts = []string{string(blob)}
 	} else {
 		scripts = fixtures.Figure4Queries()
-		fmt.Println("Running the paper's Figure 4 scenario: three analysts over shared Sales/Customer/Parts data.")
+		fmt.Fprintln(w, "Running the paper's Figure 4 scenario: three analysts over shared Sales/Customer/Parts data.")
 	}
 
 	clock := fixtures.Epoch
 	seq := 0
-	for round := 0; round < *repeats; round++ {
-		fmt.Printf("\n=== round %d ===\n", round+1)
+	for round := 0; round < repeats; round++ {
+		fmt.Fprintf(w, "\n=== round %d ===\n", round+1)
 		for i, src := range scripts {
 			seq++
 			in := workload.JobInput{
@@ -88,57 +103,61 @@ func main() {
 			clock = clock.Add(time.Minute)
 			run, err := eng.CompileAndExecute(in)
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			printRun(run, *showRows)
-			if *trace && run.Trace != nil {
-				fmt.Print(run.Trace.Render())
+			printRun(w, run, showRows)
+			if trace && run.Trace != nil {
+				fmt.Fprint(w, run.Trace.Render())
 			}
-			if *annotate && round == 0 && i == 0 {
-				exportAnnotations(eng.Insights, run.Compile.Tag)
+			if explainFlag {
+				fmt.Fprint(w, explain.RenderDecisions(run.Input.ID, run.Explain.Decisions()))
+			}
+			if annotate && round == 0 && i == 0 {
+				exportAnnotations(w, eng.Insights, run.Compile.Tag)
 			}
 		}
 		// Between rounds, the feedback loop analyzes what it saw.
 		tags, rejected := eng.RunAnalysis(fixtures.Epoch.Add(-time.Hour), clock.Add(time.Hour))
-		fmt.Printf("\n[analysis] published annotations for %d job tag(s); %d candidate(s) rejected as schedule-concurrent\n",
+		fmt.Fprintf(w, "\n[analysis] published annotations for %d job tag(s); %d candidate(s) rejected as schedule-concurrent\n",
 			tags, rejected)
 	}
 
 	u := eng.Insights.UsageSnapshot()
-	fmt.Printf("\nsession totals: views created=%d, views reused=%d, live views=%d\n",
+	fmt.Fprintf(w, "\nsession totals: views created=%d, views reused=%d, live views=%d\n",
 		u.ViewsCreated, u.ViewsReused, eng.Store.Count())
+	return nil
 }
 
-func printRun(run *core.JobRun, showRows int) {
+func printRun(w io.Writer, run *core.JobRun, showRows int) {
 	cr := run.Compile
-	fmt.Printf("\n--- %s (tag %s) ---\n", run.Input.ID, cr.Tag)
-	fmt.Print(plan.Format(cr.Plan))
+	fmt.Fprintf(w, "\n--- %s (tag %s) ---\n", run.Input.ID, cr.Tag)
+	fmt.Fprint(w, plan.Format(cr.Plan))
 	if len(cr.Matched) > 0 {
 		for _, m := range cr.Matched {
-			fmt.Printf("REUSED view %s (replaced %s, %d logical rows)\n", m.Strict.Short(), m.ReplacedOp, m.Rows)
+			fmt.Fprintf(w, "REUSED view %s (replaced %s, %d logical rows)\n", m.Strict.Short(), m.ReplacedOp, m.Rows)
 		}
 	}
 	if len(cr.Proposed) > 0 {
 		for _, p := range cr.Proposed {
-			fmt.Printf("MATERIALIZING view %s -> %s\n", p.Strict.Short(), p.Path)
+			fmt.Fprintf(w, "MATERIALIZING view %s -> %s\n", p.Strict.Short(), p.Path)
 		}
 	}
-	printSignatures(cr)
+	printSignatures(w, cr)
 	res := run.Exec
-	fmt.Printf("work=%.2f container-sec, input=%s, read=%s, spool=%.2f cs\n",
+	fmt.Fprintf(w, "work=%.2f container-sec, input=%s, read=%s, spool=%.2f cs\n",
 		res.TotalWork, mb(res.InputBytes), mb(res.TotalRead), res.SpoolWork)
 	t := res.Table
 	n := t.NumRows()
-	fmt.Printf("result: %d rows (%s)\n", n, t.Schema)
+	fmt.Fprintf(w, "result: %d rows (%s)\n", n, t.Schema)
 	for i := 0; i < n && i < showRows; i++ {
-		fmt.Println("  " + t.Rows[i].String())
+		fmt.Fprintln(w, "  "+t.Rows[i].String())
 	}
 	if n > showRows {
-		fmt.Printf("  ... %d more\n", n-showRows)
+		fmt.Fprintf(w, "  ... %d more\n", n-showRows)
 	}
 }
 
-func printSignatures(cr *optimizer.CompileResult) {
+func printSignatures(w io.Writer, cr *optimizer.CompileResult) {
 	type row struct {
 		op     string
 		strict signature.Sig
@@ -150,27 +169,22 @@ func printSignatures(cr *optimizer.CompileResult) {
 			rows = append(rows, row{n.OpName(), s, cr.RecurringMap[n]})
 		}
 	})
-	fmt.Println("subexpression signatures (strict / recurring):")
+	fmt.Fprintln(w, "subexpression signatures (strict / recurring):")
 	for _, r := range rows {
-		fmt.Printf("  %-9s %s / %s\n", r.op, r.strict.Short(), r.recur.Short())
+		fmt.Fprintf(w, "  %-9s %s / %s\n", r.op, r.strict.Short(), r.recur.Short())
 	}
 }
 
-func exportAnnotations(svc *insights.Service, tag signature.Tag) {
+func exportAnnotations(w io.Writer, svc *insights.Service, tag signature.Tag) {
 	blob, err := svc.ExportAnnotationsFile(tag)
 	if err != nil {
-		fmt.Printf("[annotations] none for %s yet (%v)\n", tag, err)
+		fmt.Fprintf(w, "[annotations] none for %s yet (%v)\n", tag, err)
 		return
 	}
-	fmt.Printf("[annotations file for %s]\n%s\n", tag, blob)
+	fmt.Fprintf(w, "[annotations file for %s]\n%s\n", tag, blob)
 }
 
 func mb(b int64) string { return fmt.Sprintf("%.1f MB", float64(b)/1e6) }
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "cvquery: %v\n", err)
-	os.Exit(1)
-}
 
 // Interface assertions document the moving parts this tool exercises: both
 // view-store backends satisfy the executor's read interface and the pluggable

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cloudviews/internal/explain"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden explain report")
+
+// TestExplainGolden pins the -explain text report byte-for-byte over the
+// Figure 4 demo session: round one misses (no-annotation), the analysis pass
+// publishes annotations, round two banks reuse. Regenerate with:
+//
+//	go test ./cmd/cvquery -run Golden -update
+func TestExplainGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "", 2, 0, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "explain_golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("explain report drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestExplainDeterministic: identical flags render identical bytes, and the
+// session actually demonstrates the miss→analyze→match arc with closed-enum
+// reasons.
+func TestExplainDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a, "", 2, 0, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, "", 2, 0, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("explain output is nondeterministic across runs")
+	}
+	out := a.String()
+	if !strings.Contains(out, string(explain.ReasonNoAnnotation)) {
+		t.Error("round-one decisions should include no-annotation misses")
+	}
+	if !strings.Contains(out, string(explain.ReasonMatched)) {
+		t.Error("round-two decisions should include matched reuse")
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "explain cvquery-") {
+			continue
+		}
+		if !strings.HasSuffix(line, "decisions") {
+			t.Errorf("malformed explain header: %q", line)
+		}
+	}
+}

@@ -9,7 +9,7 @@
 //	cvserve -tokens "vc1=sekrit1,vc2=sekrit2" -admin-token root
 //	        [-addr :8080] [-cluster prod] [-rate 100] [-burst 200]
 //	        [-max-queue 64] [-max-queue-global 1024]
-//	        [-store mem|disk] [-datadir DIR] [-demo]
+//	        [-store mem|disk] [-datadir DIR] [-demo] [-pprof]
 //
 // -demo publishes a small Events dataset and onboards every configured VC,
 // so a fresh server answers queries immediately:
@@ -23,7 +23,10 @@
 // /v1/jobs/{id}/trace, GET /metrics (Prometheus), GET /dash (live HTML
 // dashboard), GET /healthz, and under the admin token POST
 // /admin/vcs/{vc}/onboard, /admin/vcs/{vc}/offboard, /admin/analyze,
-// /admin/runday, /admin/advance, /admin/slo/sample.
+// /admin/runday, /admin/advance, /admin/slo/sample. GET /v1/jobs/{id}/explain
+// returns the structured reuse-provenance report and GET /admin/explain the
+// fleet-wide miss-reason rollup; -pprof additionally mounts net/http/pprof at
+// /admin/debug/pprof/ behind the admin token.
 //
 // On SIGINT/SIGTERM the server stops accepting, drains the async workers,
 // and closes the storage engine, in that order.
@@ -59,10 +62,11 @@ func main() {
 	store := flag.String("store", "mem", `view-store backend: "mem" or "disk" (durable WAL+snapshot)`)
 	datadir := flag.String("datadir", "cvserve-data", "data directory for -store=disk")
 	demo := flag.Bool("demo", false, "publish a demo Events dataset and onboard every configured VC")
+	pprof := flag.Bool("pprof", false, "expose net/http/pprof under the admin token at /admin/debug/pprof/")
 	flag.Parse()
 
 	if err := run(*addr, *cluster, *capacity, *tokens, *adminToken, *rate, *burst,
-		*maxQueue, *maxQueueGlobal, *store, *datadir, *demo); err != nil {
+		*maxQueue, *maxQueueGlobal, *store, *datadir, *demo, *pprof); err != nil {
 		fmt.Fprintf(os.Stderr, "cvserve: %v\n", err)
 		os.Exit(1)
 	}
@@ -88,7 +92,7 @@ func parseTokens(spec string) (map[string]string, error) {
 }
 
 func run(addr, cluster string, capacity int, tokenSpec, adminToken string,
-	rate, burst float64, maxQueue, maxQueueGlobal int, store, datadir string, demo bool) error {
+	rate, burst float64, maxQueue, maxQueueGlobal int, store, datadir string, demo, pprof bool) error {
 	tokens, err := parseTokens(tokenSpec)
 	if err != nil {
 		return err
@@ -137,6 +141,7 @@ func run(addr, cluster string, capacity int, tokenSpec, adminToken string,
 		MaxQueuedPerTenant: maxQueue,
 		MaxQueued:          maxQueueGlobal,
 		CloseStorage:       closeStorage,
+		EnablePprof:        pprof,
 	})
 	if err != nil {
 		return err

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	cvsim [-scale 0.25] [-days N] [-series] [-seed N] [-metrics]
-//	      [-metrics-both] [-report out.html] [-faults SPEC] [-faultseed N]
+//	      [-metrics-both] [-explain] [-report out.html] [-faults SPEC]
+//	      [-faultseed N]
 //	      [-store mem|disk] [-datadir DIR] [-guard]
 //
 // -scale 1.0 runs the full 619-pipeline, 21-VC deployment (minutes of CPU);
@@ -46,6 +47,7 @@ import (
 	"cloudviews/internal/fault"
 	"cloudviews/internal/storage"
 	"cloudviews/internal/storage/durable"
+	"cloudviews/internal/telemetry"
 )
 
 func main() {
@@ -55,6 +57,7 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override workload seed")
 	metrics := flag.Bool("metrics", false, "print the CloudViews arm's system-metrics export")
 	metricsBoth := flag.Bool("metrics-both", false, "print BOTH arms' system-metrics exports side by side")
+	explainFlag := flag.Bool("explain", false, "print the CloudViews arm's fleet-wide reuse miss-reason rollup")
 	report := flag.String("report", "", "write the cvdash HTML health report to this path")
 	faults := flag.String("faults", "", `fault spec, e.g. "stage=0.05,read=0.02,seed=7" (empty = no injection)`)
 	faultSeed := flag.Uint64("faultseed", 0, "override the fault-injection seed (0 = keep spec's seed)")
@@ -151,6 +154,10 @@ func main() {
 		fmt.Print(res.BaseMetrics)
 		fmt.Println("\nSYSTEM METRICS (CloudViews arm, Prometheus text format)")
 		fmt.Print(res.Metrics)
+	}
+	if *explainFlag {
+		fmt.Println()
+		fmt.Print(telemetry.BuildExplainRollup(res.CVTelemetry).RenderExplainText())
 	}
 	if *report != "" {
 		if err := os.WriteFile(*report, []byte(res.Report().RenderHTML()), 0o644); err != nil {

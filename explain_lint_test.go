@@ -1,0 +1,157 @@
+package cloudviews
+
+// Lint-style guards for the reuse-provenance taxonomy (the explain layer's
+// closed reason enum). Two invariants:
+//
+//  1. Every "view.rejected" trace event carries a reason= token that is a
+//     member of the closed enum — no ad-hoc fmt.Sprintf reasons can sneak
+//     back in (they historically drifted in casing and format).
+//  2. The "view.rejected" event is emitted from exactly one place (the
+//     optimizer's reject helper), so invariant 1 is checkable at the source
+//     level too: a second emission site would bypass the choke point that
+//     keeps trace bytes and structured decisions in lockstep.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudviews/internal/explain"
+	"cloudviews/internal/obs"
+)
+
+// rejectedEmitterAllowlist lists the internal/-relative files allowed to
+// contain the "view.rejected" literal. Only the optimizer's reject() choke
+// point emits it; new emitters must route through that helper instead.
+var rejectedEmitterAllowlist = map[string]string{
+	"optimizer/optimizer.go": "the reject() choke point: trace event + structured decision together",
+}
+
+func TestViewRejectedReasonsAreClosedEnum(t *testing.T) {
+	sys, err := NewSystem(Config{ClusterName: "lint-test", Capacity: 100, ViewTTL: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := Schema{
+		{Name: "Id", Kind: KindInt},
+		{Name: "Region", Kind: KindString},
+		{Name: "Value", Kind: KindFloat},
+	}
+	if err := sys.DefineDataset("Events", schema); err != nil {
+		t.Fatal(err)
+	}
+	tb := &Table{Schema: schema}
+	regions := []string{"us", "eu", "asia"}
+	for i := 0; i < 60; i++ {
+		tb.Append(Row{Int(int64(i)), String(regions[i%3]), Float(float64(i % 17))})
+	}
+	if err := sys.PublishDataset("Events", tb); err != nil {
+		t.Fatal(err)
+	}
+	sys.SetScaleFactor("Events", 10_000)
+	sys.OnboardVC("vc1")
+	script := `p = SELECT * FROM Events WHERE Value > 10;
+		r = SELECT Region, COUNT(*) AS n FROM p GROUP BY Region;
+		OUTPUT r TO "out/r";`
+	// Cold round, analyze, build round, reuse round, then age the views out
+	// so the expired rejection path fires too.
+	var traces []*Trace
+	submit := func(id string) {
+		t.Helper()
+		res, err := sys.SubmitScript(Job{ID: id, VC: "vc1", Pipeline: "p", Script: script})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trace == nil {
+			t.Fatalf("no trace for %s", id)
+		}
+		traces = append(traces, res.Trace)
+		sys.AdvanceClock(time.Minute)
+	}
+	submit("lint-a-0")
+	submit("lint-a-0b")
+	sys.Analyze(time.Hour)
+	submit("lint-a-1") // builds the view
+	submit("lint-a-2") // reuses it
+	// Past the 1-hour TTL with the annotation still fresh: the artifact is
+	// present but expired, the classic view.rejected reason=expired path.
+	sys.AdvanceClock(2 * time.Hour)
+	submit("lint-expired")
+
+	events := 0
+	for _, tr := range traces {
+		tr.ForEachEvent(func(ev obs.Event) {
+			if ev.Kind != "view.rejected" {
+				return
+			}
+			events++
+			idx := strings.Index(ev.Detail, "reason=")
+			if idx < 0 {
+				t.Errorf("view.rejected event without reason= token: %q", ev.Detail)
+				return
+			}
+			reason, _, _ := strings.Cut(ev.Detail[idx+len("reason="):], " ")
+			if !explain.Valid(explain.Reason(reason)) {
+				t.Errorf("view.rejected reason %q is not in the closed enum (detail %q)", reason, ev.Detail)
+			}
+		})
+	}
+	if events == 0 {
+		t.Fatal("workload emitted no view.rejected events; the lint is vacuous")
+	}
+}
+
+func TestViewRejectedEmittedOnlyFromChokePoint(t *testing.T) {
+	root := "internal"
+	found := map[string]bool{}
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel := filepath.ToSlash(mustRel(t, root, path))
+		for i, line := range strings.Split(string(data), "\n") {
+			trimmed := strings.TrimSpace(line)
+			if strings.HasPrefix(trimmed, "//") {
+				continue
+			}
+			if idx := strings.Index(trimmed, "//"); idx >= 0 {
+				trimmed = trimmed[:idx]
+			}
+			if !strings.Contains(trimmed, `"view.rejected"`) {
+				continue
+			}
+			found[rel] = true
+			if _, ok := rejectedEmitterAllowlist[rel]; !ok {
+				t.Errorf("%s:%d: view.rejected emitted outside the optimizer choke point; route through reject() so the structured decision is recorded too: %s",
+					path, i+1, strings.TrimSpace(line))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rel := range rejectedEmitterAllowlist {
+		if !found[rel] {
+			t.Errorf("allowlisted emitter %s no longer mentions view.rejected; update the allowlist", rel)
+		}
+	}
+}
+
+func mustRel(t *testing.T, root, path string) string {
+	t.Helper()
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}

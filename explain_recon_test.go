@@ -1,0 +1,158 @@
+package cloudviews_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cloudviews"
+)
+
+// TestExplainTelemetryReconciliation is the provenance layer's ledger check:
+// over a seeded multi-day workload, the fleet-wide per-day (and per-VC)
+// miss-reason counters in telemetry must reconcile count-for-count with the
+// union of every job's structured explain decisions. If any decision point
+// records without folding into telemetry — or telemetry counts something no
+// job decided — the books don't balance and this fails.
+func TestExplainTelemetryReconciliation(t *testing.T) {
+	sys := demoSystem(t)
+	sys.OnboardVC("vc1")
+	sys.OnboardVC("vc2")
+	// vc3 is never onboarded: its jobs run with reuse disabled and must show
+	// up as policy-flight decisions, not silence.
+
+	script := func(agg, out string) string {
+		return fmt.Sprintf(`p = SELECT * FROM Events WHERE Value > 40;
+			r = SELECT Region, %s FROM p GROUP BY Region;
+			OUTPUT r TO "out/%s";`, agg, out)
+	}
+	pool := []string{
+		script("COUNT(*) AS n", "n"),
+		script("MAX(Value) AS m", "m"),
+		script("SUM(Value) AS s", "s"),
+		script("MIN(Value) AS lo", "lo"),
+	}
+	vcs := []string{"vc1", "vc2", "vc3"}
+
+	type key struct {
+		day    int
+		vc     string
+		reason string
+	}
+	rng := rand.New(rand.NewSource(7))
+	perJob := make(map[key]int) // union of per-job miss decisions
+	forfeit := make(map[key]float64)
+	elapsed := time.Duration(0)
+	jobs := 0
+
+	const days, jobsPerDay = 3, 24
+	for day := 0; day < days; day++ {
+		for j := 0; j < jobsPerDay; j++ {
+			jobs++
+			vc := vcs[rng.Intn(len(vcs))]
+			res, err := sys.SubmitScript(cloudviews.Job{
+				ID:       fmt.Sprintf("recon-%03d", jobs),
+				VC:       vc,
+				Pipeline: "recon",
+				Script:   pool[rng.Intn(len(pool))],
+				OptOut:   rng.Intn(8) == 0, // sprinkle job-level opt-outs
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds := res.Explain()
+			if ds == nil {
+				t.Fatalf("job %s: Explain() is nil on an observable system", res.ID)
+			}
+			for _, d := range ds {
+				if d.VC != vc || d.JobID != res.ID {
+					t.Fatalf("job %s: decision mis-stamped: %+v", res.ID, d)
+				}
+				if !cloudviews.ValidExplainReason(d.Reason) {
+					t.Fatalf("job %s: reason %q outside the closed enum", res.ID, d.Reason)
+				}
+				if d.Reason != cloudviews.ReasonMatched {
+					k := key{day, vc, string(d.Reason)}
+					perJob[k]++
+					if d.SavedCS > 0 {
+						forfeit[k] += d.SavedCS
+					}
+				}
+			}
+			step := time.Duration(1+rng.Intn(10)) * time.Minute
+			sys.AdvanceClock(step)
+			elapsed += step
+		}
+		sys.Analyze(26 * time.Hour)
+		// Jump to the start of the next day.
+		next := time.Duration(day+1) * 24 * time.Hour
+		sys.AdvanceClock(next - elapsed)
+		elapsed = next
+	}
+
+	if len(perJob) == 0 {
+		t.Fatal("workload produced no miss decisions; the property test is vacuous")
+	}
+
+	rt := sys.Telemetry()
+	if rt == nil {
+		t.Fatal("telemetry snapshot is nil")
+	}
+	// Fold telemetry's per-day / per-VC counters into the same key space.
+	tele := make(map[key]int)
+	teleForfeit := make(map[key]float64)
+	for _, d := range rt.Days {
+		for vc, agg := range d.VCs {
+			for r, n := range agg.MissReasons {
+				tele[key{d.Day, vc, r}] = n
+			}
+			for r, cs := range agg.ForfeitSec {
+				teleForfeit[key{d.Day, vc, r}] = cs
+			}
+		}
+		// The day-level rollup must equal the sum of its VCs.
+		for r, n := range d.MissReasons {
+			sum := 0
+			for _, agg := range d.VCs {
+				sum += agg.MissReasons[r]
+			}
+			if sum != n {
+				t.Errorf("day %d reason %q: day total %d != VC sum %d", d.Day, r, n, sum)
+			}
+		}
+	}
+
+	for k, n := range perJob {
+		if tele[k] != n {
+			t.Errorf("%+v: telemetry=%d, per-job union=%d", k, tele[k], n)
+		}
+	}
+	for k := range tele {
+		if perJob[k] == 0 {
+			t.Errorf("%+v: telemetry counted %d decisions no job recorded", k, tele[k])
+		}
+	}
+	for k, cs := range forfeit {
+		if diff := teleForfeit[k] - cs; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%+v: forfeited container-seconds telemetry=%.4f, per-job=%.4f", k, teleForfeit[k], cs)
+		}
+	}
+
+	// The reason mix must be broad enough to mean something: the never-
+	// onboarded VC contributes policy-flight, cold rounds contribute
+	// no-annotation, and at least one more reason appears.
+	reasons := make(map[string]bool)
+	for k := range perJob {
+		reasons[k.reason] = true
+	}
+	if !reasons[string(cloudviews.ReasonPolicyFlight)] {
+		t.Error("no policy-flight decisions from the never-onboarded VC")
+	}
+	if !reasons[string(cloudviews.ReasonNoAnnotation)] {
+		t.Error("no no-annotation decisions from cold rounds")
+	}
+	if len(reasons) < 3 {
+		t.Errorf("only %d distinct miss reasons exercised: %v", len(reasons), reasons)
+	}
+}

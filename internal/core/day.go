@@ -228,6 +228,10 @@ func (e *Engine) sampleTelemetry(day int, m *DayMetrics) []telemetry.Alert {
 	// guard-free telemetry exports byte-identical to earlier builds.
 	e.guard.Sample(sample)
 
+	// Labeled miss-reason series from the explain layer: one point per
+	// reason with traffic today (absent reasons produce no series).
+	e.Telemetry.DecisionSample(day, sample)
+
 	return e.Telemetry.EndOfDay(day, sample)
 }
 

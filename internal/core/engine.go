@@ -17,6 +17,7 @@ import (
 	"cloudviews/internal/cluster"
 	"cloudviews/internal/data"
 	"cloudviews/internal/exec"
+	"cloudviews/internal/explain"
 	"cloudviews/internal/fault"
 	"cloudviews/internal/fixtures"
 	"cloudviews/internal/guard"
@@ -294,6 +295,9 @@ type JobRun struct {
 	Proposed []optimizer.ProposedView
 	// Trace is the job's observability record (nil when disabled).
 	Trace *obs.Trace
+	// Explain holds the job's structured reuse decisions (nil when
+	// observability is disabled).
+	Explain *explain.Recorder
 	// Attempts is how many times the job ran (1 without faults); RetryDelay
 	// is the simulated time lost to failed attempts (recompiles + backoff),
 	// charged onto the cluster schedule as extra pre-start latency.
@@ -308,10 +312,14 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 	signer := e.signerFor(in.Runtime)
 
 	// Trace in simulated time from the job's own submit instant; nil when
-	// observability is off (every recording method no-ops on nil).
+	// observability is off (every recording method no-ops on nil). The
+	// explain recorder shares the trace's lifecycle: observability off means
+	// zero explain cost (nil recorder, every Record a single branch).
 	var tr *obs.Trace
+	var rec *explain.Recorder
 	if e.Metrics != nil {
 		tr = obs.NewTrace(in.ID, in.Submit)
+		rec = explain.NewRecorder(in.ID, in.VC)
 	}
 	e.mJobs.Inc()
 
@@ -383,14 +391,22 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 		// algorithm choices were derived from. Retries always recompile.
 		cr, sigMap, subs, tmpl = nil, nil, nil, nil
 		if attempt == 1 && cached != nil {
-			if cp := cached.compiled; cp != nil &&
-				!(e.Insights != nil && e.Insights.Enabled(in.Cluster, in.VC, in.OptIn)) &&
-				optimizer.EstimatesMatch(e.Est, e.History, cp.cr.Plan, cp.cr.RecurringMap, cp.cr.Estimates) {
-				cr, sigMap, subs, tmpl = cp.cr, cp.sigMap, cp.subs, cp.stages
-				e.plans.hits.Add(1)
-				// Replay the compile-phase trace of a reuse-disabled job.
-				tr.Event("reuse.disabled", "controls disabled CloudViews for this job")
-				tr.Span("optimize", 0)
+			if cp := cached.compiled; cp != nil {
+				disabledBy, off := "", true
+				if e.Insights != nil {
+					disabledBy = e.Insights.DisabledReason(in.Cluster, in.VC, in.OptIn)
+					off = disabledBy != ""
+				}
+				if off && optimizer.EstimatesMatch(e.Est, e.History, cp.cr.Plan, cp.cr.RecurringMap, cp.cr.Estimates) {
+					cr, sigMap, subs, tmpl = cp.cr, cp.sigMap, cp.subs, cp.stages
+					e.plans.hits.Add(1)
+					// Replay the compile-phase trace AND the structured
+					// decision of a reuse-disabled job, so a plan-cache hit
+					// explains identically to a fresh compile.
+					tr.Event("reuse.disabled", "controls disabled CloudViews for this job")
+					rec.Record("", "", explain.ReasonPolicyFlight, 0, explain.PolicyDetail(disabledBy))
+					tr.Span("optimize", 0)
+				}
 			}
 		}
 		if cr == nil {
@@ -406,6 +422,7 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 				Guard:          e.guard,
 				MaxViewsPerJob: e.maxViewsPerJob,
 				Trace:          tr,
+				Explain:        rec,
 			}
 			cr = opt.Compile(root, optimizer.CompileOptions{
 				JobID:   in.ID,
@@ -440,8 +457,8 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 			Vectorized: true,
 			Metrics:    e.Metrics,
 			Faults:     e.faults,
-			JobID: attemptID,
-			Trace: tr,
+			JobID:      attemptID,
+			Trace:      tr,
 			// NowNanos comes from the job's own submit time, not the shared
 			// clock: a job's answer must not depend on which other jobs were
 			// in flight when it ran.
@@ -471,8 +488,10 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 			tr.EventV("job.retry", fmt.Sprintf("attempt=%d backoff=%s", attempt, backoff),
 				(cr.CompileLatency + backoff).Seconds())
 			// The retry recompiles at the post-backoff instant: views sealed
-			// in the meantime become visible to it.
+			// in the meantime become visible to it. Its decisions supersede
+			// the failed attempt's, exactly as its compile result does.
 			e.advanceClock(in.Submit.Add(retryDelay))
+			rec.Reset()
 			attempt++
 			continue
 		}
@@ -491,7 +510,7 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 
 	run := &JobRun{
 		Input: in, Compile: cr, Exec: res, Proposed: cr.Proposed, Trace: tr,
-		Attempts: attempt, RetryDelay: retryDelay,
+		Explain: rec, Attempts: attempt, RetryDelay: retryDelay,
 	}
 	run.Output = res.Table
 	run.Stages = tmpl.specsFor(res)
@@ -529,16 +548,31 @@ func (e *Engine) CompileAndExecute(in workload.JobInput) (*JobRun, error) {
 		e.Insights.NoteViewReused()
 	}
 
+	// Runtime fallbacks complete the decision trail: a view matched at
+	// compile time whose read failed forfeits its promised saving. The
+	// outcome correlation is shared with the guard below (same index order
+	// as cr.Matched).
+	outs := viewOutcomes(cr, res)
+	if rec != nil {
+		for i, o := range outs {
+			if o.FellBack {
+				m := cr.Matched[i]
+				rec.Record(m.Strict, m.ReplacedOp, explain.ReasonFallback, m.Saved, "")
+			}
+		}
+	}
+
 	// Fold the job's critical-path attribution into the day/VC telemetry
 	// aggregates. The cluster queue overlay lands later (RunDay charges it
 	// via AddQueueWait), so this covers exactly the data-plane timeline.
 	e.Telemetry.ObserveJob(dayIndex(in.Submit), in.VC, tr)
+	e.Telemetry.ObserveDecisions(dayIndex(in.Submit), in.VC, rec)
 
 	// Feed the guard the job's realized view outcomes: each matched view
 	// either banked its promised saving or forfeited it to a read fallback
 	// (the executor lists fallbacks by strict signature).
 	if e.guard != nil {
-		e.guard.ObserveJob(dayIndex(in.Submit), in.VC, in.ID, viewOutcomes(cr, res))
+		e.guard.ObserveJob(dayIndex(in.Submit), in.VC, in.ID, outs)
 	}
 
 	return run, nil

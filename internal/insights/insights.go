@@ -121,6 +121,27 @@ func (s *Service) Enabled(cluster, vc string, jobOptIn bool) bool {
 	return s.serviceEnabled && s.clusterEnabled[cluster] && s.vcEnabled[vc] && jobOptIn
 }
 
+// DisabledReason is the explain-layer view of Enabled: it names the FIRST
+// control level that disabled reuse ("service", "cluster", "vc", "job"), in
+// the same precedence order Enabled evaluates, or "" when reuse is enabled.
+// One lock acquisition answers both questions, so the compile path calls
+// this instead of Enabled when it also needs provenance.
+func (s *Service) DisabledReason(cluster, vc string, jobOptIn bool) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	switch {
+	case !s.serviceEnabled:
+		return "service"
+	case !s.clusterEnabled[cluster]:
+		return "cluster"
+	case !s.vcEnabled[vc]:
+		return "vc"
+	case !jobOptIn:
+		return "job"
+	}
+	return ""
+}
+
 // ---------------------------------------------------------------------------
 // Annotation serving.
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cloudviews/internal/exec"
+	"cloudviews/internal/explain"
 	"cloudviews/internal/guard"
 	"cloudviews/internal/insights"
 	"cloudviews/internal/obs"
@@ -31,6 +32,10 @@ type Optimizer struct {
 	// Trace, when set, receives the compile-phase spans and every
 	// view-reuse decision (matched, rejected + reason, proposed).
 	Trace *obs.Trace
+	// Explain, when set, receives a structured explain.Decision for every
+	// reuse decision point — the typed counterpart of the Trace strings.
+	// Nil-safe: a disabled observability stack carries a nil recorder.
+	Explain *explain.Recorder
 }
 
 // ProposedView describes a spool the optimizer inserted.
@@ -95,14 +100,21 @@ func (o *Optimizer) Compile(root plan.Node, opts CompileOptions) *CompileResult 
 	p := Rewrite(plan.CloneNode(root))
 	res.Tag = o.Signer.JobTag(p)
 
-	enabled := o.Insights != nil && o.Insights.Enabled(opts.Cluster, opts.VC, opts.OptIn)
+	var disabledBy string
+	enabled := false
+	if o.Insights != nil {
+		disabledBy = o.Insights.DisabledReason(opts.Cluster, opts.VC, opts.OptIn)
+		enabled = disabledBy == ""
+	}
 	if !enabled {
 		o.Trace.Event("reuse.disabled", "controls disabled CloudViews for this job")
+		o.Explain.Record("", "", explain.ReasonPolicyFlight, 0, explain.PolicyDetail(disabledBy))
 	} else if !o.Guard.AllowReuse(opts.VC, opts.JobID) {
 		// The guard's per-VC kill switch: the job compiles without reuse,
 		// exactly as if the VC had opted out — degraded, never wrong.
 		enabled = false
 		o.Trace.Event("reuse.disabled", "guard kill switch disabled CloudViews for this VC")
+		o.Explain.Record("", "", explain.ReasonVCKilled, 0, explain.DetailKillSwitch)
 	}
 	res.ReuseEnabled = enabled
 
@@ -121,7 +133,7 @@ func (o *Optimizer) Compile(root plan.Node, opts CompileOptions) *CompileResult 
 	if enabled {
 		// Core search: top-down enumeration for matching views (larger
 		// subexpressions first).
-		p = o.matchViews(p, opts, res)
+		p = o.matchViews(p, opts, annSet, res)
 		// Follow-up optimization: bottom-up enumeration for building views.
 		p = o.buildViews(p, opts, annSet, res)
 	}
@@ -145,11 +157,21 @@ func (o *Optimizer) Compile(root plan.Node, opts CompileOptions) *CompileResult 
 	return res
 }
 
+// reject is the single choke point for candidate-view rejections: it emits
+// the view.rejected trace event (detail format unchanged — "sig=… reason=…")
+// and records the structured decision. The root package's explain lint test
+// pins the "view.rejected" literal to this file so no call site can bypass
+// the reason enum.
+func (o *Optimizer) reject(sig signature.Sig, candidate string, reason explain.Reason, saved float64, detail string) {
+	o.Trace.Event("view.rejected", fmt.Sprintf("sig=%s reason=%s", sig.Short(), reason))
+	o.Explain.Record(sig, candidate, reason, saved, detail)
+}
+
 // matchViews replaces available materialized subexpressions with ViewScans,
 // top-down so the largest match wins. The plan with the view is adopted only
 // if its cost is lower (with runtime history this reduces to comparing the
 // view read cost against the observed recompute cost).
-func (o *Optimizer) matchViews(root plan.Node, opts CompileOptions, res *CompileResult) plan.Node {
+func (o *Optimizer) matchViews(root plan.Node, opts CompileOptions, annSet map[signature.Sig]insights.Annotation, res *CompileResult) plan.Node {
 	subs := o.Signer.Subexpressions(root)
 	info := make(map[plan.Node]signature.Subexpr, len(subs))
 	for _, s := range subs {
@@ -166,7 +188,7 @@ func (o *Optimizer) matchViews(root plan.Node, opts CompileOptions, res *Compile
 				if !o.Guard.AllowMatch(opts.VC, opts.JobID, s.Recurring) {
 					// Quarantined by a circuit breaker: skip this view, keep
 					// descending — smaller healthy matches below still apply.
-					o.Trace.Event("view.rejected", fmt.Sprintf("sig=%s reason=guard-quarantine", s.Strict.Short()))
+					o.reject(s.Strict, n.OpName(), explain.ReasonGuardQuarantine, o.savedIfExplaining(s, view), "")
 				} else if o.Store.Available(s.Strict) {
 					if wins, saved := o.viewWins(s, view); wins {
 						// The event value carries the estimated container-
@@ -174,6 +196,7 @@ func (o *Optimizer) matchViews(root plan.Node, opts CompileOptions, res *Compile
 						// telemetry critical-path analyzer can aggregate
 						// "time saved by reuse" without parsing details.
 						o.Trace.EventV("view.matched", fmt.Sprintf("sig=%s op=%s rows=%d", s.Strict.Short(), n.OpName(), view.Rows), saved)
+						o.Explain.Record(s.Strict, n.OpName(), explain.ReasonMatched, saved, "")
 						res.Matched = append(res.Matched, MatchedView{
 							Strict:     s.Strict,
 							Recurring:  s.Recurring,
@@ -192,10 +215,24 @@ func (o *Optimizer) matchViews(root plan.Node, opts CompileOptions, res *Compile
 							ReplacedOp:   n.OpName(),
 							Fallback:     n,
 						}
+					} else {
+						o.reject(s.Strict, n.OpName(), explain.ReasonCost, saved, "")
 					}
-					o.Trace.Event("view.rejected", fmt.Sprintf("sig=%s reason=cost", s.Strict.Short()))
 				} else {
-					o.Trace.Event("view.rejected", fmt.Sprintf("sig=%s reason=%s", s.Strict.Short(), state))
+					// Not servable: expired, or not materialized yet
+					// (pending/unsealed/sealing) — the state collapses onto
+					// the closed reason enum.
+					o.reject(s.Strict, n.OpName(), explain.ReasonForState(state), o.savedIfExplaining(s, view), "")
+				}
+			} else if o.Explain != nil {
+				// No artifact at all. Structured-only classification (no
+				// trace event existed for this case and none is added): the
+				// candidate either was never selected by the insights view
+				// selection, or is selected and awaiting its first build.
+				if _, selected := annSet[s.Recurring]; !selected {
+					o.Explain.Record(s.Strict, n.OpName(), explain.ReasonNoAnnotation, 0, "")
+				} else {
+					o.Explain.Record(s.Strict, n.OpName(), explain.ReasonNotMaterialized, 0, explain.DetailSelectedNotBuilt)
 				}
 			}
 		}
@@ -238,6 +275,18 @@ func (o *Optimizer) viewWins(s signature.Subexpr, view *storage.View) (wins bool
 	return readCost < total, total - readCost
 }
 
+// savedIfExplaining estimates the container-seconds a rejected candidate
+// would have saved — but only when an explain recorder is attached: the
+// estimate can walk the subtree when there is no runtime history, and the
+// rejection paths that need it are not worth that cost for tracing alone.
+func (o *Optimizer) savedIfExplaining(s signature.Subexpr, view *storage.View) float64 {
+	if o.Explain == nil {
+		return 0
+	}
+	_, saved := o.viewWins(s, view)
+	return saved
+}
+
 // buildViews inserts Spool operators (bottom-up) on selected subexpressions
 // that are not yet materialized, acquiring the insights view lock so exactly
 // one concurrent job builds each artifact.
@@ -247,11 +296,24 @@ func (o *Optimizer) buildViews(root plan.Node, opts CompileOptions, annSet map[s
 	}
 	built := 0
 	return plan.Rewrite(root, func(n plan.Node) plan.Node {
-		if built >= o.maxViews() {
-			return n
-		}
 		switch n.(type) {
 		case *plan.Spool, *plan.ViewScan, *plan.Output:
+			return n
+		}
+		if built >= o.maxViews() {
+			// Budget spent. Without an explain recorder return immediately;
+			// with one, classify whether this node would otherwise have been
+			// built so the forfeited candidate is attributable to the budget.
+			if o.Explain != nil {
+				subs := o.Signer.Subexpressions(n)
+				s := subs[len(subs)-1]
+				if s.Eligibility == signature.EligibleOK {
+					if _, selected := annSet[s.Recurring]; selected &&
+						!o.Store.Available(s.Strict) && !o.Store.InFlight(s.Strict) {
+						o.Explain.Record(s.Strict, n.OpName(), explain.ReasonBudget, 0, "")
+					}
+				}
+			}
 			return n
 		}
 		// Recompute this node's signatures on the (possibly rewritten)
@@ -268,7 +330,7 @@ func (o *Optimizer) buildViews(root plan.Node, opts CompileOptions, annSet map[s
 			return n
 		}
 		if !o.Insights.AcquireViewLock(s.Strict, opts.JobID) {
-			o.Trace.Event("view.rejected", fmt.Sprintf("sig=%s reason=lock-held", s.Strict.Short()))
+			o.reject(s.Strict, n.OpName(), explain.ReasonLockHeld, 0, "")
 			return n
 		}
 		// The store derives the path (it owns per-incarnation generations:

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"cloudviews"
+	"cloudviews/internal/explain"
+	"cloudviews/internal/telemetry"
+)
+
+// TestJobExplain exercises the tenant-facing provenance endpoint: a finished
+// job's explain report is non-empty, every reason is a member of the closed
+// enum, and the report is scoped to the submitting tenant.
+func TestJobExplain(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	c := ts.Client()
+
+	var st JobStatusResponse
+	code, _ := do(t, c, "POST", ts.URL+"/v1/jobs", "tok-1", SubmitRequest{Script: testScript}, &st)
+	if code != http.StatusOK {
+		t.Fatalf("submit: status %d", code)
+	}
+
+	var er ExplainResponse
+	code, _ = do(t, c, "GET", ts.URL+"/v1/jobs/"+st.ID+"/explain", "tok-1", nil, &er)
+	if code != http.StatusOK {
+		t.Fatalf("explain: status %d", code)
+	}
+	if er.ID != st.ID || er.VC != "vc1" {
+		t.Fatalf("explain identity = (%q, %q), want (%q, vc1)", er.ID, er.VC, st.ID)
+	}
+	if len(er.Decisions) == 0 {
+		t.Fatal("explain returned no decisions for a completed job")
+	}
+	for _, d := range er.Decisions {
+		if !explain.Valid(d.Reason) {
+			t.Errorf("decision %d carries reason %q outside the closed enum", d.Seq, d.Reason)
+		}
+		if d.JobID != st.ID || d.VC != "vc1" {
+			t.Errorf("decision %d identity = (%q, %q), want (%q, vc1)", d.Seq, d.JobID, d.VC, st.ID)
+		}
+	}
+
+	// Other tenants cannot see the report (indistinguishable from unknown).
+	code, _ = do(t, c, "GET", ts.URL+"/v1/jobs/"+st.ID+"/explain", "tok-2", nil, nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("cross-tenant explain: status %d, want 404", code)
+	}
+	// No token at all is unauthenticated.
+	code, _ = do(t, c, "GET", ts.URL+"/v1/jobs/"+st.ID+"/explain", "", nil, nil)
+	if code != http.StatusUnauthorized {
+		t.Fatalf("anonymous explain: status %d, want 401", code)
+	}
+}
+
+// TestJobExplainDisabled: a system built with DisableObservability has no
+// recorder, and the endpoint reports that as 404 rather than an empty report.
+func TestJobExplainDisabled(t *testing.T) {
+	sys, err := cloudviews.NewSystem(cloudviews.Config{
+		ClusterName: "srv-dark", Capacity: 100, DisableObservability: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DefineDataset("Events", cloudviews.Schema{
+		{Name: "Id", Kind: cloudviews.KindInt},
+		{Name: "Region", Kind: cloudviews.KindString},
+		{Name: "Value", Kind: cloudviews.KindFloat},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tb := &cloudviews.Table{Schema: cloudviews.Schema{
+		{Name: "Id", Kind: cloudviews.KindInt},
+		{Name: "Region", Kind: cloudviews.KindString},
+		{Name: "Value", Kind: cloudviews.KindFloat},
+	}}
+	tb.Append(cloudviews.Row{cloudviews.Int(1), cloudviews.String("us"), cloudviews.Float(1)})
+	if err := sys.PublishDataset("Events", tb); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, func(cfg *Config) { cfg.System = sys })
+	c := ts.Client()
+
+	var st JobStatusResponse
+	code, _ := do(t, c, "POST", ts.URL+"/v1/jobs", "tok-1", SubmitRequest{Script: testScript}, &st)
+	if code != http.StatusOK {
+		t.Fatalf("submit: status %d", code)
+	}
+	code, body := do(t, c, "GET", ts.URL+"/v1/jobs/"+st.ID+"/explain", "tok-1", nil, nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("explain on dark system: status %d, want 404 (body %s)", code, body)
+	}
+	if !strings.Contains(string(body), "disabled") {
+		t.Fatalf("explain 404 body should say disabled, got %s", body)
+	}
+	// The fleet rollup is equally unavailable.
+	code, _ = do(t, c, "GET", ts.URL+"/admin/explain", "tok-admin", nil, nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("admin explain on dark system: status %d, want 404", code)
+	}
+}
+
+// TestAdminExplainRollup: the fleet rollup is admin-only and reconciles with
+// the per-job decisions that produced it.
+func TestAdminExplainRollup(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	c := ts.Client()
+
+	missByReason := make(map[string]int)
+	for _, tok := range []string{"tok-1", "tok-2"} {
+		var st JobStatusResponse
+		code, _ := do(t, c, "POST", ts.URL+"/v1/jobs", tok, SubmitRequest{Script: testScript}, &st)
+		if code != http.StatusOK {
+			t.Fatalf("submit %s: status %d", tok, code)
+		}
+		var er ExplainResponse
+		if code, _ := do(t, c, "GET", ts.URL+"/v1/jobs/"+st.ID+"/explain", tok, nil, &er); code != http.StatusOK {
+			t.Fatalf("explain %s: status %d", tok, code)
+		}
+		for _, d := range er.Decisions {
+			if d.Reason.IsMiss() {
+				missByReason[string(d.Reason)]++
+			}
+		}
+	}
+
+	// Tenants are turned away from the fleet view.
+	if code, _ := do(t, c, "GET", ts.URL+"/admin/explain", "tok-1", nil, nil); code != http.StatusForbidden {
+		t.Fatalf("tenant admin explain: status %d, want 403", code)
+	}
+
+	var roll telemetry.ExplainRollup
+	code, _ := do(t, c, "GET", ts.URL+"/admin/explain", "tok-admin", nil, &roll)
+	if code != http.StatusOK {
+		t.Fatalf("admin explain: status %d", code)
+	}
+	if len(roll.TotalMiss) == 0 {
+		t.Fatal("fleet rollup has no miss reasons after two reuse-miss jobs")
+	}
+	for reason, n := range missByReason {
+		if roll.TotalMiss[reason] != n {
+			t.Errorf("rollup total for %q = %d, want %d (per-job union)", reason, roll.TotalMiss[reason], n)
+		}
+	}
+	for reason := range roll.TotalMiss {
+		if !explain.Valid(explain.Reason(reason)) {
+			t.Errorf("rollup reason %q outside the closed enum", reason)
+		}
+	}
+}
+
+// TestExplainQueuedAndFailed mirrors the trace endpoint's lifecycle contract.
+func TestExplainFailedJob(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	c := ts.Client()
+
+	var st JobStatusResponse
+	code, _ := do(t, c, "POST", ts.URL+"/v1/jobs", "tok-1", SubmitRequest{Script: "THIS IS NOT A SCRIPT"}, &st)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("bad submit: status %d, want 422", code)
+	}
+	// Submit async then immediately hit explain; the job may already be done,
+	// so accept either 409 (still queued) or 200.
+	var acc JobStatusResponse
+	code, _ = do(t, c, "POST", ts.URL+"/v1/jobs", "tok-1", SubmitRequest{Script: testScript, Async: true}, &acc)
+	if code != http.StatusAccepted {
+		t.Fatalf("async submit: status %d, want 202", code)
+	}
+	code, _ = do(t, c, "GET", ts.URL+"/v1/jobs/"+acc.ID+"/explain", "tok-1", nil, nil)
+	if code != http.StatusOK && code != http.StatusConflict {
+		t.Fatalf("explain on async job: status %d, want 200 or 409", code)
+	}
+}

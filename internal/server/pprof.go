@@ -1,0 +1,28 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// pprofRoutes mounts the stdlib profiling handlers under the admin token at
+// /admin/debug/pprof/..., opt-in via Config.EnablePprof. Every route goes
+// through s.admin, so an unauthenticated request gets 401 and a tenant token
+// gets 403 — profiles leak script text and memory contents, strictly
+// operator material. When disabled, the routes are not registered at all
+// (404), so the default server surface is unchanged.
+func (s *Server) pprofRoutes(mux *http.ServeMux) {
+	if !s.cfg.EnablePprof {
+		return
+	}
+	// pprof.Index resolves the profile name by trimming the fixed
+	// "/debug/pprof/" prefix from the URL path, so the /admin mount must be
+	// stripped before it looks.
+	index := http.StripPrefix("/admin", http.HandlerFunc(pprof.Index)).ServeHTTP
+	mux.HandleFunc("GET /admin/debug/pprof/", s.admin(index))
+	mux.HandleFunc("GET /admin/debug/pprof/cmdline", s.admin(pprof.Cmdline))
+	mux.HandleFunc("GET /admin/debug/pprof/profile", s.admin(pprof.Profile))
+	mux.HandleFunc("GET /admin/debug/pprof/symbol", s.admin(pprof.Symbol))
+	mux.HandleFunc("POST /admin/debug/pprof/symbol", s.admin(pprof.Symbol))
+	mux.HandleFunc("GET /admin/debug/pprof/trace", s.admin(pprof.Trace))
+}

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestPprofDisabledByDefault: without Config.EnablePprof the profiling routes
+// are simply not registered — even the admin token sees 404.
+func TestPprofDisabledByDefault(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	c := ts.Client()
+	for _, path := range []string{"/admin/debug/pprof/", "/admin/debug/pprof/cmdline"} {
+		code, _ := do(t, c, "GET", ts.URL+path, "tok-admin", nil, nil)
+		if code != http.StatusNotFound {
+			t.Errorf("GET %s on default server: status %d, want 404", path, code)
+		}
+	}
+}
+
+// TestPprofAdminOnly: with EnablePprof the endpoints exist but sit behind the
+// admin token — anonymous requests 401, tenant tokens 403, admin 200.
+func TestPprofAdminOnly(t *testing.T) {
+	_, ts := newTestServer(t, func(cfg *Config) { cfg.EnablePprof = true })
+	c := ts.Client()
+
+	code, _ := do(t, c, "GET", ts.URL+"/admin/debug/pprof/", "", nil, nil)
+	if code != http.StatusUnauthorized {
+		t.Fatalf("anonymous pprof index: status %d, want 401", code)
+	}
+	code, _ = do(t, c, "GET", ts.URL+"/admin/debug/pprof/", "tok-1", nil, nil)
+	if code != http.StatusForbidden {
+		t.Fatalf("tenant pprof index: status %d, want 403", code)
+	}
+
+	code, body := do(t, c, "GET", ts.URL+"/admin/debug/pprof/", "tok-admin", nil, nil)
+	if code != http.StatusOK {
+		t.Fatalf("admin pprof index: status %d, want 200", code)
+	}
+	// The index page lists the available profiles; goroutine is always there.
+	if !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index does not list profiles: %.200s", body)
+	}
+
+	// A named profile resolves through the stripped /admin prefix.
+	code, body = do(t, c, "GET", ts.URL+"/admin/debug/pprof/goroutine?debug=1", "tok-admin", nil, nil)
+	if code != http.StatusOK {
+		t.Fatalf("admin goroutine profile: status %d", code)
+	}
+	if !strings.Contains(string(body), "goroutine profile") {
+		t.Fatalf("goroutine profile body unexpected: %.200s", body)
+	}
+
+	code, _ = do(t, c, "GET", ts.URL+"/admin/debug/pprof/cmdline", "tok-admin", nil, nil)
+	if code != http.StatusOK {
+		t.Fatalf("admin pprof cmdline: status %d", code)
+	}
+}

@@ -81,6 +81,10 @@ type Config struct {
 	// have drained — the last step of the shutdown ordering (e.g. closing
 	// a durable storage engine).
 	CloseStorage func() error
+	// EnablePprof mounts net/http/pprof under /admin/debug/pprof/...
+	// (admin token required). Off by default: profiles expose script text
+	// and memory contents.
+	EnablePprof bool
 }
 
 // jobEntry tracks one accepted submission for poll-by-ID.
@@ -189,6 +193,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/explain", s.handleJobExplain)
+	mux.HandleFunc("GET /admin/explain", s.admin(s.handleAdminExplain))
 	mux.HandleFunc("POST /admin/vcs/{vc}/onboard", s.admin(s.handleOnboard))
 	mux.HandleFunc("POST /admin/vcs/{vc}/offboard", s.admin(s.handleOffboard))
 	mux.HandleFunc("POST /admin/analyze", s.admin(s.handleAnalyze))
@@ -196,6 +202,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /admin/advance", s.admin(s.handleAdvance))
 	mux.HandleFunc("POST /admin/slo/sample", s.admin(s.handleSLOSample))
 	s.guardRoutes(mux)
+	s.pprofRoutes(mux)
 	return mux
 }
 

@@ -478,7 +478,7 @@ func (e *Engine) State(strict signature.Sig) string {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.dead() {
-		return "absent"
+		return storage.StateAbsent
 	}
 	return e.mem.State(strict)
 }

@@ -372,29 +372,41 @@ func (s *Store) InFlight(strict signature.Sig) bool {
 	return false
 }
 
+// Canonical lifecycle state names returned by State. The explain layer's
+// decision taxonomy (explain.ReasonForState) keys off these exact strings,
+// so new states must be added here, not emitted ad hoc.
+const (
+	StateAbsent   = "absent"
+	StatePending  = "pending"
+	StateUnsealed = "unsealed"
+	StateSealing  = "sealing"
+	StateLive     = "live"
+	StateExpired  = "expired"
+)
+
 // State describes a signature's lifecycle position for trace events:
-// "absent", "pending", "unsealed", "sealing" (sealed at a future instant),
-// "live", or "expired".
+// StateAbsent, StatePending, StateUnsealed, StateSealing (sealed at a future
+// instant), StateLive, or StateExpired.
 func (s *Store) State(strict signature.Sig) string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if _, ok := s.pending[strict]; ok {
-		return "pending"
+		return StatePending
 	}
 	v, ok := s.views[strict]
 	if !ok {
-		return "absent"
+		return StateAbsent
 	}
 	now := s.now()
 	switch {
 	case expiredLocked(v, now):
-		return "expired"
+		return StateExpired
 	case !v.Sealed:
-		return "unsealed"
+		return StateUnsealed
 	case now.Before(v.SealedAt):
-		return "sealing"
+		return StateSealing
 	default:
-		return "live"
+		return StateLive
 	}
 }
 

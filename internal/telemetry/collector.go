@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"cloudviews/internal/explain"
 	"cloudviews/internal/obs"
 )
 
@@ -25,6 +26,27 @@ const (
 	SeriesRepoJobs        = "repo_jobs"
 	SeriesRepoSubexprs    = "repo_subexprs"
 )
+
+// Labeled miss-reason series, one per explain reason with any traffic that
+// day: day_reuse_miss{reason="x"} counts reuse decisions that missed for
+// reason x, day_reuse_forfeit_sec{reason="x"} the container-seconds those
+// misses left on the table. Labeled names stay out of the text SERIES
+// section (report.go filters on "{") but feed the watchdog's prefix rules
+// and the HTML series table.
+const (
+	SeriesMissPrefix    = "day_reuse_miss{"
+	SeriesForfeitPrefix = "day_reuse_forfeit_sec{"
+)
+
+// MissSeriesName returns the labeled series name for one miss reason.
+func MissSeriesName(reason string) string {
+	return SeriesMissPrefix + `reason="` + reason + `"}`
+}
+
+// ForfeitSeriesName returns the labeled forfeit series name for one reason.
+func ForfeitSeriesName(reason string) string {
+	return SeriesForfeitPrefix + `reason="` + reason + `"}`
+}
 
 // Config assembles a Collector.
 type Config struct {
@@ -59,6 +81,12 @@ type DayAgg struct {
 	ReuseSavedSec float64
 	FaultLossSec  float64
 	VCs           map[string]*VCAgg
+	// MissReasons counts reuse decisions that missed, by explain reason;
+	// ForfeitSec is the container-seconds those misses forfeited (only
+	// decisions with a positive at-stake estimate contribute). Nil until the
+	// first decision lands.
+	MissReasons map[string]int
+	ForfeitSec  map[string]float64
 }
 
 // VCAgg is the per-VC slice of a day's attribution.
@@ -68,6 +96,8 @@ type VCAgg struct {
 	Phase         map[string]float64
 	ReuseSavedSec float64
 	FaultLossSec  float64
+	MissReasons   map[string]int
+	ForfeitSec    map[string]float64
 }
 
 // NewCollector builds an empty collector.
@@ -137,6 +167,64 @@ func (c *Collector) ObserveJob(day int, vc string, tr *obs.Trace) {
 	v.ReuseSavedSec += bd.ReuseSavedSec
 	d.FaultLossSec += bd.FaultLossSec
 	v.FaultLossSec += bd.FaultLossSec
+}
+
+// ObserveDecisions folds one finished job's reuse decisions into the day/VC
+// miss-reason aggregates. It visits the recorder in place (no copy) — the
+// data-plane path, called once per job next to ObserveJob. Matched decisions
+// are not misses and contribute nothing; misses count once each, and those
+// with a positive at-stake estimate also add to the forfeited
+// container-seconds ("reuse left on the table").
+func (c *Collector) ObserveDecisions(day int, vc string, rec *explain.Recorder) {
+	if c == nil || rec == nil || rec.Len() == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.dayLocked(day)
+	v := d.vc(vc)
+	rec.ForEach(func(dec explain.Decision) {
+		if !dec.Reason.IsMiss() {
+			return
+		}
+		key := string(dec.Reason)
+		if d.MissReasons == nil {
+			d.MissReasons = make(map[string]int)
+			d.ForfeitSec = make(map[string]float64)
+		}
+		if v.MissReasons == nil {
+			v.MissReasons = make(map[string]int)
+			v.ForfeitSec = make(map[string]float64)
+		}
+		d.MissReasons[key]++
+		v.MissReasons[key]++
+		if dec.SavedCS > 0 {
+			d.ForfeitSec[key] += dec.SavedCS
+			v.ForfeitSec[key] += dec.SavedCS
+		}
+	})
+}
+
+// DecisionSample writes the day's labeled miss-reason series points into an
+// EndOfDay sample map (day_reuse_miss{reason="x"} and
+// day_reuse_forfeit_sec{reason="x"}). Map iteration order is irrelevant:
+// EndOfDay sorts sample names before appending.
+func (c *Collector) DecisionSample(day int, into map[string]float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.days[day]
+	if !ok {
+		return
+	}
+	for reason, n := range d.MissReasons {
+		into[MissSeriesName(reason)] = float64(n)
+	}
+	for reason, sec := range d.ForfeitSec {
+		into[ForfeitSeriesName(reason)] = sec
+	}
 }
 
 // AddQueueWait charges cluster-schedule queue time onto a day's breakdown.
@@ -231,6 +319,10 @@ type DaySnapshot struct {
 	Phase         map[string]float64
 	ReuseSavedSec float64
 	FaultLossSec  float64
+	// MissReasons / ForfeitSec mirror DayAgg's miss-reason rollup (nil when
+	// no decisions landed that day).
+	MissReasons map[string]int
+	ForfeitSec  map[string]float64
 	// VCNames is sorted; VCs is keyed by those names.
 	VCNames []string
 	VCs     map[string]VCAgg
@@ -285,13 +377,17 @@ func (c *Collector) Snapshot() *RunTelemetry {
 			Day: d.Day, Jobs: d.Jobs, WallSec: d.WallSec,
 			Phase:         copyPhase(d.Phase),
 			ReuseSavedSec: d.ReuseSavedSec, FaultLossSec: d.FaultLossSec,
-			VCs: make(map[string]VCAgg, len(d.VCs)),
+			MissReasons: copyCounts(d.MissReasons),
+			ForfeitSec:  copyPhaseNil(d.ForfeitSec),
+			VCs:         make(map[string]VCAgg, len(d.VCs)),
 		}
 		for vc, agg := range d.VCs {
 			ds.VCNames = append(ds.VCNames, vc)
 			ds.VCs[vc] = VCAgg{
 				Jobs: agg.Jobs, WallSec: agg.WallSec, Phase: copyPhase(agg.Phase),
 				ReuseSavedSec: agg.ReuseSavedSec, FaultLossSec: agg.FaultLossSec,
+				MissReasons: copyCounts(agg.MissReasons),
+				ForfeitSec:  copyPhaseNil(agg.ForfeitSec),
 			}
 		}
 		sort.Strings(ds.VCNames)
@@ -303,6 +399,26 @@ func (c *Collector) Snapshot() *RunTelemetry {
 
 func copyPhase(m map[string]float64) map[string]float64 {
 	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// copyPhaseNil is copyPhase preserving nil (miss-reason maps are nil until
+// the first decision, and snapshots mirror that).
+func copyPhaseNil(m map[string]float64) map[string]float64 {
+	if m == nil {
+		return nil
+	}
+	return copyPhase(m)
+}
+
+func copyCounts(m map[string]int) map[string]int {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]int, len(m))
 	for k, v := range m {
 		out[k] = v
 	}

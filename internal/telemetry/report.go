@@ -119,6 +119,19 @@ func (r *Report) RenderText() string {
 				d.ReuseSavedSec, d.FaultLossSec)
 		}
 
+		rollup := BuildExplainRollup(rt)
+		missReasons := sortedKeys(rollup.TotalMiss)
+		b.WriteString("\nREUSE MISS REASONS (why reuse was left on the table)\n")
+		if len(missReasons) == 0 {
+			b.WriteString("  none recorded\n")
+		} else {
+			fmt.Fprintf(&b, "  %-22s %10s %14s\n", "reason", "misses", "forfeited-s")
+			for _, reason := range missReasons {
+				fmt.Fprintf(&b, "  %-22s %10d %14.1f\n",
+					reason, rollup.TotalMiss[reason], rollup.TotalForfeitSec[reason])
+			}
+		}
+
 		fmt.Fprintf(&b, "\nALERTS (%d)\n", len(rt.Alerts))
 		if len(rt.Alerts) == 0 {
 			b.WriteString("  none\n")
@@ -295,6 +308,21 @@ func (r *Report) RenderHTML() string {
 				html.EscapeString(vc), t.jobs, t.wall, t.exec, t.queue, t.save, t.lost)
 		}
 		b.WriteString("</table>\n")
+
+		// Miss-reason breakdown (the explain layer's fleet rollup).
+		rollup := BuildExplainRollup(rt)
+		missReasons := sortedKeys(rollup.TotalMiss)
+		b.WriteString("<h3>reuse miss reasons</h3>\n")
+		if len(missReasons) == 0 {
+			b.WriteString("<p>none recorded</p>\n")
+		} else {
+			b.WriteString("<table><tr><th class=\"l\">reason</th><th>misses</th><th>forfeited-s</th></tr>\n")
+			for _, reason := range missReasons {
+				fmt.Fprintf(&b, "<tr><td class=\"l\">%s</td><td>%d</td><td>%.1f</td></tr>\n",
+					html.EscapeString(reason), rollup.TotalMiss[reason], rollup.TotalForfeitSec[reason])
+			}
+			b.WriteString("</table>\n")
+		}
 
 		// Series sparklines (every series, labeled ones included).
 		fmt.Fprintf(&b, "<h3>series (%d)</h3>\n<table><tr><th class=\"l\">series</th><th>min</th><th>mean</th><th>max</th><th>last</th><th class=\"l\">trend</th></tr>\n", len(rt.Series))

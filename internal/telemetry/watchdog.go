@@ -228,6 +228,21 @@ type SLOConfig struct {
 	// retries + stage retries + preemptions + reuse fallbacks) than this
 	// (default 8; any clean day scores 0).
 	FaultSpikeMax float64
+	// MissSpikeGrowthPct warns when any single reuse-miss reason's daily
+	// count (day_reuse_miss{reason="x"}) grows more than this percent vs.
+	// the windowed reference (default 400 — a miss mix shifts slowly on a
+	// healthy fleet; a 5x single-reason spike means a control flipped, a
+	// breaker storm, or an expiry wave).
+	MissSpikeGrowthPct float64
+	// MinMissReference is the reference floor for the miss-spike rule
+	// (default 16 misses/day — growth from a near-zero base is noise).
+	MinMissReference float64
+	// MinMissCount is the value floor for the miss-spike rule (default 32
+	// misses/day).
+	MinMissCount float64
+	// ForfeitBudgetSec warns when the container-seconds forfeited to any
+	// single miss reason in one day exceed it (0 disables the rule).
+	ForfeitBudgetSec float64
 	// Window sizes the delta-rule reference window in days (default 1).
 	Window int
 }
@@ -248,6 +263,15 @@ func (c SLOConfig) withDefaults() SLOConfig {
 	}
 	if c.FaultSpikeMax == 0 {
 		c.FaultSpikeMax = 8
+	}
+	if c.MissSpikeGrowthPct == 0 {
+		c.MissSpikeGrowthPct = 400
+	}
+	if c.MinMissReference == 0 {
+		c.MinMissReference = 16
+	}
+	if c.MinMissCount == 0 {
+		c.MinMissCount = 32
 	}
 	if c.Window == 0 {
 		c.Window = 1
@@ -274,6 +298,20 @@ func DefaultRules(cfg SLOConfig) []Rule {
 			Name: "fault-spike", Metric: SeriesFaultRecoveries, Kind: Above,
 			Threshold: cfg.FaultSpikeMax, Severity: SevWarn,
 		},
+		{
+			// One labeled series per miss reason, judged independently: the
+			// prefix match fans the rule out over day_reuse_miss{reason="x"}.
+			Name: "miss-reason-spike", Metric: SeriesMissPrefix + "*", Kind: GrowthPct,
+			Threshold: cfg.MissSpikeGrowthPct, Window: cfg.Window,
+			MinReference: cfg.MinMissReference, MinValue: cfg.MinMissCount,
+			Severity: SevWarn,
+		},
+	}
+	if cfg.ForfeitBudgetSec > 0 {
+		rules = append(rules, Rule{
+			Name: "reuse-forfeit-budget", Metric: SeriesForfeitPrefix + "*", Kind: Above,
+			Threshold: cfg.ForfeitBudgetSec, Severity: SevWarn,
+		})
 	}
 	if cfg.StorageBudgetPerVC > 0 {
 		rules = append(rules, Rule{

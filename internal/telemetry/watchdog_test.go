@@ -138,9 +138,33 @@ func TestDefaultRules(t *testing.T) {
 	for _, r := range rules {
 		names = append(names, r.Name)
 	}
-	want := []string{"hit-rate-drop", "queue-growth", "fault-spike"}
+	want := []string{"hit-rate-drop", "queue-growth", "fault-spike", "miss-reason-spike"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
-		t.Errorf("zero-config rules = %v, want %v (no storage rule without a budget)", names, want)
+		t.Errorf("zero-config rules = %v, want %v (no storage/forfeit rules without budgets)", names, want)
+	}
+	for _, r := range rules {
+		if r.Name == "miss-reason-spike" {
+			if r.Metric != SeriesMissPrefix+"*" || r.Kind != GrowthPct {
+				t.Errorf("miss-reason-spike must prefix-match the labeled miss series: %+v", r)
+			}
+			if r.MinReference <= 0 || r.MinValue <= 0 {
+				t.Errorf("miss-reason-spike needs noise floors to stay silent on healthy runs: %+v", r)
+			}
+		}
+	}
+
+	rules = DefaultRules(SLOConfig{ForfeitBudgetSec: 120})
+	foundForfeit := false
+	for _, r := range rules {
+		if r.Name == "reuse-forfeit-budget" {
+			foundForfeit = true
+			if r.Kind != Above || r.Threshold != 120 || r.Metric != SeriesForfeitPrefix+"*" {
+				t.Errorf("forfeit rule = %+v", r)
+			}
+		}
+	}
+	if !foundForfeit {
+		t.Error("ForfeitBudgetSec > 0 must add the reuse-forfeit-budget rule")
 	}
 
 	rules = DefaultRules(SLOConfig{StorageBudgetPerVC: 1 << 20})
